@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the paper-table benchmark binaries.
+ */
+
+#ifndef STREAMTENSOR_BENCH_BENCH_COMMON_H
+#define STREAMTENSOR_BENCH_BENCH_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace bench {
+
+/** The paper's [input:output] sweep of Tables 4 and 5. */
+inline std::vector<std::pair<int64_t, int64_t>>
+table4Sweep()
+{
+    return {{32, 32}, {64, 64}, {128, 128}, {256, 256}};
+}
+
+/** The paper's Fig. 9 sweep: {32,64,128} x {32,64,128}. */
+inline std::vector<std::pair<int64_t, int64_t>>
+fig9Sweep()
+{
+    std::vector<std::pair<int64_t, int64_t>> out;
+    for (int64_t in : {32, 64, 128})
+        for (int64_t len : {32, 64, 128})
+            out.push_back({in, len});
+    return out;
+}
+
+/** Geometric mean. */
+inline double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+} // namespace bench
+
+#endif // STREAMTENSOR_BENCH_BENCH_COMMON_H

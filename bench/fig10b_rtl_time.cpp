@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10b: wall-clock breakdown of generating
+ * RTL from PyTorch — parallel HLS synthesis, downstream-tool
+ * profiling, parameter packing, and StreamTensor compilation.
+ * The vendor stages come from the deterministic time model in
+ * hls/rtl_time (the real flow is gated on Vitis); the
+ * StreamTensor stage is measured live.
+ */
+
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "hls/rtl_time.h"
+#include "models/block_builder.h"
+#include "support/stopwatch.h"
+
+using namespace streamtensor;
+
+int
+main()
+{
+    std::printf("Fig. 10b: RTL generation time breakdown (s)\n\n");
+    std::printf("%-8s %10s %10s %9s %9s %9s\n", "Model",
+                "HLS(par)", "Profiling", "Packing", "Compile",
+                "Total");
+    for (const auto &cfg : models::allConfigs()) {
+        Stopwatch watch;
+        auto graph = models::buildTransformerBlock(
+            cfg, models::prefillShapes(128));
+        auto result = compiler::compile(std::move(graph),
+                                        hls::u55c(), {});
+        // Decode block compiles too (the deployed design serves
+        // both phases).
+        auto decode_graph = models::buildTransformerBlock(
+            cfg, models::decodeShapes(192));
+        auto decode_result = compiler::compile(
+            std::move(decode_graph), hls::u55c(), {});
+        double compile_s = watch.elapsedSeconds();
+
+        auto breakdown = hls::estimateRtlTime(
+            result.design.components, cfg.totalParamBytes(),
+            compile_s);
+        std::printf("%-8s %10.1f %10.1f %9.1f %9.2f %9.1f\n",
+                    cfg.name.c_str(), breakdown.hls_seconds,
+                    breakdown.profiling_seconds,
+                    breakdown.param_packing_seconds,
+                    breakdown.compile_seconds, breakdown.total());
+        (void)decode_result;
+    }
+    std::printf("\nPaper reference totals: GPT-2 1547.9s, Qwen "
+                "1436.3s, Llama 1501.0s, Gemma 1251.7s;\nHLS "
+                "dominates, StreamTensor compilation and packing "
+                "are small fractions.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the end-to-end pipeline:
+ * full compilation of a transformer block and cycle-level
+ * simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.h"
+#include "models/block_builder.h"
+#include "sim/simulator.h"
+
+using namespace streamtensor;
+
+namespace {
+
+void
+BM_CompileDecodeBlock(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto graph = models::buildTransformerBlock(
+            models::gpt2Config(), models::decodeShapes(192));
+        auto result = compiler::compile(std::move(graph),
+                                        hls::u55c(), {});
+        benchmark::DoNotOptimize(
+            result.design.components.numComponents());
+    }
+}
+BENCHMARK(BM_CompileDecodeBlock)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompilePrefillBlock(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto graph = models::buildTransformerBlock(
+            models::gpt2Config(),
+            models::prefillShapes(state.range(0)));
+        auto result = compiler::compile(std::move(graph),
+                                        hls::u55c(), {});
+        benchmark::DoNotOptimize(
+            result.design.components.numComponents());
+    }
+}
+BENCHMARK(BM_CompilePrefillBlock)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateDecodeBlock(benchmark::State &state)
+{
+    auto graph = models::buildTransformerBlock(
+        models::gpt2Config(), models::decodeShapes(192));
+    auto result =
+        compiler::compile(std::move(graph), hls::u55c(), {});
+    for (auto _ : state) {
+        auto sims = sim::simulateAll(result.design.components);
+        benchmark::DoNotOptimize(sims[0].cycles);
+    }
+}
+BENCHMARK(BM_SimulateDecodeBlock)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatePrefillBlock(benchmark::State &state)
+{
+    auto graph = models::buildTransformerBlock(
+        models::gpt2Config(),
+        models::prefillShapes(state.range(0)));
+    auto result =
+        compiler::compile(std::move(graph), hls::u55c(), {});
+    for (auto _ : state) {
+        auto sims = sim::simulateAll(result.design.components);
+        benchmark::DoNotOptimize(sims[0].cycles);
+    }
+}
+BENCHMARK(BM_SimulatePrefillBlock)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

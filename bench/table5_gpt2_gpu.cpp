@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Table 5: StreamTensor vs NVIDIA A100 and
+ * 2080Ti (roofline + launch-overhead models) on GPT-2.
+ */
+
+#include <cstdio>
+
+#include "baselines/gpu_model.h"
+#include "bench_common.h"
+#include "runtime/executor.h"
+
+using namespace streamtensor;
+
+int
+main()
+{
+    models::LlmConfig config = models::gpt2Config();
+    runtime::LlmExecutor ours(config, hls::u55c());
+    auto a100 = baselines::a100();
+    auto ti = baselines::rtx2080ti();
+
+    std::printf("Table 5: GPT-2 — Ours (U55C, simulated) vs "
+                "NVIDIA GPUs (analytic models)\n\n");
+    std::printf("%-10s | %9s %8s %8s | %9s %8s %8s | %9s %8s %8s\n",
+                "[In:Out]", "Ours(ms)", "TTFT", "tok/s",
+                "A100(ms)", "TTFT", "tok/s", "2080Ti", "TTFT",
+                "tok/s");
+
+    std::vector<double> lat_a, ttft_a, spd_a;
+    std::vector<double> lat_t, ttft_t, spd_t;
+
+    for (auto [in_len, out_len] : bench::table4Sweep()) {
+        auto r = ours.run(in_len, out_len);
+        auto a = baselines::evaluateGpu(a100, config, in_len,
+                                        out_len);
+        auto t = baselines::evaluateGpu(ti, config, in_len,
+                                        out_len);
+        std::printf("[%3lld:%3lld] | %9.2f %8.2f %8.2f | "
+                    "%9.2f %8.2f %8.2f | %9.2f %8.2f %8.2f\n",
+                    static_cast<long long>(in_len),
+                    static_cast<long long>(out_len),
+                    r.total_latency_ms, r.ttft_ms, r.tokens_per_s,
+                    a.total_latency_ms, a.ttft_ms, a.tokens_per_s,
+                    t.total_latency_ms, t.ttft_ms, t.tokens_per_s);
+        lat_a.push_back(r.total_latency_ms / a.total_latency_ms);
+        ttft_a.push_back(r.ttft_ms / a.ttft_ms);
+        spd_a.push_back(r.tokens_per_s / a.tokens_per_s);
+        lat_t.push_back(r.total_latency_ms / t.total_latency_ms);
+        ttft_t.push_back(r.ttft_ms / t.ttft_ms);
+        spd_t.push_back(r.tokens_per_s / t.tokens_per_s);
+    }
+
+    std::printf("\nGeo. mean ratios Ours/A100  : latency %.2fx, "
+                "TTFT %.2fx, speed %.2fx\n",
+                bench::geoMean(lat_a), bench::geoMean(ttft_a),
+                bench::geoMean(spd_a));
+    std::printf("Geo. mean ratios Ours/2080Ti: latency %.2fx, "
+                "TTFT %.2fx, speed %.2fx\n",
+                bench::geoMean(lat_t), bench::geoMean(ttft_t),
+                bench::geoMean(spd_t));
+    std::printf("\nPaper reference (Table 5 geo means): "
+                "Ours/A100 0.64x latency, 10.65x TTFT, 1.89x "
+                "speed;\n                                     "
+                "Ours/2080Ti 0.25x latency, 3.67x TTFT, 4.73x "
+                "speed\n");
+    return 0;
+}

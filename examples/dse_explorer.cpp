@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-space explorer example: sweeps the Linalg tiling
+ * hyperparameters with the black-box tuner (the paper's Optuna
+ * loop, §5.1) using kernel-fusion memory cost + estimated latency
+ * as the feedback signal, on a Qwen decode block.
+ */
+
+#include <cstdio>
+
+#include "dse/blackbox_tuner.h"
+#include "models/block_builder.h"
+#include "runtime/executor.h"
+
+using namespace streamtensor;
+
+int
+main()
+{
+    models::LlmConfig config = models::qwenConfig();
+    hls::FpgaPlatform platform = hls::u55c();
+
+    dse::BlackboxTuner tuner(/*seed=*/42);
+    int64_t p_tile =
+        tuner.addParam("default_tile_size", {8, 16, 32, 64});
+    int64_t p_unroll =
+        tuner.addParam("overall_unroll_size",
+                       {64, 128, 256, 512, 1024});
+
+    std::printf("trial | tile unroll |  block ms | on-chip MiB | "
+                "score\n");
+    for (int trial = 0; trial < 12; ++trial) {
+        auto cfg = tuner.ask();
+        compiler::CompileOptions options;
+        options.tiling.default_tile_size = cfg[p_tile];
+        options.tiling.overall_unroll_size = cfg[p_unroll];
+
+        runtime::LlmExecutor executor(config, platform, options);
+        const runtime::CompiledBlock &blk =
+            executor.block(models::decodeShapes(64));
+        double block_ms = blk.totalCycles() /
+                          (platform.freq_mhz * 1e3);
+        double mem_mib =
+            static_cast<double>(
+                blk.compile.design.fusedIntermediateBytes() +
+                blk.compile.design.components
+                    .totalLocalBufferBytes()) /
+            (1024.0 * 1024.0);
+        // Feedback: latency, with a penalty when the design spills
+        // past the on-chip budget.
+        double score = block_ms;
+        if (mem_mib > platform.on_chip_memory_mib)
+            score *= 10.0;
+        tuner.tell(cfg, score);
+        std::printf("%5d | %4lld %6lld | %9.3f | %11.2f | %.3f\n",
+                    trial, static_cast<long long>(cfg[p_tile]),
+                    static_cast<long long>(cfg[p_unroll]),
+                    block_ms, mem_mib, score);
+    }
+
+    auto best = tuner.best();
+    std::printf("\nbest: tile=%lld unroll=%lld (score %.3f after "
+                "%lld trials)\n",
+                static_cast<long long>(best[p_tile]),
+                static_cast<long long>(best[p_unroll]),
+                tuner.bestScore(),
+                static_cast<long long>(tuner.numTrials()));
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FIFO sizing lab: builds the paper's Fig. 8(f) three-kernel
+ * example, solves the LP, shows the resulting delays and depths
+ * under both equalization strategies, and demonstrates with the
+ * simulator that undersized FIFOs on the reconvergent pair
+ * deadlock while LP-sized ones do not.
+ */
+
+#include <cstdio>
+
+#include "dataflow/graph.h"
+#include "sim/simulator.h"
+#include "token/fifo_sizing.h"
+
+using namespace streamtensor;
+
+namespace {
+
+/** Kernel0 fans out to Kernel1 and Kernel2; Kernel1 feeds
+ *  Kernel2 (Fig. 8f). */
+token::FifoSizingProblem
+figure8f()
+{
+    token::FifoSizingProblem p;
+    // D, total cycles for 64 tokens.
+    p.addNode({40.0, 40.0 + 63.0 * 1.0});  // kernel0: II=1
+    p.addNode({120.0, 120.0 + 63.0 * 1.0}); // kernel1: late start
+    p.addNode({20.0, 20.0 + 63.0 * 2.0});  // kernel2: II=2
+    p.addEdge(0, 1, 64); // delay[0][1]
+    p.addEdge(0, 2, 64); // delay[0][2]
+    p.addEdge(1, 2, 64); // delay[1][2]
+    return p;
+}
+
+/** The same graph as a component graph for simulation. */
+dataflow::ComponentGraph
+componentGraph(const std::vector<int64_t> &depths)
+{
+    dataflow::ComponentGraph g;
+    ir::ITensorType tok(ir::DataType::I8, {1}, {64}, {1},
+                        ir::AffineMap::identity(1));
+    auto mk = [&](const char *name, double d, double cycles) {
+        dataflow::Component c;
+        c.kind = dataflow::ComponentKind::Kernel;
+        c.name = name;
+        c.initial_delay = d;
+        c.total_cycles = cycles;
+        return g.addComponent(c);
+    };
+    int64_t k0 = mk("kernel0", 40.0, 103.0);
+    int64_t k1 = mk("kernel1", 120.0, 183.0);
+    int64_t k2 = mk("kernel2", 20.0, 146.0);
+    auto ch = [&](int64_t s, int64_t d, int64_t depth) {
+        dataflow::Channel c;
+        c.src = s;
+        c.dst = d;
+        c.type = tok;
+        c.tokens = 64;
+        c.depth = depth;
+        g.addChannel(c);
+    };
+    ch(k0, k1, depths[0]);
+    ch(k0, k2, depths[1]);
+    ch(k1, k2, depths[2]);
+    return g;
+}
+
+void
+report(const char *tag, const token::FifoSizingResult &r)
+{
+    std::printf("%s\n  delays: ", tag);
+    for (double d : r.delays)
+        std::printf("%7.1f ", d);
+    std::printf("\n  depths: ");
+    for (int64_t d : r.depths)
+        std::printf("%7lld ", static_cast<long long>(d));
+    std::printf("\n  objective=%.1f via %s\n\n", r.objective,
+                r.used_lp ? "LP" : "potentials");
+}
+
+} // namespace
+
+int
+main()
+{
+    token::FifoSizingProblem problem = figure8f();
+
+    token::FifoSizingOptions normal;
+    auto sized_normal = token::sizeFifos(problem, normal);
+    report("Normal equalization", sized_normal);
+
+    token::FifoSizingOptions conservative;
+    conservative.equalization =
+        token::Equalization::Conservative;
+    auto sized_cons = token::sizeFifos(problem, conservative);
+    report("Conservative equalization", sized_cons);
+
+    // Simulate with LP depths vs deliberately undersized FIFOs.
+    auto good = componentGraph(sized_normal.depths);
+    auto bad = componentGraph({2, 2, 2});
+    auto good_result = sim::simulateGroup(good, 0);
+    sim::SimOptions tight;
+    tight.max_cycles = 1e7;
+    auto bad_result = sim::simulateGroup(bad, 0, tight);
+
+    std::printf("LP-sized run : %s, %.0f cycles\n",
+                good_result.deadlock ? "DEADLOCK" : "ok",
+                good_result.cycles);
+    std::printf("depth-2 run  : %s, %.0f cycles\n",
+                bad_result.deadlock ? "DEADLOCK (as expected: "
+                                      "reconvergent back-pressure)"
+                                    : "ok",
+                bad_result.cycles);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * GPT-2 end-to-end inference example: compiles one transformer
+ * block for prefill and decode, runs the executor, and reports the
+ * serving metrics the paper's Table 4 is built from.
+ *
+ *   ./build/examples/gpt2_inference [input_len] [output_len]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/executor.h"
+
+using namespace streamtensor;
+
+int
+main(int argc, char **argv)
+{
+    int64_t input_len = argc > 1 ? std::atoll(argv[1]) : 32;
+    int64_t output_len = argc > 2 ? std::atoll(argv[2]) : 32;
+
+    models::LlmConfig config = models::gpt2Config();
+    hls::FpgaPlatform platform = hls::u55c();
+
+    std::printf("Model: %s (%lld layers, hidden %lld, FFN %lld, "
+                "%lld heads)\n",
+                config.name.c_str(),
+                static_cast<long long>(config.layers),
+                static_cast<long long>(config.hidden),
+                static_cast<long long>(config.ffn_hidden),
+                static_cast<long long>(config.heads));
+    std::printf("Platform: %s @ %.0f MHz, %.0f GB/s HBM, "
+                "%.0f MiB on-chip\n\n",
+                platform.name.c_str(), platform.freq_mhz,
+                platform.memory_bandwidth_gbps,
+                platform.on_chip_memory_mib);
+
+    runtime::LlmExecutor executor(config, platform);
+    runtime::LlmRunResult r = executor.run(input_len, output_len);
+
+    std::printf("[%lld:%lld] request\n",
+                static_cast<long long>(input_len),
+                static_cast<long long>(output_len));
+    std::printf("  block prefill latency : %8.3f ms\n",
+                r.block_prefill_ms);
+    std::printf("  block decode latency  : %8.3f ms\n",
+                r.block_decode_ms);
+    std::printf("  TTFT                  : %8.2f ms\n", r.ttft_ms);
+    std::printf("  decode                : %8.3f ms/token\n",
+                r.decode_ms_per_token);
+    std::printf("  total latency         : %8.2f ms\n",
+                r.total_latency_ms);
+    std::printf("  speed                 : %8.2f token/s\n",
+                r.tokens_per_s);
+    std::printf("  avg power             : %8.2f W\n",
+                r.avg_power_w);
+    std::printf("  energy                : %8.2f J "
+                "(%.3f token/J)\n",
+                r.energy_j, r.tokens_per_joule);
+    if (r.deadlock)
+        std::printf("  WARNING: simulation deadlocked\n");
+
+    // Compilation statistics for this block.
+    const runtime::CompiledBlock &blk =
+        executor.block(models::decodeShapes(
+            input_len + std::max<int64_t>(output_len / 2, 1)));
+    std::printf("\nDecode-block compile stats:\n");
+    std::printf("  fused groups          : %zu\n",
+                blk.compile.design.plan.groups.size());
+    std::printf("  components            : %lld\n",
+                static_cast<long long>(
+                    blk.compile.design.components
+                        .numComponents()));
+    std::printf("  equalization          : %s\n",
+                token::equalizationName(
+                    blk.compile.used_equalization)
+                    .c_str());
+    std::printf("  compile time          : %.3f s\n",
+                blk.compile.times.total());
+    return 0;
+}

@@ -1,0 +1,63 @@
+#include "baselines/fpga_baselines.h"
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace baselines {
+
+FpgaBaselineSpec
+alloSpec()
+{
+    FpgaBaselineSpec s;
+    s.name = "Allo";
+    s.weight_bytes_per_param = 0.5; // W4A8
+    s.effective_bandwidth_gbps = 55.0;
+    s.layer_overhead_us = 90.0;
+    s.prefill_speedup = 1.92;
+    s.active_power_w = 105.0;
+    return s;
+}
+
+FpgaBaselineSpec
+dfxSpec()
+{
+    FpgaBaselineSpec s;
+    s.name = "DFX";
+    s.weight_bytes_per_param = 2.0; // FP16
+    s.effective_bandwidth_gbps = 130.0;
+    s.layer_overhead_us = 30.0;
+    s.prefill_speedup = 1.0; // token-serial prompt processing
+    s.active_power_w = 110.0;
+    return s;
+}
+
+FpgaBaselinePerf
+evaluateFpgaBaseline(const FpgaBaselineSpec &spec,
+                     const models::LlmConfig &config,
+                     int64_t input_len, int64_t output_len)
+{
+    ST_CHECK(input_len >= 1 && output_len >= 1,
+             "request lengths must be positive");
+
+    // One decoded token streams every layer's weights once.
+    double weight_bytes = static_cast<double>(config.blockParams()) *
+                          spec.weight_bytes_per_param;
+    double per_layer_ms =
+        weight_bytes / (spec.effective_bandwidth_gbps * 1e9) * 1e3 +
+        spec.layer_overhead_us / 1e3;
+    double decode_ms = per_layer_ms * config.layers;
+
+    FpgaBaselinePerf perf;
+    perf.decode_ms_per_token = decode_ms;
+    perf.ttft_ms = input_len * decode_ms / spec.prefill_speedup;
+    perf.total_latency_ms =
+        perf.ttft_ms + output_len * decode_ms;
+    perf.tokens_per_s = 1e3 / decode_ms;
+    perf.energy_j =
+        spec.active_power_w * perf.total_latency_ms / 1e3;
+    perf.tokens_per_joule = output_len / perf.energy_j;
+    return perf;
+}
+
+} // namespace baselines
+} // namespace streamtensor

@@ -1,0 +1,122 @@
+#include "baselines/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace baselines {
+
+GpuSpec
+a100()
+{
+    GpuSpec g;
+    g.name = "A100";
+    g.peak_int8_tops = 624.0;
+    g.bandwidth_gbps = 1935.0;
+    g.tdp_watts = 300.0;
+    g.compute_efficiency = 0.38;
+    g.bandwidth_efficiency = 0.62;
+    g.ops_per_layer = 25.0;
+    g.op_overhead_us = 14.0;
+    g.context_slope_us = 0.004;
+    g.context_threshold = 0;
+    g.idle_power_fraction = 0.30;
+    g.dynamic_power_fraction = 0.55;
+    return g;
+}
+
+GpuSpec
+rtx2080ti()
+{
+    GpuSpec g;
+    g.name = "2080Ti";
+    g.peak_int8_tops = 215.2;
+    g.bandwidth_gbps = 616.0;
+    g.tdp_watts = 250.0;
+    g.compute_efficiency = 0.30;
+    g.bandwidth_efficiency = 0.55;
+    g.ops_per_layer = 25.0;
+    g.op_overhead_us = 24.0;
+    // GDDR cache pressure: per-layer decode cost grows with
+    // context beyond ~160 tokens (the paper's 2080Ti speed halves
+    // from [64:64] to [128:128]).
+    g.context_slope_us = 4.0;
+    g.context_threshold = 160;
+    g.idle_power_fraction = 0.28;
+    g.dynamic_power_fraction = 0.55;
+    return g;
+}
+
+namespace {
+
+/** Time for one forward pass at (seq, context) in milliseconds. */
+double
+forwardMs(const GpuSpec &gpu, const models::LlmConfig &config,
+          int64_t seq_len, int64_t kv_len)
+{
+    double flops =
+        config.blockFlops(seq_len, kv_len) * config.layers;
+    double weight_bytes = static_cast<double>(config.blockParams()) *
+                          gpu.weight_bytes_per_param *
+                          config.layers;
+    double kv_bytes = 2.0 * config.kv_heads * config.head_dim *
+                      static_cast<double>(kv_len) * config.layers;
+    double compute_ms = flops /
+                        (gpu.peak_int8_tops * 1e12 *
+                         gpu.compute_efficiency) *
+                        1e3;
+    double memory_ms = (weight_bytes + kv_bytes) /
+                       (gpu.bandwidth_gbps * 1e9 *
+                        gpu.bandwidth_efficiency) *
+                       1e3;
+    double launch_ms = gpu.ops_per_layer * gpu.op_overhead_us *
+                       config.layers / 1e3;
+    double context_ms = 0.0;
+    if (kv_len > gpu.context_threshold) {
+        context_ms = (kv_len - gpu.context_threshold) *
+                     gpu.context_slope_us * config.layers / 1e3;
+    }
+    return std::max(compute_ms, memory_ms) + launch_ms +
+           context_ms;
+}
+
+} // namespace
+
+GpuPerf
+evaluateGpu(const GpuSpec &gpu, const models::LlmConfig &config,
+            int64_t input_len, int64_t output_len)
+{
+    ST_CHECK(input_len >= 1 && output_len >= 1,
+             "request lengths must be positive");
+    GpuPerf perf;
+    perf.ttft_ms = forwardMs(gpu, config, input_len, input_len);
+
+    // Decode at the average context length of the run.
+    double decode_total = 0.0;
+    for (int64_t i = 0; i < output_len; ++i)
+        decode_total +=
+            forwardMs(gpu, config, 1, input_len + i + 1);
+    perf.decode_ms_per_token = decode_total / output_len;
+    perf.total_latency_ms = perf.ttft_ms + decode_total;
+    perf.tokens_per_s = output_len / decode_total * 1e3;
+
+    // Energy: idle floor plus a dynamic share scaled by how
+    // compute-bound the run is (decoding barely loads the SMs).
+    double flops = config.blockFlops(1, input_len + output_len) *
+                   config.layers * output_len;
+    double util = flops /
+                  (gpu.peak_int8_tops * 1e12 *
+                   (decode_total / 1e3));
+    util = std::clamp(util, 0.05, 1.0);
+    perf.avg_power_w =
+        gpu.tdp_watts * (gpu.idle_power_fraction +
+                         gpu.dynamic_power_fraction * util);
+    perf.energy_j = perf.avg_power_w * perf.total_latency_ms / 1e3;
+    perf.tokens_per_joule = output_len / perf.energy_j;
+    return perf;
+}
+
+} // namespace baselines
+} // namespace streamtensor

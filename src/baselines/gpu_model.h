@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GPU baseline performance models (paper Table 5/6 and Fig. 9).
+ *
+ * Substitution note (DESIGN.md): the paper measures A100 and
+ * 2080Ti boards running Hugging Face eager-mode inference. We
+ * model them with a per-op roofline: every layer launches a fixed
+ * number of kernels, each paying max(compute, memory) time plus a
+ * launch overhead. Small-model GPU decoding is launch-overhead
+ * bound, which reproduces the paper's flat TTFT across input
+ * lengths and the decode-speed gap to dataflow accelerators.
+ */
+
+#ifndef STREAMTENSOR_BASELINES_GPU_MODEL_H
+#define STREAMTENSOR_BASELINES_GPU_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "models/llm_config.h"
+
+namespace streamtensor {
+namespace baselines {
+
+/** GPU platform parameters (Table 6 + calibration constants). */
+struct GpuSpec
+{
+    std::string name;
+    double peak_int8_tops = 624.0;
+    double bandwidth_gbps = 1935.0;
+    double tdp_watts = 300.0;
+
+    /** Fraction of peak compute achieved on small-batch matmuls. */
+    double compute_efficiency = 0.35;
+
+    /** Fraction of peak bandwidth achieved on streaming reads. */
+    double bandwidth_efficiency = 0.60;
+
+    /** Framework kernels launched per transformer layer. */
+    double ops_per_layer = 25.0;
+
+    /** Launch + dispatch overhead per kernel in microseconds. */
+    double op_overhead_us = 14.0;
+
+    /** Extra per-context-token decode cost in microseconds per
+     *  layer beyond @p context_threshold (cache-pressure knee). */
+    double context_slope_us = 0.0;
+    int64_t context_threshold = 0;
+
+    /** Activation bytes per weight (W8A8 = 1 byte weights). */
+    double weight_bytes_per_param = 1.0;
+
+    /** Power model: idle fraction of TDP plus dynamic share. */
+    double idle_power_fraction = 0.30;
+    double dynamic_power_fraction = 0.55;
+};
+
+/** NVIDIA A100 (80GB HBM). */
+GpuSpec a100();
+
+/** NVIDIA GeForce RTX 2080 Ti (11GB GDDR6). */
+GpuSpec rtx2080ti();
+
+/** End-to-end performance of one (input, output) request. */
+struct GpuPerf
+{
+    double ttft_ms = 0.0;
+    double decode_ms_per_token = 0.0;
+    double total_latency_ms = 0.0;
+    double tokens_per_s = 0.0;
+    double avg_power_w = 0.0;
+    double energy_j = 0.0;
+    double tokens_per_joule = 0.0;
+};
+
+/** Evaluate @p config on @p gpu for one request. */
+GpuPerf evaluateGpu(const GpuSpec &gpu,
+                    const models::LlmConfig &config,
+                    int64_t input_len, int64_t output_len);
+
+} // namespace baselines
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_BASELINES_GPU_MODEL_H

@@ -1,0 +1,170 @@
+#include "compiler/compiler.h"
+
+#include <algorithm>
+
+#include "ir/verifier.h"
+#include "linalg/passes.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/stopwatch.h"
+
+namespace streamtensor {
+namespace compiler {
+
+double
+StageTimes::total() const
+{
+    double t = 0.0;
+    for (const auto &[name, seconds] : stages)
+        t += seconds;
+    return t;
+}
+
+double
+StageTimes::get(const std::string &name) const
+{
+    for (const auto &[stage, seconds] : stages)
+        if (stage == name)
+            return seconds;
+    return 0.0;
+}
+
+CompileResult
+compile(linalg::Graph graph, const hls::FpgaPlatform &platform,
+        const CompileOptions &options)
+{
+    CompileResult result;
+    Stopwatch watch;
+    auto record = [&](const std::string &stage) {
+        result.times.stages.emplace_back(stage,
+                                         watch.elapsedSeconds());
+        watch.restart();
+    };
+
+    // --- Linalg optimization (elementwise fusion, unit-dim
+    // folding, fill fusion).
+    result.elementwise_fused = linalg::fuseElementwiseOps(graph);
+    result.fills_fused = linalg::fuseFill(graph);
+    result.unit_dims_folded = linalg::foldUnitExtentDims(graph);
+    record("Linalg_Opt");
+
+    // --- Linalg tiling space exploration.
+    auto tile_configs = dse::exploreTiling(graph, options.tiling);
+    record("Linalg_Tiling");
+
+    // --- Linalg to dataflow conversion + kernel fusion
+    // (Algorithm 1 inside Algorithm 2).
+    int64_t c_max = options.c_max > 0 ? options.c_max
+                                      : platform.onChipBytes();
+    result.design = dataflow::buildAccelerator(graph, tile_configs,
+                                               c_max);
+    record("Kernel_Fusion");
+
+    // --- Dataflow optimization: itensor folding + vectorization.
+    result.fold_stats = dataflow::foldITensors(
+        result.design.components);
+    result.vectorized_components = dataflow::vectorizeITensors(
+        result.design.components);
+    record("Dataflow_Opt");
+
+    // --- Vendor profiling (HLS model) feeding resource alloc.
+    hls::profileComponents(result.design.components, platform);
+    record("HLS_Opt");
+
+    // --- Resource allocation: equalization choice, per-group FIFO
+    // sizing LP, die partitioning, memory allocation.
+    token::Equalization eq = options.equalization;
+    if (options.auto_conservative) {
+        double pressure =
+            static_cast<double>(
+                result.design.fusedIntermediateBytes() +
+                result.design.components.totalLocalBufferBytes()) /
+            static_cast<double>(platform.onChipBytes());
+        if (pressure > options.conservative_threshold) {
+            eq = token::Equalization::Conservative;
+            inform("memory pressure " + std::to_string(pressure) +
+                   " > threshold; using conservative FIFO sizing");
+        }
+    }
+    result.used_equalization = eq;
+
+    dataflow::ComponentGraph &cg = result.design.components;
+    for (int64_t group = 0; group < cg.numGroups(); ++group) {
+        token::FifoSizingProblem problem;
+        auto members = cg.groupComponents(group);
+        std::map<int64_t, int64_t> dense;
+        for (int64_t id : members) {
+            const dataflow::Component &c = cg.component(id);
+            dense[id] = problem.addNode(
+                {c.initial_delay, c.total_cycles,
+                 c.ingest_cycles});
+        }
+        std::vector<int64_t> edge_channels;
+        for (int64_t ch_id : cg.groupChannels(group)) {
+            const dataflow::Channel &ch = cg.channel(ch_id);
+            if (ch.folded)
+                continue;
+            problem.addEdge(dense.at(ch.src), dense.at(ch.dst),
+                            ch.tokens);
+            edge_channels.push_back(ch_id);
+        }
+        token::FifoSizingOptions sizing_options;
+        sizing_options.equalization = eq;
+        sizing_options.exact_occupancy = options.exact_occupancy;
+        token::FifoSizingResult sized =
+            token::sizeFifos(problem, sizing_options);
+        for (size_t e = 0; e < edge_channels.size(); ++e) {
+            dataflow::Channel &ch =
+                cg.channel(edge_channels[e]);
+            ch.depth = sized.depths[e];
+            // A converter re-emits from its ping-pong banks, so
+            // back-pressure stalls its emission loop without any
+            // cascade: its output FIFO only needs the consumer's
+            // burst (restored by reduceStreamDepth below).
+            if (cg.component(ch.src).kind ==
+                dataflow::ComponentKind::Converter) {
+                ch.depth = std::min<int64_t>(ch.depth, 4);
+            }
+        }
+        result.sizing.push_back(std::move(sized));
+    }
+
+    // Guard resources: when the LP's no-stall depths exceed the
+    // on-chip budget, progressively tighten the depth cap (the
+    // reduce_stream_depth pass), trading stalls for memory.
+    int64_t depth_cap = options.max_fifo_depth;
+    while (true) {
+        result.clamped_fifos =
+            dataflow::reduceStreamDepth(cg, depth_cap);
+        result.memory = partition::allocateMemory(cg, platform);
+        if (result.memory.feasible || depth_cap <= 4)
+            break;
+        depth_cap = std::max<int64_t>(depth_cap / 4, 4);
+        inform("FIFO memory over budget; reducing depth cap to " +
+               std::to_string(depth_cap));
+    }
+
+    if (options.partition_dies) {
+        for (int64_t group = 0; group < cg.numGroups(); ++group) {
+            result.partitions.push_back(
+                partition::partitionGroup(cg, group, platform));
+        }
+    }
+    record("Resource_Alloc");
+
+    // --- Bufferization: lower to stream-level IR and verify.
+    result.module = dataflow::bufferize(cg);
+    ir::VerifyResult verify = ir::verifyModule(*result.module);
+    if (!verify.ok())
+        ST_PANIC("bufferized module failed verification:\n" +
+                 verify.str());
+    record("Bufferization");
+
+    // --- Code generation: HLS C++, host runtime, connectivity.
+    result.code = hls::generateCode(cg);
+    record("Code_Gen");
+    return result;
+}
+
+} // namespace compiler
+} // namespace streamtensor

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The StreamTensor compiler facade: runs the full pipeline of
+ * paper Fig. 4 — Linalg optimization, Linalg tiling, Linalg to
+ * dataflow + kernel fusion, dataflow optimization, resource
+ * allocation (FIFO sizing LP, die partitioning, memory
+ * allocation), bufferization, and code generation — recording
+ * per-stage wall clock for the Fig. 10c breakdown.
+ */
+
+#ifndef STREAMTENSOR_COMPILER_COMPILER_H
+#define STREAMTENSOR_COMPILER_COMPILER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/bufferize.h"
+#include "dataflow/fusion_apply.h"
+#include "dataflow/passes.h"
+#include "dse/tiling_space.h"
+#include "hls/codegen.h"
+#include "hls/platform.h"
+#include "hls/profiling.h"
+#include "partition/die_partition.h"
+#include "partition/memory_alloc.h"
+#include "token/fifo_sizing.h"
+
+namespace streamtensor {
+namespace compiler {
+
+/** User-visible compiler options. */
+struct CompileOptions
+{
+    dse::TilingOptions tiling;
+
+    /** Max on-chip bytes per fused group; <= 0 means "use the
+     *  platform's on-chip memory". */
+    int64_t c_max = 0;
+
+    /** FIFO sizing strategy; Auto switches to Conservative when
+     *  the fused design's on-chip pressure crosses
+     *  conservative_threshold (the paper's Llama case, §6.2). */
+    token::Equalization equalization = token::Equalization::Normal;
+    bool auto_conservative = true;
+    double conservative_threshold = 0.40;
+
+    /** Initial cap on generated FIFO depths; the compiler lowers
+     *  it further (reduce_stream_depth) whenever the memory
+     *  allocator reports an over-budget design. Deep FIFOs are
+     *  intentional: weight streams prefetch into URAM while
+     *  upstream kernels compute. */
+    int64_t max_fifo_depth = 65536;
+
+    /** Use the exact occupancy recurrence for FIFO depths. */
+    bool exact_occupancy = false;
+
+    /** Skip die partitioning (single-SLR targets). */
+    bool partition_dies = true;
+};
+
+/** Per-stage wall-clock seconds (Fig. 10c stages). */
+struct StageTimes
+{
+    std::vector<std::pair<std::string, double>> stages;
+
+    double total() const;
+    double get(const std::string &name) const;
+};
+
+/** Everything the compiler produces. */
+struct CompileResult
+{
+    dataflow::AcceleratorDesign design;
+    std::vector<token::FifoSizingResult> sizing; ///< per group
+    std::vector<partition::PartitionResult> partitions;
+    partition::MemoryAllocation memory;
+    std::unique_ptr<ir::Module> module;
+    hls::GeneratedCode code;
+    StageTimes times;
+
+    /** The equalization strategy actually used. */
+    token::Equalization used_equalization =
+        token::Equalization::Normal;
+
+    /** Linalg pass statistics. */
+    int64_t elementwise_fused = 0;
+    int64_t unit_dims_folded = 0;
+    int64_t fills_fused = 0;
+
+    /** Dataflow pass statistics. */
+    dataflow::FoldStats fold_stats;
+    int64_t vectorized_components = 0;
+    int64_t clamped_fifos = 0;
+};
+
+/** Compile @p graph for @p platform. The graph is consumed
+ *  (mutated by the Linalg passes). */
+CompileResult compile(linalg::Graph graph,
+                      const hls::FpgaPlatform &platform,
+                      const CompileOptions &options = {});
+
+} // namespace compiler
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_COMPILER_COMPILER_H

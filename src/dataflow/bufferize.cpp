@@ -1,0 +1,104 @@
+#include "dataflow/bufferize.h"
+
+#include <map>
+
+#include "ir/builder.h"
+#include "support/error.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+std::unique_ptr<ir::Module>
+bufferize(const ComponentGraph &g)
+{
+    auto module = std::make_unique<ir::Module>("accelerator");
+    ir::OpBuilder top(*module, module->body());
+
+    for (int64_t group = 0; group < g.numGroups(); ++group) {
+        ir::Op *kernel = top.create(ir::OpKind::Kernel, {}, {},
+                                    "group" + std::to_string(group));
+        ir::Region *body = top.addRegion(kernel);
+        ir::OpBuilder b(*module, *body);
+
+        // Streams for every live channel of this group.
+        std::map<int64_t, ir::Value *> stream_of;
+        for (int64_t ch_id : g.groupChannels(group)) {
+            const Channel &ch = g.channel(ch_id);
+            if (ch.folded)
+                continue;
+            ir::Op *s = b.streamCreate(
+                ir::streamTypeFor(ch.type, ch.depth));
+            stream_of[ch_id] = s->result();
+        }
+
+        // One task per component.
+        for (int64_t id : g.groupTopoOrder(group)) {
+            const Component &c = g.component(id);
+            ir::Op *task = b.task({}, {}, c.name);
+            task->setAttr("kind",
+                          std::string(componentKindName(c.kind)));
+            task->setAttr("lanes", c.vector_lanes);
+            ir::OpBuilder tb(*module, *task->region());
+
+            if (c.kind == ComponentKind::Converter) {
+                tb.bufferCreate(c.converter.bufferType());
+            }
+
+            // Materialized loop nest: iterate the dominant stream
+            // layout of the component.
+            std::vector<int64_t> trips;
+            auto outs = g.outChannels(id);
+            auto ins = g.inChannels(id);
+            if (!outs.empty()) {
+                trips = g.channel(outs.front()).type.tripCounts();
+            } else if (!ins.empty()) {
+                trips = g.channel(ins.front()).type.tripCounts();
+            }
+            if (trips.empty())
+                trips = {1};
+            ir::Op *loop = tb.loopNest(trips, c.name + "_loop");
+            ir::OpBuilder lb(*module, *loop->region());
+
+            for (int64_t ch_id : ins) {
+                auto it = stream_of.find(ch_id);
+                if (it == stream_of.end())
+                    continue; // folded channel
+                const Channel &ch = g.channel(ch_id);
+                ir::TensorType elem(ch.type.dtype(),
+                                    ch.type.elementShape());
+                lb.streamRead(it->second, ir::Type(elem));
+            }
+            if (c.kind == ComponentKind::Kernel) {
+                ir::Op *compute =
+                    lb.create(ir::OpKind::Compute, {}, {}, c.name);
+                compute->setAttr("unroll", c.unroll);
+                compute->setAttr(
+                    "points_per_token",
+                    static_cast<int64_t>(c.points_per_token));
+            } else if (c.kind == ComponentKind::LoadDma ||
+                       c.kind == ComponentKind::StoreDma) {
+                ir::Op *dma =
+                    lb.create(ir::OpKind::Dma, {}, {}, c.name);
+                dma->setAttr("tensor", c.tensor_id);
+            }
+            for (int64_t ch_id : outs) {
+                auto it = stream_of.find(ch_id);
+                if (it == stream_of.end())
+                    continue;
+                const Channel &ch = g.channel(ch_id);
+                ir::TensorType elem(ch.type.dtype(),
+                                    ch.type.elementShape());
+                // A placeholder value written into the stream.
+                ir::Op *value = lb.create(ir::OpKind::Compute, {},
+                                          {ir::Type(elem)},
+                                          c.name + "_tok");
+                lb.streamWrite(value->result(), it->second);
+            }
+        }
+        b.yield({});
+    }
+    return module;
+}
+
+} // namespace dataflow
+} // namespace streamtensor

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Bufferization (paper §3.1.3 and Fig. 4 "Bufferization"): lower
+ * the component graph into the stream-level op IR. Every channel
+ * becomes a hardware stream op with its sized depth; every
+ * component becomes a task containing its materialized loop nest
+ * with stream reads/writes; converters also own their ping-pong
+ * buffer op. The resulting module is verifiable and printable.
+ */
+
+#ifndef STREAMTENSOR_DATAFLOW_BUFFERIZE_H
+#define STREAMTENSOR_DATAFLOW_BUFFERIZE_H
+
+#include <memory>
+
+#include "dataflow/graph.h"
+#include "ir/op.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+/**
+ * Emit the stream-level IR module for @p g. One kernel op per
+ * fused group, one task per component, one stream op per unfolded
+ * channel.
+ */
+std::unique_ptr<ir::Module> bufferize(const ComponentGraph &g);
+
+} // namespace dataflow
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DATAFLOW_BUFFERIZE_H

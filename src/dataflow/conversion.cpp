@@ -1,0 +1,151 @@
+#include "dataflow/conversion.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+namespace {
+
+/** Inter-tile loop order: parallel loops (original order) outer,
+ *  reduction loops innermost, so outputs emit once per output tile
+ *  after reductions complete. */
+std::vector<int64_t>
+interTileLoopOrder(const linalg::OpInfo &op)
+{
+    std::vector<int64_t> order;
+    for (size_t l = 0; l < op.iterators.size(); ++l)
+        if (op.iterators[l] == linalg::IteratorKind::Parallel)
+            order.push_back(static_cast<int64_t>(l));
+    for (size_t l = 0; l < op.iterators.size(); ++l)
+        if (op.iterators[l] == linalg::IteratorKind::Reduction)
+            order.push_back(static_cast<int64_t>(l));
+    return order;
+}
+
+} // namespace
+
+ir::ITensorType
+inferBoundaryIT(const linalg::Graph &g, const linalg::OpInfo &op,
+                const dse::TileConfig &config, int64_t operand)
+{
+    bool is_output = operand < 0;
+    const linalg::IndexingMap &map =
+        is_output ? op.output_indexing
+                  : op.input_indexing[operand];
+    int64_t tensor_id =
+        is_output ? op.output : op.inputs[operand];
+    const ir::TensorType &tensor = g.tensor(tensor_id).type;
+
+    std::vector<int64_t> order = interTileLoopOrder(op);
+
+    // Output streams iterate only the loops indexing the output;
+    // inputs iterate the full nest (unmapped loops = revisits).
+    std::vector<int64_t> included;
+    if (is_output) {
+        for (int64_t l : order) {
+            bool used = std::find(map.dims.begin(), map.dims.end(),
+                                  l) != map.dims.end();
+            if (used)
+                included.push_back(l);
+        }
+        ST_CHECK(!included.empty(),
+                 "output must be indexed by at least one loop");
+    } else {
+        included = order;
+    }
+
+    // Position of each original loop in the included list.
+    std::vector<int64_t> pos(op.loop_extents.size(), -1);
+    for (size_t i = 0; i < included.size(); ++i)
+        pos[included[i]] = static_cast<int64_t>(i);
+
+    // Element shape: tile extent for mapped dims, full extent for
+    // broadcast dims.
+    std::vector<int64_t> element_shape(tensor.rank());
+    for (int64_t d = 0; d < tensor.rank(); ++d) {
+        int64_t l = map.dims[d];
+        element_shape[d] =
+            l >= 0 ? config.tile_sizes[l] : tensor.dim(d);
+    }
+
+    // Iteration space: inter-tile trips; steps are the tile extent
+    // for mapped loops and 1 for revisit loops.
+    std::vector<int64_t> trips, steps;
+    std::vector<bool> mapped(op.loop_extents.size(), false);
+    for (int64_t d = 0; d < tensor.rank(); ++d)
+        if (map.dims[d] >= 0)
+            mapped[map.dims[d]] = true;
+    for (int64_t l : included) {
+        trips.push_back(op.loop_extents[l] / config.tile_sizes[l]);
+        steps.push_back(mapped[l] ? config.tile_sizes[l] : 1);
+    }
+
+    // Iteration map: tensor dim d follows its loop's position, or
+    // is a constant 0 for broadcast dims.
+    std::vector<ir::AffineExpr> results;
+    results.reserve(tensor.rank());
+    for (int64_t d = 0; d < tensor.rank(); ++d) {
+        int64_t l = map.dims[d];
+        if (l < 0) {
+            results.push_back(ir::AffineExpr::constant(0));
+            continue;
+        }
+        ST_CHECK(pos[l] >= 0,
+                 "operand indexed by a loop outside its space");
+        results.push_back(ir::AffineExpr::dim(pos[l]));
+    }
+    ir::AffineMap iter_map(static_cast<int64_t>(included.size()),
+                           std::move(results));
+    return ir::ITensorType(tensor.dtype(), element_shape, trips,
+                           steps, std::move(iter_map));
+}
+
+std::vector<KernelSpec>
+convertToKernels(const linalg::Graph &g,
+                 const std::map<int64_t, dse::TileConfig> &configs)
+{
+    std::vector<KernelSpec> kernels;
+    for (int64_t id : g.topoOrder()) {
+        auto it = configs.find(id);
+        ST_CHECK(it != configs.end(),
+                 "missing tile config for op " + std::to_string(id));
+        const linalg::OpInfo &op = g.op(id);
+        const dse::TileConfig &cfg = it->second;
+
+        KernelSpec spec;
+        spec.op_id = id;
+        spec.tile = cfg;
+        for (size_t i = 0; i < op.inputs.size(); ++i) {
+            spec.input_types.push_back(inferBoundaryIT(
+                g, op, cfg, static_cast<int64_t>(i)));
+        }
+        spec.output_type = inferBoundaryIT(g, op, cfg, -1);
+
+        spec.total_points = op.numPoints();
+        int64_t out_tokens = spec.output_type.numTokens();
+        spec.points_per_token =
+            ceilDiv(spec.total_points, out_tokens);
+
+        // Local tile buffers: one ping-pong buffer per operand.
+        int64_t bytes = 0;
+        for (const auto &t : spec.input_types) {
+            bytes += 2 * ceilDiv(t.elementCount() *
+                                     ir::bitWidth(t.dtype()),
+                                 8);
+        }
+        bytes += 2 * ceilDiv(spec.output_type.elementCount() *
+                                 ir::bitWidth(
+                                     spec.output_type.dtype()),
+                             8);
+        spec.local_buffer_bytes = bytes;
+        kernels.push_back(std::move(spec));
+    }
+    return kernels;
+}
+
+} // namespace dataflow
+} // namespace streamtensor

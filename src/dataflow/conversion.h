@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Linalg-to-dataflow conversion (paper §4.1, Fig. 6a-c).
+ *
+ * Every tiled linalg op becomes a dataflow kernel whose boundary
+ * itensor types are inferred from the tiled loop nest:
+ *  - inter-tile trip counts and step sizes define the iteration
+ *    space (parallel loops outer, reduction loops innermost so the
+ *    output emits once per output tile);
+ *  - the operand indexing maps define the iteration map: tensor
+ *    dims bound to loops become dim expressions, broadcast dims
+ *    become constants, and loops not indexing the operand become
+ *    revisit dims;
+ *  - tile extents define the element shape.
+ */
+
+#ifndef STREAMTENSOR_DATAFLOW_CONVERSION_H
+#define STREAMTENSOR_DATAFLOW_CONVERSION_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dse/tiling_space.h"
+#include "ir/itensor_type.h"
+#include "linalg/graph.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+/** A dataflow kernel converted from one tiled linalg op. */
+struct KernelSpec
+{
+    int64_t op_id = -1;
+    dse::TileConfig tile;
+
+    /** Boundary stream layout per linalg input operand. */
+    std::vector<ir::ITensorType> input_types;
+
+    /** Boundary stream layout of the output operand. */
+    ir::ITensorType output_type;
+
+    /** Iteration points per output token (intra-tile work,
+     *  including reduction revisits). */
+    int64_t points_per_token = 1;
+
+    /** Total iteration points of one execution. */
+    int64_t total_points = 1;
+
+    /** Local ping-pong tile buffers in bytes (one per operand). */
+    int64_t local_buffer_bytes = 0;
+};
+
+/**
+ * Infer the boundary itensor of operand @p operand (or the output
+ * when operand == -1) of the tiled op. Exposed for testing.
+ */
+ir::ITensorType
+inferBoundaryIT(const linalg::Graph &g, const linalg::OpInfo &op,
+                const dse::TileConfig &config, int64_t operand);
+
+/** Convert every live op of @p g using the chosen tile configs. */
+std::vector<KernelSpec>
+convertToKernels(const linalg::Graph &g,
+                 const std::map<int64_t, dse::TileConfig> &configs);
+
+} // namespace dataflow
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DATAFLOW_CONVERSION_H

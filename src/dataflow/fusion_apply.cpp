@@ -1,0 +1,256 @@
+#include "dataflow/fusion_apply.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+namespace {
+
+/** Ping-pong buffer bytes for one streamed element of @p t. */
+int64_t
+elementBufferBytes(const ir::ITensorType &t)
+{
+    return 2 * ceilDiv(t.elementCount() * ir::bitWidth(t.dtype()), 8);
+}
+
+} // namespace
+
+int64_t
+AcceleratorDesign::fusedIntermediateBytes() const
+{
+    // Count only inter-kernel communication: converter ping-pongs
+    // plus FIFOs between kernels/converters. DMA streams move
+    // inputs/weights, not intermediate results (Fig. 10a metric).
+    int64_t fifo_bits = 0;
+    for (int64_t ch = 0; ch < components.numChannels(); ++ch) {
+        const Channel &c = components.channel(ch);
+        if (c.folded)
+            continue;
+        auto skind = components.component(c.src).kind;
+        auto dkind = components.component(c.dst).kind;
+        if (skind == ComponentKind::LoadDma ||
+            skind == ComponentKind::StoreDma ||
+            dkind == ComponentKind::LoadDma ||
+            dkind == ComponentKind::StoreDma) {
+            continue;
+        }
+        fifo_bits += c.storageBits();
+    }
+    return components.totalConverterBytes() +
+           ceilDiv(fifo_bits, 8);
+}
+
+AcceleratorDesign
+buildAccelerator(const linalg::Graph &g,
+                 const std::map<int64_t, dse::TileConfig> &configs,
+                 int64_t c_max)
+{
+    AcceleratorDesign design;
+    design.kernels = convertToKernels(g, configs);
+    design.original_intermediate_bytes = g.intermediateBytes();
+
+    // Kernel index by linalg op id.
+    std::map<int64_t, int64_t> kernel_index;
+    for (size_t k = 0; k < design.kernels.size(); ++k)
+        kernel_index[design.kernels[k].op_id] =
+            static_cast<int64_t>(k);
+
+    // --- Fusion space (Algorithm 2 input): one node per kernel,
+    // one edge per producer->consumer tensor flow.
+    dse::FusionGraph fusion_graph;
+    for (size_t k = 0; k < design.kernels.size(); ++k)
+        fusion_graph.addNode();
+    for (size_t k = 0; k < design.kernels.size(); ++k) {
+        const KernelSpec &spec = design.kernels[k];
+        const linalg::OpInfo &op = g.op(spec.op_id);
+        for (size_t i = 0; i < op.inputs.size(); ++i) {
+            int64_t producer = g.tensor(op.inputs[i]).producer;
+            if (producer < 0 || g.isErased(producer))
+                continue;
+            fusion_graph.addEdge(
+                kernel_index.at(producer),
+                static_cast<int64_t>(k),
+                design.kernels[kernel_index.at(producer)]
+                    .output_type,
+                spec.input_types[i]);
+        }
+    }
+    design.plan = exploreFusion(fusion_graph, c_max);
+
+    // --- Materialize components.
+    ComponentGraph &cg = design.components;
+
+    // Kernel components first.
+    for (size_t k = 0; k < design.kernels.size(); ++k) {
+        const KernelSpec &spec = design.kernels[k];
+        const linalg::OpInfo &op = g.op(spec.op_id);
+        Component c;
+        c.kind = ComponentKind::Kernel;
+        c.name = op.name.empty()
+                     ? linalg::opKindName(op.kind)
+                     : op.name;
+        c.group = design.plan.fusion_index[k];
+        c.linalg_op = spec.op_id;
+        c.tile = spec.tile;
+        c.flops = op.flops();
+        c.unroll = spec.tile.unroll;
+        c.points_per_token = spec.points_per_token;
+        c.total_points = spec.total_points;
+        c.local_buffer_bytes = spec.local_buffer_bytes;
+        c.vector_lanes = spec.tile.vector_lanes;
+        design.kernel_component[spec.op_id] = cg.addComponent(c);
+    }
+
+    // Shared converters: (producer op, consumer type string) -> id.
+    std::map<std::pair<int64_t, std::string>, int64_t> converters;
+    // Store DMAs created for cross-group/outputs: tensor id -> id.
+    std::map<int64_t, int64_t> store_dmas;
+
+    auto addLoadDma = [&](int64_t tensor_id, int64_t group,
+                          const ir::ITensorType &type) {
+        Component dma;
+        dma.kind = ComponentKind::LoadDma;
+        dma.name = "load_" + g.tensor(tensor_id).name;
+        dma.group = group;
+        dma.tensor_id = tensor_id;
+        dma.local_buffer_bytes = elementBufferBytes(type);
+        dma.total_points = type.numTokens() * type.elementCount();
+        dma.points_per_token = type.elementCount();
+        return cg.addComponent(dma);
+    };
+
+    auto addStoreDma = [&](int64_t tensor_id, int64_t group,
+                           const ir::ITensorType &type) {
+        Component dma;
+        dma.kind = ComponentKind::StoreDma;
+        dma.name = "store_" + g.tensor(tensor_id).name;
+        dma.group = group;
+        dma.tensor_id = tensor_id;
+        dma.local_buffer_bytes = elementBufferBytes(type);
+        dma.total_points = type.numTokens() * type.elementCount();
+        dma.points_per_token = type.elementCount();
+        return cg.addComponent(dma);
+    };
+
+    // Wire kernel inputs.
+    for (size_t k = 0; k < design.kernels.size(); ++k) {
+        const KernelSpec &spec = design.kernels[k];
+        const linalg::OpInfo &op = g.op(spec.op_id);
+        int64_t kernel_id = design.kernel_component.at(spec.op_id);
+        int64_t group = design.plan.fusion_index[k];
+
+        for (size_t i = 0; i < op.inputs.size(); ++i) {
+            int64_t tensor_id = op.inputs[i];
+            const ir::ITensorType &want = spec.input_types[i];
+            int64_t producer = g.tensor(tensor_id).producer;
+            bool internal =
+                producer >= 0 && !g.isErased(producer) &&
+                design.plan.sameGroup(kernel_index.at(producer),
+                                      static_cast<int64_t>(k));
+
+            if (!internal) {
+                // External source: model input, parameter, cache,
+                // or a tensor produced by another group via
+                // external memory.
+                int64_t dma = addLoadDma(tensor_id, group, want);
+                Channel ch;
+                ch.src = dma;
+                ch.dst = kernel_id;
+                ch.dst_port = static_cast<int64_t>(i);
+                ch.type = want;
+                ch.tokens = want.numTokens();
+                cg.addChannel(ch);
+                continue;
+            }
+
+            int64_t pk = kernel_index.at(producer);
+            int64_t producer_id =
+                design.kernel_component.at(producer);
+            const ir::ITensorType &have =
+                design.kernels[pk].output_type;
+            if (have == want) {
+                Channel ch;
+                ch.src = producer_id;
+                ch.dst = kernel_id;
+                ch.dst_port = static_cast<int64_t>(i);
+                ch.type = want;
+                ch.tokens = want.numTokens();
+                cg.addChannel(ch);
+                continue;
+            }
+
+            // Mismatched layouts: insert (or reuse) a converter.
+            auto key = std::make_pair(producer, want.str());
+            auto it = converters.find(key);
+            int64_t conv_id;
+            if (it != converters.end()) {
+                conv_id = it->second;
+            } else {
+                Component conv;
+                conv.kind = ComponentKind::Converter;
+                conv.name = "cvt_" + g.tensor(tensor_id).name;
+                conv.group = group;
+                conv.converter = dse::inferConverter(have, want);
+                conv.local_buffer_bytes = 0; // counted as converter
+                conv.total_points =
+                    want.numTokens() * want.elementCount();
+                conv.points_per_token = want.elementCount();
+                conv_id = cg.addComponent(conv);
+                converters[key] = conv_id;
+                Channel in;
+                in.src = producer_id;
+                in.dst = conv_id;
+                in.type = have;
+                in.tokens = have.numTokens();
+                cg.addChannel(in);
+            }
+            Channel out;
+            out.src = conv_id;
+            out.dst = kernel_id;
+            out.dst_port = static_cast<int64_t>(i);
+            out.type = want;
+            out.tokens = want.numTokens();
+            cg.addChannel(out);
+        }
+    }
+
+    // Wire kernel outputs that leave the chip: model outputs and
+    // tensors consumed by other groups.
+    for (size_t k = 0; k < design.kernels.size(); ++k) {
+        const KernelSpec &spec = design.kernels[k];
+        const linalg::OpInfo &op = g.op(spec.op_id);
+        int64_t tensor_id = op.output;
+        const linalg::TensorInfo &tensor = g.tensor(tensor_id);
+        bool needs_store =
+            tensor.role == linalg::TensorRole::Output;
+        for (int64_t c : tensor.consumers) {
+            if (g.isErased(c))
+                continue;
+            if (!design.plan.sameGroup(kernel_index.at(c),
+                                       static_cast<int64_t>(k)))
+                needs_store = true;
+        }
+        if (!needs_store)
+            continue;
+        if (store_dmas.count(tensor_id))
+            continue;
+        int64_t group = design.plan.fusion_index[k];
+        int64_t dma = addStoreDma(tensor_id, group,
+                                  spec.output_type);
+        store_dmas[tensor_id] = dma;
+        Channel ch;
+        ch.src = design.kernel_component.at(spec.op_id);
+        ch.dst = dma;
+        ch.type = spec.output_type;
+        ch.tokens = spec.output_type.numTokens();
+        cg.addChannel(ch);
+    }
+    return design;
+}
+
+} // namespace dataflow
+} // namespace streamtensor

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Stream-based kernel fusion application (paper §4.2, Fig. 6c-d):
+ * builds the fusion space from converted kernels, runs Algorithm 2,
+ * and materializes the resulting accelerator as a component graph
+ * with converters on mismatched internal edges and DMAs on every
+ * external-memory boundary. Redundant converters feeding multiple
+ * consumers are shared (the CSE of paper §4.3.1).
+ */
+
+#ifndef STREAMTENSOR_DATAFLOW_FUSION_APPLY_H
+#define STREAMTENSOR_DATAFLOW_FUSION_APPLY_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dataflow/conversion.h"
+#include "dataflow/graph.h"
+#include "dse/fusion.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+/** A fully fused accelerator design for one model graph. */
+struct AcceleratorDesign
+{
+    std::vector<KernelSpec> kernels;
+    dse::FusionPlan plan;
+    ComponentGraph components;
+
+    /** linalg op id -> Kernel component id. */
+    std::map<int64_t, int64_t> kernel_component;
+
+    /** Intermediate-result bytes if every inter-kernel tensor were
+     *  buffered on chip (the pre-fusion baseline of Fig. 10a). */
+    int64_t original_intermediate_bytes = 0;
+
+    /** On-chip bytes actually used for inter-kernel communication
+     *  after fusion: converter ping-pong buffers plus FIFOs. */
+    int64_t fusedIntermediateBytes() const;
+};
+
+/**
+ * Convert, fuse (budget @p c_max bytes per fused group), and
+ * materialize the accelerator for @p g under tile @p configs.
+ */
+AcceleratorDesign
+buildAccelerator(const linalg::Graph &g,
+                 const std::map<int64_t, dse::TileConfig> &configs,
+                 int64_t c_max);
+
+} // namespace dataflow
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DATAFLOW_FUSION_APPLY_H

@@ -1,0 +1,240 @@
+#include "dataflow/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+std::string
+componentKindName(ComponentKind kind)
+{
+    switch (kind) {
+      case ComponentKind::LoadDma: return "load_dma";
+      case ComponentKind::StoreDma: return "store_dma";
+      case ComponentKind::Kernel: return "kernel";
+      case ComponentKind::Converter: return "converter";
+    }
+    ST_PANIC("unknown ComponentKind");
+}
+
+int64_t
+Channel::storageBits() const
+{
+    return type.tokenBits() * depth;
+}
+
+int64_t
+ComponentGraph::addComponent(Component c)
+{
+    components_.push_back(std::move(c));
+    return numComponents() - 1;
+}
+
+int64_t
+ComponentGraph::addChannel(Channel ch)
+{
+    ST_CHECK(ch.src >= 0 && ch.src < numComponents(),
+             "channel src out of range");
+    ST_CHECK(ch.dst >= 0 && ch.dst < numComponents(),
+             "channel dst out of range");
+    ST_CHECK(ch.src != ch.dst, "channel endpoints must differ");
+    ST_CHECK(components_[ch.src].group == components_[ch.dst].group,
+             "channels connect components of the same group");
+    ST_CHECK(ch.tokens >= 1, "channel must carry >= 1 tokens");
+    channels_.push_back(std::move(ch));
+    return numChannels() - 1;
+}
+
+Component &
+ComponentGraph::component(int64_t id)
+{
+    ST_ASSERT(id >= 0 && id < numComponents(),
+              "component id out of range");
+    return components_[id];
+}
+
+const Component &
+ComponentGraph::component(int64_t id) const
+{
+    ST_ASSERT(id >= 0 && id < numComponents(),
+              "component id out of range");
+    return components_[id];
+}
+
+Channel &
+ComponentGraph::channel(int64_t id)
+{
+    ST_ASSERT(id >= 0 && id < numChannels(),
+              "channel id out of range");
+    return channels_[id];
+}
+
+const Channel &
+ComponentGraph::channel(int64_t id) const
+{
+    ST_ASSERT(id >= 0 && id < numChannels(),
+              "channel id out of range");
+    return channels_[id];
+}
+
+int64_t
+ComponentGraph::numGroups() const
+{
+    int64_t max_group = -1;
+    for (const auto &c : components_)
+        max_group = std::max(max_group, c.group);
+    return max_group + 1;
+}
+
+std::vector<int64_t>
+ComponentGraph::groupComponents(int64_t group) const
+{
+    std::vector<int64_t> out;
+    for (int64_t i = 0; i < numComponents(); ++i)
+        if (components_[i].group == group)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<int64_t>
+ComponentGraph::groupChannels(int64_t group) const
+{
+    std::vector<int64_t> out;
+    for (int64_t i = 0; i < numChannels(); ++i)
+        if (components_[channels_[i].src].group == group)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<int64_t>
+ComponentGraph::groupTopoOrder(int64_t group) const
+{
+    std::vector<int64_t> members = groupComponents(group);
+    std::vector<int64_t> indeg(numComponents(), 0);
+    for (const auto &ch : channels_)
+        if (components_[ch.src].group == group)
+            ++indeg[ch.dst];
+    std::vector<int64_t> ready, order;
+    for (int64_t id : members)
+        if (indeg[id] == 0)
+            ready.push_back(id);
+    while (!ready.empty()) {
+        auto it = std::min_element(ready.begin(), ready.end());
+        int64_t u = *it;
+        ready.erase(it);
+        order.push_back(u);
+        for (const auto &ch : channels_) {
+            if (ch.src != u)
+                continue;
+            if (--indeg[ch.dst] == 0)
+                ready.push_back(ch.dst);
+        }
+    }
+    ST_CHECK(order.size() == members.size(),
+             "group component graph must be a DAG");
+    return order;
+}
+
+std::vector<int64_t>
+ComponentGraph::inChannels(int64_t id) const
+{
+    std::vector<int64_t> out;
+    for (int64_t i = 0; i < numChannels(); ++i)
+        if (channels_[i].dst == id)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<int64_t>
+ComponentGraph::outChannels(int64_t id) const
+{
+    std::vector<int64_t> out;
+    for (int64_t i = 0; i < numChannels(); ++i)
+        if (channels_[i].src == id)
+            out.push_back(i);
+    return out;
+}
+
+int64_t
+ComponentGraph::componentFirings(int64_t id) const
+{
+    int64_t tokens = 0;
+    for (int64_t ch : outChannels(id))
+        tokens = std::max(tokens, channels_[ch].tokens);
+    if (tokens == 0) {
+        for (int64_t ch : inChannels(id))
+            tokens = std::max(tokens, channels_[ch].tokens);
+    }
+    return std::max<int64_t>(tokens, 1);
+}
+
+int64_t
+ComponentGraph::channelBurst(int64_t ch) const
+{
+    const Channel &c = channel(ch);
+    int64_t firings = componentFirings(c.dst);
+    return std::max<int64_t>((c.tokens + firings - 1) / firings, 1);
+}
+
+int64_t
+ComponentGraph::totalConverterBytes() const
+{
+    int64_t total = 0;
+    for (const auto &c : components_)
+        if (c.kind == ComponentKind::Converter)
+            total += c.converter.bufferBytes();
+    return total;
+}
+
+int64_t
+ComponentGraph::totalFifoBits() const
+{
+    int64_t total = 0;
+    for (const auto &ch : channels_)
+        if (!ch.folded)
+            total += ch.storageBits();
+    return total;
+}
+
+int64_t
+ComponentGraph::totalLocalBufferBytes() const
+{
+    int64_t total = 0;
+    for (const auto &c : components_)
+        total += c.local_buffer_bytes;
+    return total;
+}
+
+std::string
+ComponentGraph::str() const
+{
+    std::ostringstream os;
+    for (int64_t g = 0; g < numGroups(); ++g) {
+        os << "group " << g << " {\n";
+        for (int64_t id : groupComponents(g)) {
+            const Component &c = components_[id];
+            os << "  #" << id << " "
+               << componentKindName(c.kind) << " @" << c.name;
+            if (c.kind == ComponentKind::Converter) {
+                os << " buffer="
+                   << c.converter.bufferType().str();
+            }
+            os << "\n";
+        }
+        for (int64_t ch_id : groupChannels(g)) {
+            const Channel &ch = channels_[ch_id];
+            os << "  #" << ch.src << " -> #" << ch.dst
+               << " tokens=" << ch.tokens << " depth=" << ch.depth
+               << (ch.folded ? " folded" : "") << " "
+               << ch.type.str() << "\n";
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace dataflow
+} // namespace streamtensor

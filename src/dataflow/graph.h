@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The dataflow component graph: the compiler's representation of
+ * one stream-based accelerator after kernel fusion (paper Fig. 1b):
+ * kernels, stream layout converters, DMAs, and the FIFO channels
+ * between them. Groups correspond to fused kernels (one accelerator
+ * configuration each); groups execute sequentially on one device or
+ * spatially across devices.
+ */
+
+#ifndef STREAMTENSOR_DATAFLOW_GRAPH_H
+#define STREAMTENSOR_DATAFLOW_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/converter_gen.h"
+#include "dse/tiling_space.h"
+#include "ir/itensor_type.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+/** On-chip component kinds (paper Fig. 1b). */
+enum class ComponentKind {
+    LoadDma,  ///< external memory -> stream
+    StoreDma, ///< stream -> external memory
+    Kernel,   ///< computation kernel
+    Converter ///< stream layout converter (ping-pong buffer)
+};
+
+/** Printable mnemonic. */
+std::string componentKindName(ComponentKind kind);
+
+/** One on-chip component. */
+struct Component
+{
+    ComponentKind kind = ComponentKind::Kernel;
+    std::string name;
+
+    /** Fused accelerator group (fusion index). */
+    int64_t group = 0;
+
+    /** Originating linalg op (Kernel) or moved tensor (DMA). */
+    int64_t linalg_op = -1;
+    int64_t tensor_id = -1;
+
+    /** Kernel configuration. */
+    dse::TileConfig tile;
+    double flops = 0.0;
+    int64_t unroll = 1;
+
+    /** Iteration points computed per output token. */
+    int64_t points_per_token = 1;
+
+    /** Total iteration points over one execution. */
+    int64_t total_points = 1;
+
+    /** Converter payload (Converter only). */
+    dse::ConverterSpec converter;
+
+    /** Local ping-pong buffers in bytes (kernels and DMAs). */
+    int64_t local_buffer_bytes = 0;
+
+    /** Stream/memory port widening lanes. */
+    int64_t vector_lanes = 1;
+
+    /** Profiled timing (filled by the hls model). */
+    double initial_delay = 0.0;
+    double total_cycles = 0.0;
+
+    /** Input-ingestion span; <= 0 means same as total_cycles.
+     *  Converters ingest at stream rate while re-emitting
+     *  multi-pass, so their ingestion is much shorter. */
+    double ingest_cycles = -1.0;
+
+    /** Die assignment (filled by partitioning). */
+    int64_t die = 0;
+};
+
+/** One FIFO channel between two components. */
+struct Channel
+{
+    int64_t src = -1;
+    int64_t dst = -1;
+    int64_t src_port = 0;
+    int64_t dst_port = 0;
+
+    /** Stream layout carried by this FIFO. */
+    ir::ITensorType type;
+
+    /** Tokens transferred per accelerator execution. */
+    int64_t tokens = 1;
+
+    /** FIFO depth in tokens (filled by FIFO sizing). */
+    int64_t depth = 2;
+
+    /** Folded away by itensor folding (producer and consumer
+     *  buffers merged; the sim treats it as a depth-1 direct
+     *  handshake). */
+    bool folded = false;
+
+    /** FIFO storage in bits given its depth. */
+    int64_t storageBits() const;
+};
+
+/** The component graph of one compiled model (all groups). */
+class ComponentGraph
+{
+  public:
+    /** Add a component; returns its id. */
+    int64_t addComponent(Component c);
+
+    /** Add a channel; returns its id. */
+    int64_t addChannel(Channel ch);
+
+    int64_t numComponents() const
+    {
+        return static_cast<int64_t>(components_.size());
+    }
+    int64_t numChannels() const
+    {
+        return static_cast<int64_t>(channels_.size());
+    }
+
+    Component &component(int64_t id);
+    const Component &component(int64_t id) const;
+    Channel &channel(int64_t id);
+    const Channel &channel(int64_t id) const;
+
+    /** Number of fusion groups (max group id + 1). */
+    int64_t numGroups() const;
+
+    /** Component ids of one group, in insertion order. */
+    std::vector<int64_t> groupComponents(int64_t group) const;
+
+    /** Channel ids internal to one group. */
+    std::vector<int64_t> groupChannels(int64_t group) const;
+
+    /** Topological order of one group's components. */
+    std::vector<int64_t> groupTopoOrder(int64_t group) const;
+
+    /** Channels entering/leaving component @p id. */
+    std::vector<int64_t> inChannels(int64_t id) const;
+    std::vector<int64_t> outChannels(int64_t id) const;
+
+    /** Firings of a component per execution: one per token on its
+     *  widest output channel (sinks fire per input token). */
+    int64_t componentFirings(int64_t id) const;
+
+    /** Tokens channel @p ch moves per consumer firing (burst). */
+    int64_t channelBurst(int64_t ch) const;
+
+    /** Total converter ping-pong bytes across all groups. */
+    int64_t totalConverterBytes() const;
+
+    /** Total FIFO storage in bits. */
+    int64_t totalFifoBits() const;
+
+    /** Total kernel/DMA local buffer bytes. */
+    int64_t totalLocalBufferBytes() const;
+
+    /** Human-readable dump. */
+    std::string str() const;
+
+  private:
+    std::vector<Component> components_;
+    std::vector<Channel> channels_;
+};
+
+} // namespace dataflow
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DATAFLOW_GRAPH_H

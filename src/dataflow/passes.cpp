@@ -1,0 +1,106 @@
+#include "dataflow/passes.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+FoldStats
+foldITensors(ComponentGraph &g)
+{
+    FoldStats stats;
+    for (int64_t c = 0; c < g.numChannels(); ++c) {
+        Channel &ch = g.channel(c);
+        if (ch.folded)
+            continue;
+        Component &src = g.component(ch.src);
+        Component &dst = g.component(ch.dst);
+        if (src.kind != ComponentKind::LoadDma ||
+            dst.kind != ComponentKind::Kernel) {
+            continue;
+        }
+        // Exact-pattern requirement: folding replays nothing, so
+        // revisiting streams must keep their FIFO.
+        if (ch.type.revisitFactor() != 1)
+            continue;
+        int64_t elem_bytes =
+            2 * ceilDiv(ch.type.elementCount() *
+                            ir::bitWidth(ch.type.dtype()),
+                        8);
+        if (dst.local_buffer_bytes < elem_bytes)
+            continue;
+        ch.folded = true;
+        dst.local_buffer_bytes -= elem_bytes;
+        stats.bytes_saved += elem_bytes;
+        ++stats.channels_folded;
+    }
+    return stats;
+}
+
+int64_t
+vectorizeITensors(ComponentGraph &g, int64_t memory_port_bits)
+{
+    int64_t changed = 0;
+    for (int64_t id = 0; id < g.numComponents(); ++id) {
+        Component &c = g.component(id);
+        int64_t lanes = c.vector_lanes;
+        if (c.kind == ComponentKind::LoadDma ||
+            c.kind == ComponentKind::StoreDma) {
+            // Widen to the memory port: group scalars into one
+            // external word (paper §4.2 pack & widen).
+            ir::DataType dtype = ir::DataType::F32;
+            int64_t elem_count = 1;
+            auto channels = c.kind == ComponentKind::LoadDma
+                                ? g.outChannels(id)
+                                : g.inChannels(id);
+            if (!channels.empty()) {
+                const Channel &ch = g.channel(channels.front());
+                dtype = ch.type.dtype();
+                elem_count = ch.type.elementCount();
+            }
+            lanes = std::min<int64_t>(
+                memory_port_bits / ir::bitWidth(dtype),
+                elem_count);
+            lanes = std::max<int64_t>(lanes, 1);
+        } else if (c.kind == ComponentKind::Converter) {
+            // Converters adopt the consumer kernel's lanes so the
+            // FIFO bandwidth matches kernel parallelism.
+            for (int64_t ch_id : g.outChannels(id)) {
+                const Channel &ch = g.channel(ch_id);
+                lanes = std::max<int64_t>(
+                    lanes, g.component(ch.dst).vector_lanes);
+            }
+        }
+        if (lanes != c.vector_lanes) {
+            c.vector_lanes = lanes;
+            ++changed;
+        }
+    }
+    return changed;
+}
+
+int64_t
+reduceStreamDepth(ComponentGraph &g, int64_t max_depth)
+{
+    ST_CHECK(max_depth >= 2, "max FIFO depth must be >= 2");
+    int64_t clamped = 0;
+    for (int64_t c = 0; c < g.numChannels(); ++c) {
+        Channel &ch = g.channel(c);
+        // Never shrink below the consumer's per-firing burst
+        // (double-buffered), or the consumer could never fire.
+        int64_t floor_depth = 2 * g.channelBurst(c);
+        int64_t target = std::max(
+            std::min(ch.depth, max_depth), floor_depth);
+        if (target != ch.depth) {
+            ch.depth = target;
+            ++clamped;
+        }
+    }
+    return clamped;
+}
+
+} // namespace dataflow
+} // namespace streamtensor

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dataflow-level optimization passes over the component graph
+ * (paper §4.3): itensor folding, itensor vectorization, and stream
+ * depth reduction.
+ */
+
+#ifndef STREAMTENSOR_DATAFLOW_PASSES_H
+#define STREAMTENSOR_DATAFLOW_PASSES_H
+
+#include <cstdint>
+
+#include "dataflow/graph.h"
+
+namespace streamtensor {
+namespace dataflow {
+
+/** Result of the folding pass. */
+struct FoldStats
+{
+    int64_t channels_folded = 0;
+    int64_t bytes_saved = 0;
+};
+
+/**
+ * Iterative tensor folding (paper §4.3.2, Fig. 7b-c): a load-DMA
+ * and its consuming kernel hold two local buffers connected by a
+ * FIFO; when the access patterns match exactly (no revisit on the
+ * stream), the FIFO is eliminated and the buffers merge,
+ * shortening the pipeline and saving memory.
+ */
+FoldStats foldITensors(ComponentGraph &g);
+
+/**
+ * Iterative tensor vectorization (paper §4.3.3, Fig. 7c-d): align
+ * FIFO and memory-port widths with kernel parallelism. DMAs widen
+ * to the external port width (512-bit HBM words); converters adopt
+ * their consumer kernel's lanes. Returns the number of components
+ * whose lanes changed.
+ */
+int64_t vectorizeITensors(ComponentGraph &g,
+                          int64_t memory_port_bits = 512);
+
+/**
+ * Clamp every FIFO depth to @p max_depth (the reduce_stream_depth
+ * pass guarding against pathological LP outputs on resource-tight
+ * devices). Returns the number of channels clamped.
+ */
+int64_t reduceStreamDepth(ComponentGraph &g, int64_t max_depth);
+
+} // namespace dataflow
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DATAFLOW_PASSES_H

@@ -1,0 +1,81 @@
+#include "dse/blackbox_tuner.h"
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace dse {
+
+BlackboxTuner::BlackboxTuner(uint64_t seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+{}
+
+int64_t
+BlackboxTuner::addParam(std::string name,
+                        std::vector<int64_t> choices)
+{
+    ST_CHECK(!choices.empty(), "parameter needs >= 1 choices");
+    params_.push_back({std::move(name), std::move(choices)});
+    return numParams() - 1;
+}
+
+uint64_t
+BlackboxTuner::nextRandom()
+{
+    // xorshift64*.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+}
+
+std::vector<int64_t>
+BlackboxTuner::ask()
+{
+    ST_CHECK(numParams() > 0, "tuner has no parameters");
+    std::vector<int64_t> config(numParams());
+    bool mutate = has_best_ && (nextRandom() & 1);
+    for (int64_t p = 0; p < numParams(); ++p) {
+        const auto &choices = params_[p].choices;
+        if (mutate) {
+            config[p] = best_[p];
+        } else {
+            config[p] = choices[nextRandom() % choices.size()];
+        }
+    }
+    if (mutate) {
+        int64_t p = nextRandom() % numParams();
+        const auto &choices = params_[p].choices;
+        config[p] = choices[nextRandom() % choices.size()];
+    }
+    return config;
+}
+
+void
+BlackboxTuner::tell(const std::vector<int64_t> &config, double score)
+{
+    ST_CHECK(static_cast<int64_t>(config.size()) == numParams(),
+             "config arity mismatch");
+    ++trials_;
+    if (!has_best_ || score < best_score_) {
+        best_ = config;
+        best_score_ = score;
+        has_best_ = true;
+    }
+}
+
+const std::vector<int64_t> &
+BlackboxTuner::best() const
+{
+    ST_CHECK(has_best_, "no trials reported yet");
+    return best_;
+}
+
+double
+BlackboxTuner::bestScore() const
+{
+    ST_CHECK(has_best_, "no trials reported yet");
+    return best_score_;
+}
+
+} // namespace dse
+} // namespace streamtensor

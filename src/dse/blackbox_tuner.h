@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Black-box hyperparameter tuner — the Optuna substitute
+ * (paper §5.1: tiling-space hyperparameters are explored through a
+ * black-box optimizer with feedback from kernel fusion).
+ *
+ * Implements seeded random search with elitist mutation: half of
+ * the proposals perturb the best-known configuration by one
+ * parameter, the rest sample uniformly. Deterministic for a fixed
+ * seed.
+ */
+
+#ifndef STREAMTENSOR_DSE_BLACKBOX_TUNER_H
+#define STREAMTENSOR_DSE_BLACKBOX_TUNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamtensor {
+namespace dse {
+
+/** Ask/tell black-box tuner over categorical integer parameters. */
+class BlackboxTuner
+{
+  public:
+    explicit BlackboxTuner(uint64_t seed = 0x5eed);
+
+    /** Register a parameter with candidate values; returns its
+     *  index. */
+    int64_t addParam(std::string name, std::vector<int64_t> choices);
+
+    int64_t numParams() const
+    {
+        return static_cast<int64_t>(params_.size());
+    }
+
+    /** Propose a configuration (one value per parameter). */
+    std::vector<int64_t> ask();
+
+    /** Report the score of a configuration; lower is better. */
+    void tell(const std::vector<int64_t> &config, double score);
+
+    /** Best configuration so far; fatal when none reported. */
+    const std::vector<int64_t> &best() const;
+    double bestScore() const;
+    int64_t numTrials() const { return trials_; }
+
+  private:
+    struct Param
+    {
+        std::string name;
+        std::vector<int64_t> choices;
+    };
+
+    uint64_t nextRandom();
+
+    std::vector<Param> params_;
+    std::vector<int64_t> best_;
+    double best_score_ = 0.0;
+    bool has_best_ = false;
+    int64_t trials_ = 0;
+    uint64_t state_;
+};
+
+} // namespace dse
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DSE_BLACKBOX_TUNER_H

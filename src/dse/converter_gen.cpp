@@ -1,0 +1,100 @@
+#include "dse/converter_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace dse {
+
+int64_t
+ConverterSpec::bufferBytes() const
+{
+    int64_t elems = product(buffer_shape);
+    return 2 * ceilDiv(elems * ir::bitWidth(dtype), 8);
+}
+
+ir::MemRefType
+ConverterSpec::bufferType() const
+{
+    return ir::MemRefType(dtype, buffer_shape, /*ping_pong=*/true);
+}
+
+ConverterSpec
+inferConverter(const ir::ITensorType &src, const ir::ITensorType &res)
+{
+    ST_CHECK(src.sameDataSpace(res),
+             "converter requires identical data spaces");
+
+    ConverterSpec spec;
+    spec.dtype = src.dtype();
+    std::vector<int64_t> data_shape = src.dataShape();
+    int64_t rank = src.dataRank();
+
+    // Step 1 (Algorithm 1 lines 3-11): find reducible data dims.
+    // A dim is reducible when source and result stream it with the
+    // same element extent from the same loop position with equal
+    // trip/step, so iterating that loop produces the same slice
+    // sequence on both sides.
+    std::vector<int64_t> shared_loop(rank, -1);
+    for (int64_t dim = 0; dim < rank; ++dim) {
+        if (src.elementSize(dim) != res.elementSize(dim))
+            continue;
+        const ir::AffineExpr &se = src.iterMap().result(dim);
+        const ir::AffineExpr &re = res.iterMap().result(dim);
+        if (!se.isDim() || !re.isDim())
+            continue;
+        int64_t p = se.dimPos();
+        if (re.dimPos() != p)
+            continue;
+        if (p >= src.iterRank() || p >= res.iterRank())
+            continue;
+        if (src.tripCounts()[p] != res.tripCounts()[p] ||
+            src.steps()[p] != res.steps()[p]) {
+            continue;
+        }
+        shared_loop[dim] = p;
+    }
+
+    // Step 2 (lines 12-14): shared loops must form an outer prefix
+    // of the loop nests — a shared loop with an unshared parent
+    // cannot be hoisted above the buffer.
+    std::set<int64_t> shared;
+    for (int64_t dim = 0; dim < rank; ++dim)
+        if (shared_loop[dim] >= 0)
+            shared.insert(shared_loop[dim]);
+    int64_t prefix = 0;
+    while (shared.count(prefix))
+        ++prefix;
+    for (int64_t dim = 0; dim < rank; ++dim)
+        if (shared_loop[dim] >= prefix)
+            shared_loop[dim] = -1;
+
+    // Step 3 (line 15): reduced dims buffer one element extent;
+    // all other dims buffer the full data extent.
+    spec.buffer_shape.resize(rank);
+    for (int64_t dim = 0; dim < rank; ++dim) {
+        spec.buffer_shape[dim] = shared_loop[dim] >= 0
+                                     ? src.elementSize(dim)
+                                     : data_shape[dim];
+    }
+    spec.before_loop = prefix;
+    spec.reuse_factor = 1;
+    for (int64_t p = 0; p < prefix; ++p)
+        spec.reuse_factor *= src.tripCounts()[p];
+    return spec;
+}
+
+int64_t
+converterCostBytes(const ir::ITensorType &src,
+                   const ir::ITensorType &res)
+{
+    if (src == res)
+        return 0;
+    return inferConverter(src, res).bufferBytes();
+}
+
+} // namespace dse
+} // namespace streamtensor

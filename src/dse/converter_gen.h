@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Stream layout converter generation — paper Algorithm 1
+ * (§5.2.1).
+ *
+ * Given mismatched producer/consumer itensor types over the same
+ * data space, infer the minimal ping-pong buffer that converts the
+ * stream layout on-the-fly, and the loop level (`beforeLoop`) at
+ * which the buffer is inserted so that shared outer loops reuse it.
+ *
+ * Fidelity note (see DESIGN.md): we implement the semantics of the
+ * paper's worked example (Fig. 5 -> 8x2 buffer) and prose: a data
+ * dim is reducible iff element sizes agree, both maps bind it to
+ * the same loop position with identical trip/step, and the shared
+ * loops form an outer prefix of both loop nests.
+ */
+
+#ifndef STREAMTENSOR_DSE_CONVERTER_GEN_H
+#define STREAMTENSOR_DSE_CONVERTER_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/itensor_type.h"
+#include "ir/type.h"
+
+namespace streamtensor {
+namespace dse {
+
+/** Result of Algorithm 1. */
+struct ConverterSpec
+{
+    /** Ping-pong buffer shape over the data dims: reduced dims
+     *  shrink to the element size, the rest keep full extent. */
+    std::vector<int64_t> buffer_shape;
+
+    /** Number of shared outer loops hoisted above the buffer. */
+    int64_t before_loop = 0;
+
+    /** How many times the buffer is reused (= product of shared
+     *  outer loop trip counts). */
+    int64_t reuse_factor = 1;
+
+    /** Scalar element type of the buffer. */
+    ir::DataType dtype = ir::DataType::F32;
+
+    /** Physical storage in bytes, ping-pong included. */
+    int64_t bufferBytes() const;
+
+    /** The buffer as an on-chip memref type. */
+    ir::MemRefType bufferType() const;
+};
+
+/**
+ * Infer the converter between @p src (producer layout) and @p res
+ * (consumer layout). Requires matching data spaces; throws
+ * FatalError otherwise. When the types match exactly the returned
+ * buffer is a single element slot (degenerate pass-through); the
+ * caller should skip converter insertion in that case.
+ */
+ConverterSpec inferConverter(const ir::ITensorType &src,
+                             const ir::ITensorType &res);
+
+/** Convenience: converter buffer bytes, or 0 when types match. */
+int64_t converterCostBytes(const ir::ITensorType &src,
+                           const ir::ITensorType &res);
+
+} // namespace dse
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DSE_CONVERTER_GEN_H

@@ -1,0 +1,149 @@
+#include "dse/fusion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "dse/converter_gen.h"
+#include "support/error.h"
+
+namespace streamtensor {
+namespace dse {
+
+int64_t
+FusionGraph::addNode()
+{
+    return num_nodes_++;
+}
+
+int64_t
+FusionGraph::addEdge(int64_t src, int64_t dst,
+                     ir::ITensorType producer_type,
+                     ir::ITensorType consumer_type)
+{
+    ST_CHECK(src >= 0 && src < num_nodes_, "edge src out of range");
+    ST_CHECK(dst >= 0 && dst < num_nodes_, "edge dst out of range");
+    ST_CHECK(src != dst, "self edges are not allowed");
+    ST_CHECK(producer_type.sameDataSpace(consumer_type),
+             "edge endpoint types must share a data space");
+    edges_.push_back({src, dst, std::move(producer_type),
+                      std::move(consumer_type)});
+    return numEdges() - 1;
+}
+
+const FusionGraph::Edge &
+FusionGraph::edge(int64_t i) const
+{
+    ST_ASSERT(i >= 0 && i < numEdges(), "edge id out of range");
+    return edges_[i];
+}
+
+std::vector<int64_t>
+FusionGraph::topoOrder() const
+{
+    std::vector<int64_t> indeg(num_nodes_, 0);
+    std::vector<std::vector<int64_t>> succ(num_nodes_);
+    for (const auto &e : edges_) {
+        succ[e.src].push_back(e.dst);
+        ++indeg[e.dst];
+    }
+    // Stable order: lowest id first, matching creation order so
+    // "nearest candidate" behaves deterministically.
+    std::vector<int64_t> order, ready;
+    for (int64_t i = 0; i < num_nodes_; ++i)
+        if (indeg[i] == 0)
+            ready.push_back(i);
+    while (!ready.empty()) {
+        auto it = std::min_element(ready.begin(), ready.end());
+        int64_t u = *it;
+        ready.erase(it);
+        order.push_back(u);
+        for (int64_t v : succ[u])
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+    }
+    ST_CHECK(static_cast<int64_t>(order.size()) == num_nodes_,
+             "fusion graph must be a DAG");
+    return order;
+}
+
+int64_t
+FusionPlan::totalCost() const
+{
+    int64_t total = 0;
+    for (int64_t c : costs)
+        total += c;
+    return total;
+}
+
+bool
+FusionPlan::sameGroup(int64_t u, int64_t v) const
+{
+    ST_ASSERT(u >= 0 && u < static_cast<int64_t>(fusion_index.size()),
+              "node out of range");
+    ST_ASSERT(v >= 0 && v < static_cast<int64_t>(fusion_index.size()),
+              "node out of range");
+    return fusion_index[u] == fusion_index[v];
+}
+
+std::vector<int64_t>
+FusionPlan::internalEdges(const FusionGraph &g) const
+{
+    std::vector<int64_t> out;
+    for (int64_t e = 0; e < g.numEdges(); ++e)
+        if (sameGroup(g.edge(e).src, g.edge(e).dst))
+            out.push_back(e);
+    return out;
+}
+
+FusionPlan
+exploreFusion(const FusionGraph &graph, int64_t c_max)
+{
+    FusionPlan plan;
+    plan.fusion_index.assign(graph.numNodes(), -1);
+
+    // Predecessor edge lists for candidate gathering.
+    std::vector<std::vector<int64_t>> pred_edges(graph.numNodes());
+    for (int64_t e = 0; e < graph.numEdges(); ++e)
+        pred_edges[graph.edge(e).dst].push_back(e);
+
+    for (int64_t n : graph.topoOrder()) {
+        // Gather fusion candidates: group index -> added cost
+        // (Algorithm 2 lines 3-6). Multiple edges from the same
+        // group accumulate.
+        std::map<int64_t, int64_t> cand;
+        for (int64_t e : pred_edges[n]) {
+            const auto &edge = graph.edge(e);
+            int64_t cost = converterCostBytes(edge.producer_type,
+                                              edge.consumer_type);
+            int64_t g = plan.fusion_index[edge.src];
+            cand[g] += cost;
+        }
+
+        // Fuse with the nearest candidate (max group index, i.e.
+        // the most recently opened group; lines 7-9).
+        int64_t f_idx = static_cast<int64_t>(plan.groups.size());
+        int64_t f_cost = 0;
+        if (!cand.empty()) {
+            f_idx = cand.rbegin()->first;
+            f_cost = cand.rbegin()->second;
+        }
+
+        if (f_idx == static_cast<int64_t>(plan.groups.size()) ||
+            f_cost + plan.costs[f_idx] > c_max) {
+            // Open a fresh group (lines 10-11).
+            plan.groups.push_back({n});
+            plan.costs.push_back(0);
+            plan.fusion_index[n] =
+                static_cast<int64_t>(plan.groups.size()) - 1;
+        } else {
+            // Join the candidate group (lines 12-14).
+            plan.groups[f_idx].push_back(n);
+            plan.costs[f_idx] += f_cost;
+            plan.fusion_index[n] = f_idx;
+        }
+    }
+    return plan;
+}
+
+} // namespace dse
+} // namespace streamtensor

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Kernel fusion space exploration — paper Algorithm 2 (§5.2.2).
+ *
+ * Kernels are fused greedily in topological order: each kernel
+ * joins the nearest (most recently created) fusion group among its
+ * predecessors, provided the group's accumulated converter memory
+ * cost stays within C_max (the on-chip memory of one FPGA).
+ * Mismatched producer/consumer itensor types price in the layout
+ * converter from Algorithm 1; matching types stream for free.
+ */
+
+#ifndef STREAMTENSOR_DSE_FUSION_H
+#define STREAMTENSOR_DSE_FUSION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/itensor_type.h"
+
+namespace streamtensor {
+namespace dse {
+
+/** A kernel graph annotated with boundary itensor types. */
+class FusionGraph
+{
+  public:
+    /** One streaming edge between kernels. */
+    struct Edge
+    {
+        int64_t src;
+        int64_t dst;
+        ir::ITensorType producer_type;
+        ir::ITensorType consumer_type;
+    };
+
+    /** Add a kernel node; returns its id. */
+    int64_t addNode();
+
+    /** Add an edge with the boundary types on both ends. */
+    int64_t addEdge(int64_t src, int64_t dst,
+                    ir::ITensorType producer_type,
+                    ir::ITensorType consumer_type);
+
+    int64_t numNodes() const { return num_nodes_; }
+    int64_t numEdges() const
+    {
+        return static_cast<int64_t>(edges_.size());
+    }
+    const Edge &edge(int64_t i) const;
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Topological order of nodes; fatal on cycles. */
+    std::vector<int64_t> topoOrder() const;
+
+  private:
+    int64_t num_nodes_ = 0;
+    std::vector<Edge> edges_;
+};
+
+/** Output of Algorithm 2. */
+struct FusionPlan
+{
+    /** F: members of each fused group. */
+    std::vector<std::vector<int64_t>> groups;
+
+    /** C: accumulated converter memory cost per group (bytes). */
+    std::vector<int64_t> costs;
+
+    /** M: group index of every node. */
+    std::vector<int64_t> fusion_index;
+
+    /** Total converter bytes across groups. */
+    int64_t totalCost() const;
+
+    /** True when nodes u and v landed in the same group. */
+    bool sameGroup(int64_t u, int64_t v) const;
+
+    /** Edges of @p g whose endpoints are in the same group (these
+     *  become on-chip streams; the rest go through external
+     *  memory). */
+    std::vector<int64_t> internalEdges(const FusionGraph &g) const;
+};
+
+/**
+ * Run Algorithm 2 with the fused-group memory budget @p c_max
+ * (bytes). Always succeeds: a kernel that fits nowhere opens its
+ * own group.
+ */
+FusionPlan exploreFusion(const FusionGraph &graph, int64_t c_max);
+
+} // namespace dse
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_DSE_FUSION_H

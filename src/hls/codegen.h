@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Code generation (paper Fig. 4 final stages): emits the HLS C++
+ * for each fused accelerator group, the host runtime C++, and the
+ * Vitis link connectivity configuration mapping DMAs to HBM
+ * pseudo-channels.
+ */
+
+#ifndef STREAMTENSOR_HLS_CODEGEN_H
+#define STREAMTENSOR_HLS_CODEGEN_H
+
+#include <string>
+
+#include "dataflow/graph.h"
+
+namespace streamtensor {
+namespace hls {
+
+/** Generated source artifacts. */
+struct GeneratedCode
+{
+    std::string hls_cpp;      ///< device-side dataflow C++
+    std::string host_cpp;     ///< host runtime C++
+    std::string connectivity; ///< vitis link .cfg
+};
+
+/** Emit all artifacts for the component graph. */
+GeneratedCode generateCode(const dataflow::ComponentGraph &g);
+
+/** Emit only the device-side HLS C++ of one group. */
+std::string generateGroupHls(const dataflow::ComponentGraph &g,
+                             int64_t group);
+
+/** Emit the host runtime that sequences group executions. */
+std::string generateHost(const dataflow::ComponentGraph &g);
+
+/** Emit the HBM connectivity configuration. */
+std::string generateConnectivity(const dataflow::ComponentGraph &g);
+
+} // namespace hls
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_HLS_CODEGEN_H

@@ -1,0 +1,50 @@
+#include "hls/platform.h"
+
+namespace streamtensor {
+namespace hls {
+
+int64_t
+FpgaPlatform::onChipBytes() const
+{
+    return static_cast<int64_t>(on_chip_memory_mib * 1024.0 *
+                                1024.0);
+}
+
+double
+FpgaPlatform::channelBytesPerCycle() const
+{
+    double channel_gbps =
+        memory_bandwidth_gbps / memory_channels * burst_efficiency;
+    return channel_gbps * 1e9 / (freq_mhz * 1e6);
+}
+
+FpgaPlatform
+u55c()
+{
+    FpgaPlatform p;
+    p.name = "AMD U55C";
+    p.freq_mhz = 250.0;
+    p.memory_bandwidth_gbps = 460.0;
+    p.memory_capacity_gib = 16.0;
+    p.on_chip_memory_mib = 41.0;
+    p.tdp_watts = 150.0;
+    p.num_dies = 3;
+    return p;
+}
+
+FpgaPlatform
+u280()
+{
+    FpgaPlatform p;
+    p.name = "AMD U280";
+    p.freq_mhz = 250.0;
+    p.memory_bandwidth_gbps = 460.0;
+    p.memory_capacity_gib = 8.0;
+    p.on_chip_memory_mib = 41.0;
+    p.tdp_watts = 225.0;
+    p.num_dies = 3;
+    return p;
+}
+
+} // namespace hls
+} // namespace streamtensor

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FPGA platform descriptions (paper Table 6). The default target
+ * is the AMD Alveo U55C used in the paper's evaluation.
+ */
+
+#ifndef STREAMTENSOR_HLS_PLATFORM_H
+#define STREAMTENSOR_HLS_PLATFORM_H
+
+#include <cstdint>
+#include <string>
+
+namespace streamtensor {
+namespace hls {
+
+/** An FPGA platform (Table 6 columns). */
+struct FpgaPlatform
+{
+    std::string name;
+
+    /** Clock frequency in MHz. */
+    double freq_mhz = 250.0;
+
+    /** Off-chip (HBM/DDR) bandwidth in GB/s. */
+    double memory_bandwidth_gbps = 460.0;
+
+    /** Off-chip memory capacity in GiB. */
+    double memory_capacity_gib = 16.0;
+
+    /** Independent DMA memory ports. The HBM2 stacks expose 32
+     *  pseudo-channels on U55C/U280; the link configuration gangs
+     *  two per DMA port for bandwidth-critical weight streams. */
+    int64_t memory_channels = 16;
+
+    /** Fraction of a channel's peak usable after burst overheads. */
+    double burst_efficiency = 0.90;
+
+    /** Memory access latency in nanoseconds (hidden by the DMA's
+     *  ping-pong buffer after the first burst). */
+    double memory_latency_ns = 250.0;
+
+    /** Total on-chip memory in MiB (BRAM + URAM). */
+    double on_chip_memory_mib = 41.0;
+
+    /** On-chip memory breakdown in KiB. */
+    int64_t lutram_kib = 3000;
+    int64_t bram_kib = 9072;   ///< 2016 x 36Kb blocks
+    int64_t uram_kib = 34560;  ///< 960 x 288Kb blocks
+
+    /** Compute fabric. */
+    int64_t dsp_count = 9024;
+    int64_t lut_count = 1303680;
+
+    /** Peak INT8 TOPS (Table 6 reports 24.5 for U55C). */
+    double peak_int8_tops = 24.5;
+
+    double peakInt8Tops() const { return peak_int8_tops; }
+
+    /** SLR dies for graph partitioning. */
+    int64_t num_dies = 3;
+
+    /** Thermal design power in watts. */
+    double tdp_watts = 150.0;
+
+    /** Idle fraction of TDP drawn when the accelerator is
+     *  configured but inactive (board static power, fans, HBM
+     *  refresh; U55C boards idle near half their 150 W TDP once
+     *  a large design is programmed). */
+    double idle_power_fraction = 0.50;
+
+    /** Host-side overhead per accelerator invocation in
+     *  microseconds (XRT kernel trigger + sync). */
+    double invocation_overhead_us = 110.0;
+
+    /** On-chip memory budget in bytes (the fusion C_max). */
+    int64_t onChipBytes() const;
+
+    /** Per-channel effective bandwidth in bytes per cycle. */
+    double channelBytesPerCycle() const;
+};
+
+/** The paper's evaluation platform: AMD Alveo U55C, Vitis 2024.1. */
+FpgaPlatform u55c();
+
+/** The Allo/DFX baseline platform: AMD Alveo U280. */
+FpgaPlatform u280();
+
+} // namespace hls
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_HLS_PLATFORM_H

@@ -1,0 +1,107 @@
+#include "hls/profiling.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace hls {
+
+int64_t
+componentTokens(const dataflow::ComponentGraph &g, int64_t id)
+{
+    int64_t tokens = 0;
+    for (int64_t ch : g.outChannels(id))
+        tokens = std::max(tokens, g.channel(ch).tokens);
+    if (tokens == 0) {
+        for (int64_t ch : g.inChannels(id))
+            tokens = std::max(tokens, g.channel(ch).tokens);
+    }
+    return std::max<int64_t>(tokens, 1);
+}
+
+void
+profileComponents(dataflow::ComponentGraph &g,
+                  const FpgaPlatform &platform,
+                  const ProfilingModel &model)
+{
+    double mem_latency_cycles =
+        platform.memory_latency_ns * platform.freq_mhz * 1e6 / 1e9;
+    double channel_bpc = platform.channelBytesPerCycle();
+
+    for (int64_t id = 0; id < g.numComponents(); ++id) {
+        dataflow::Component &c = g.component(id);
+        int64_t tokens = componentTokens(g, id);
+
+        switch (c.kind) {
+          case dataflow::ComponentKind::Kernel: {
+            // Pipelined loop nest: `unroll` lanes retire one
+            // iteration point per cycle each.
+            double ii = std::max(
+                1.0, static_cast<double>(c.points_per_token) /
+                         (static_cast<double>(c.unroll) *
+                          model.compute_efficiency));
+            c.initial_delay = model.kernel_pipeline_depth +
+                              model.task_overhead_cycles + ii;
+            c.total_cycles = c.initial_delay + (tokens - 1) * ii;
+            break;
+          }
+          case dataflow::ComponentKind::LoadDma:
+          case dataflow::ComponentKind::StoreDma: {
+            // One HBM pseudo-channel per DMA: the token rate is
+            // bounded by the channel bandwidth.
+            int64_t token_bytes = 1;
+            auto chans = c.kind == dataflow::ComponentKind::LoadDma
+                             ? g.outChannels(id)
+                             : g.inChannels(id);
+            if (!chans.empty()) {
+                const auto &t = g.channel(chans.front()).type;
+                token_bytes = ceilDiv(
+                    t.elementCount() * ir::bitWidth(t.dtype()), 8);
+            }
+            double ii =
+                std::max(1.0, static_cast<double>(token_bytes) /
+                                  channel_bpc);
+            c.initial_delay = mem_latency_cycles +
+                              model.task_overhead_cycles + ii;
+            c.total_cycles = c.initial_delay + (tokens - 1) * ii;
+            break;
+          }
+          case dataflow::ComponentKind::Converter: {
+            // Forward one element per `lanes` scalars per cycle;
+            // the first output waits for the ping buffer fill.
+            int64_t elem = std::max<int64_t>(c.points_per_token, 1);
+            double ii = std::max(
+                1.0, static_cast<double>(elem) /
+                         static_cast<double>(c.vector_lanes));
+            int64_t buf_elems = 1;
+            for (int64_t d : c.converter.buffer_shape)
+                buf_elems *= d;
+            double fill =
+                static_cast<double>(buf_elems) /
+                static_cast<double>(std::max<int64_t>(
+                    c.vector_lanes, 1));
+            c.initial_delay = model.task_overhead_cycles + fill;
+            c.total_cycles = c.initial_delay + (tokens - 1) * ii;
+            // Unique input tokens stream once into the ping bank;
+            // re-emission happens from the banks, so the ingest
+            // span is the stream-rate pass over the inputs.
+            int64_t in_tokens = 0;
+            for (int64_t ch : g.inChannels(id)) {
+                in_tokens = std::max(in_tokens,
+                                     g.channel(ch).tokens);
+            }
+            if (in_tokens > 0) {
+                c.ingest_cycles =
+                    c.initial_delay + (in_tokens - 1) * ii;
+            }
+            break;
+          }
+        }
+        ST_ASSERT(c.total_cycles > 0, "profiled cycles must be > 0");
+    }
+}
+
+} // namespace hls
+} // namespace streamtensor

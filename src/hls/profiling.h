@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Vendor-tool profiling substitute (paper §5.3.1: "StreamTensor
+ * automatically invokes vendor tools like HLS to profile these
+ * metrics for each kernel in the middle of the flow").
+ *
+ * Fills every component's initial delay and total cycle count from
+ * an analytic model of the scheduled RTL:
+ *  - kernels pipeline their intra-tile loop nest at II=1 across
+ *    `unroll` lanes, so a token costs points_per_token / unroll
+ *    cycles plus a fixed pipeline fill;
+ *  - DMAs stream at their HBM pseudo-channel rate;
+ *  - converters forward at their vector lane width and must fill
+ *    one ping buffer before the first output token.
+ */
+
+#ifndef STREAMTENSOR_HLS_PROFILING_H
+#define STREAMTENSOR_HLS_PROFILING_H
+
+#include "dataflow/graph.h"
+#include "hls/platform.h"
+
+namespace streamtensor {
+namespace hls {
+
+/** Tunable constants of the scheduling model. */
+struct ProfilingModel
+{
+    /** Pipeline fill depth of a kernel datapath in cycles. */
+    double kernel_pipeline_depth = 24.0;
+
+    /** Fixed control overhead of a task in cycles. */
+    double task_overhead_cycles = 12.0;
+
+    /** Fraction of the nominal unroll lanes that retire work per
+     *  cycle once II inflation on reductions, load imbalance and
+     *  inter-tile pipeline drains are accounted (calibrated so
+     *  the achieved TOPS fraction matches on-board reality; see
+     *  EXPERIMENTS.md). */
+    double compute_efficiency = 0.25;
+};
+
+/**
+ * Profile every component of @p g in place (initial_delay and
+ * total_cycles). Deterministic, so downstream FIFO sizing stays
+ * valid for the final design (paper §5.3.1).
+ */
+void profileComponents(dataflow::ComponentGraph &g,
+                       const FpgaPlatform &platform,
+                       const ProfilingModel &model = {});
+
+/** Tokens a component emits per execution (max over out edges,
+ *  or its input token count for sinks). */
+int64_t componentTokens(const dataflow::ComponentGraph &g,
+                        int64_t id);
+
+} // namespace hls
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_HLS_PROFILING_H

@@ -1,0 +1,73 @@
+#include "hls/resource.h"
+
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace hls {
+
+ResourceUsage &
+ResourceUsage::operator+=(const ResourceUsage &o)
+{
+    dsps += o.dsps;
+    luts += o.luts;
+    memory_bytes += o.memory_bytes;
+    return *this;
+}
+
+ResourceUsage
+estimateComponent(const dataflow::Component &c)
+{
+    ResourceUsage usage;
+    switch (c.kind) {
+      case dataflow::ComponentKind::Kernel:
+        // One packed INT8 MAC lane per DSP; control in LUTs.
+        usage.dsps = c.unroll;
+        usage.luts = 600 + 180 * c.unroll;
+        usage.memory_bytes = c.local_buffer_bytes;
+        break;
+      case dataflow::ComponentKind::LoadDma:
+      case dataflow::ComponentKind::StoreDma:
+        usage.luts = 1200 + 4 * c.vector_lanes;
+        usage.memory_bytes = c.local_buffer_bytes;
+        break;
+      case dataflow::ComponentKind::Converter:
+        usage.luts = 800 + 4 * c.vector_lanes;
+        usage.memory_bytes = c.converter.bufferBytes();
+        break;
+    }
+    return usage;
+}
+
+ResourceUsage
+estimateGroup(const dataflow::ComponentGraph &g, int64_t group)
+{
+    ResourceUsage usage;
+    for (int64_t id : g.groupComponents(group))
+        usage += estimateComponent(g.component(id));
+    for (int64_t ch : g.groupChannels(group)) {
+        if (g.channel(ch).folded)
+            continue;
+        usage.memory_bytes +=
+            ceilDiv(g.channel(ch).storageBits(), 8);
+    }
+    return usage;
+}
+
+bool
+fitsPlatform(const dataflow::ComponentGraph &g,
+             const FpgaPlatform &platform)
+{
+    for (int64_t group = 0; group < g.numGroups(); ++group) {
+        ResourceUsage usage = estimateGroup(g, group);
+        if (usage.dsps > platform.dsp_count)
+            return false;
+        if (usage.luts > platform.lut_count)
+            return false;
+        if (usage.memory_bytes > platform.onChipBytes())
+            return false;
+    }
+    return true;
+}
+
+} // namespace hls
+} // namespace streamtensor

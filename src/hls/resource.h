@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Resource estimation for components: DSP/LUT usage of kernels and
+ * the on-chip memory footprint of buffers and FIFOs. Feeds the
+ * multi-die partitioner and the memory allocator.
+ */
+
+#ifndef STREAMTENSOR_HLS_RESOURCE_H
+#define STREAMTENSOR_HLS_RESOURCE_H
+
+#include <cstdint>
+
+#include "dataflow/graph.h"
+#include "hls/platform.h"
+
+namespace streamtensor {
+namespace hls {
+
+/** Resource usage of one component or one aggregate. */
+struct ResourceUsage
+{
+    int64_t dsps = 0;
+    int64_t luts = 0;
+    int64_t memory_bytes = 0;
+
+    ResourceUsage &operator+=(const ResourceUsage &o);
+};
+
+/** Estimate one component's usage (FIFOs accounted separately). */
+ResourceUsage estimateComponent(const dataflow::Component &c);
+
+/** Aggregate usage of one fused group including its FIFOs. */
+ResourceUsage estimateGroup(const dataflow::ComponentGraph &g,
+                            int64_t group);
+
+/** True when every group fits the platform's budgets. */
+bool fitsPlatform(const dataflow::ComponentGraph &g,
+                  const FpgaPlatform &platform);
+
+} // namespace hls
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_HLS_RESOURCE_H

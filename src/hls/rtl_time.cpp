@@ -1,0 +1,60 @@
+#include "hls/rtl_time.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace hls {
+
+RtlTimeBreakdown
+estimateRtlTime(const dataflow::ComponentGraph &g,
+                int64_t param_bytes, double compile_seconds,
+                const RtlTimeModel &model)
+{
+    RtlTimeBreakdown breakdown;
+
+    // Per-kernel synthesis times, scheduled over parallel jobs
+    // (longest-processing-time list scheduling).
+    std::vector<double> kernel_times;
+    for (int64_t id = 0; id < g.numComponents(); ++id) {
+        const dataflow::Component &c = g.component(id);
+        double t = 0.0;
+        switch (c.kind) {
+          case dataflow::ComponentKind::Kernel:
+            t = model.hls_base_seconds *
+                (1.0 + model.hls_log_lane_factor *
+                           std::log2(1.0 + c.unroll));
+            break;
+          case dataflow::ComponentKind::Converter:
+            t = 0.45 * model.hls_base_seconds;
+            break;
+          case dataflow::ComponentKind::LoadDma:
+          case dataflow::ComponentKind::StoreDma:
+            t = 0.30 * model.hls_base_seconds;
+            break;
+        }
+        kernel_times.push_back(t);
+    }
+    std::sort(kernel_times.rbegin(), kernel_times.rend());
+    std::vector<double> jobs(
+        std::max<int64_t>(model.parallel_jobs, 1), 0.0);
+    for (double t : kernel_times) {
+        auto it = std::min_element(jobs.begin(), jobs.end());
+        *it += t;
+    }
+    breakdown.hls_seconds =
+        *std::max_element(jobs.begin(), jobs.end());
+    breakdown.profiling_seconds =
+        breakdown.hls_seconds * model.profiling_fraction;
+    breakdown.param_packing_seconds =
+        static_cast<double>(param_bytes) /
+        (model.packing_mbps * 1e6);
+    breakdown.compile_seconds = compile_seconds;
+    return breakdown;
+}
+
+} // namespace hls
+} // namespace streamtensor

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RTL-generation time model (paper Fig. 10b): estimates how long
+ * the vendor flow (HLS synthesis, downstream profiling) and
+ * parameter packing would take for a compiled design. The real
+ * flow is gated on Vitis; this deterministic model reproduces the
+ * breakdown's shape: HLS dominates, profiling is second,
+ * StreamTensor compilation and packing are small.
+ */
+
+#ifndef STREAMTENSOR_HLS_RTL_TIME_H
+#define STREAMTENSOR_HLS_RTL_TIME_H
+
+#include <cstdint>
+
+#include "dataflow/graph.h"
+
+namespace streamtensor {
+namespace hls {
+
+/** Estimated seconds per stage of RTL generation. */
+struct RtlTimeBreakdown
+{
+    double hls_seconds = 0.0;       ///< parallel C++->RTL synthesis
+    double profiling_seconds = 0.0; ///< parallel QoR profiling
+    double param_packing_seconds = 0.0;
+    double compile_seconds = 0.0;   ///< StreamTensor itself
+
+    double total() const
+    {
+        return hls_seconds + profiling_seconds +
+               param_packing_seconds + compile_seconds;
+    }
+};
+
+/** Tunable constants of the vendor-time model. */
+struct RtlTimeModel
+{
+    /** Fixed per-kernel HLS cost in seconds. */
+    double hls_base_seconds = 120.0;
+
+    /** HLS scheduling blowup factor per doubling of the unroll
+     *  (synthesis scales with datapath structure, not lanes). */
+    double hls_log_lane_factor = 0.6;
+
+    /** Parallel synthesis jobs. */
+    int64_t parallel_jobs = 8;
+
+    /** Profiling costs a fraction of synthesis. */
+    double profiling_fraction = 0.22;
+
+    /** Host packing throughput in MB/s. */
+    double packing_mbps = 160.0;
+};
+
+/**
+ * Estimate the vendor-flow breakdown for @p g given the measured
+ * StreamTensor compile time @p compile_seconds and the model's
+ * packed parameter volume @p param_bytes.
+ */
+RtlTimeBreakdown
+estimateRtlTime(const dataflow::ComponentGraph &g,
+                int64_t param_bytes, double compile_seconds,
+                const RtlTimeModel &model = {});
+
+} // namespace hls
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_HLS_RTL_TIME_H

@@ -1,0 +1,178 @@
+#include "ir/affine.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace ir {
+
+AffineExpr
+AffineExpr::dim(int64_t pos)
+{
+    ST_ASSERT(pos >= 0, "dim position must be non-negative");
+    return AffineExpr(Kind::Dim, pos);
+}
+
+AffineExpr
+AffineExpr::constant(int64_t value)
+{
+    return AffineExpr(Kind::Constant, value);
+}
+
+int64_t
+AffineExpr::dimPos() const
+{
+    ST_ASSERT(isDim(), "not a dim expression");
+    return value_;
+}
+
+int64_t
+AffineExpr::constantValue() const
+{
+    ST_ASSERT(isConstant(), "not a constant expression");
+    return value_;
+}
+
+int64_t
+AffineExpr::evaluate(const std::vector<int64_t> &dims) const
+{
+    if (isConstant())
+        return value_;
+    ST_ASSERT(value_ < static_cast<int64_t>(dims.size()),
+              "dim position out of range");
+    return dims[value_];
+}
+
+bool
+AffineExpr::operator==(const AffineExpr &o) const
+{
+    return kind_ == o.kind_ && value_ == o.value_;
+}
+
+std::string
+AffineExpr::str() const
+{
+    std::ostringstream os;
+    if (isDim())
+        os << "d" << value_;
+    else
+        os << value_;
+    return os.str();
+}
+
+AffineMap::AffineMap(int64_t num_dims, std::vector<AffineExpr> results)
+    : num_dims_(num_dims), results_(std::move(results))
+{
+    for (const auto &e : results_) {
+        if (e.isDim()) {
+            ST_CHECK(e.dimPos() < num_dims_,
+                     "affine map references dim beyond numDims");
+        }
+    }
+}
+
+AffineMap
+AffineMap::identity(int64_t n)
+{
+    std::vector<AffineExpr> results;
+    results.reserve(n);
+    for (int64_t i = 0; i < n; ++i)
+        results.push_back(AffineExpr::dim(i));
+    return AffineMap(n, std::move(results));
+}
+
+AffineMap
+AffineMap::fromPermutation(const std::vector<int64_t> &perm)
+{
+    std::vector<AffineExpr> results;
+    results.reserve(perm.size());
+    for (int64_t p : perm)
+        results.push_back(AffineExpr::dim(p));
+    return AffineMap(static_cast<int64_t>(perm.size()),
+                     std::move(results));
+}
+
+const AffineExpr &
+AffineMap::result(int64_t i) const
+{
+    ST_ASSERT(i >= 0 && i < numResults(), "result index out of range");
+    return results_[i];
+}
+
+bool
+AffineMap::isIdentity() const
+{
+    if (num_dims_ != numResults())
+        return false;
+    for (int64_t i = 0; i < numResults(); ++i)
+        if (!results_[i].isDim() || results_[i].dimPos() != i)
+            return false;
+    return true;
+}
+
+bool
+AffineMap::isPermutation() const
+{
+    if (num_dims_ != numResults())
+        return false;
+    std::vector<bool> seen(num_dims_, false);
+    for (const auto &e : results_) {
+        if (!e.isDim())
+            return false;
+        if (seen[e.dimPos()])
+            return false;
+        seen[e.dimPos()] = true;
+    }
+    return true;
+}
+
+int64_t
+AffineMap::resultForDim(int64_t pos) const
+{
+    for (int64_t i = 0; i < numResults(); ++i)
+        if (results_[i].isDim() && results_[i].dimPos() == pos)
+            return i;
+    return -1;
+}
+
+std::vector<int64_t>
+AffineMap::apply(const std::vector<int64_t> &dims) const
+{
+    ST_CHECK(static_cast<int64_t>(dims.size()) == num_dims_,
+             "affine map applied to wrong number of dims");
+    std::vector<int64_t> out;
+    out.reserve(results_.size());
+    for (const auto &e : results_)
+        out.push_back(e.evaluate(dims));
+    return out;
+}
+
+bool
+AffineMap::operator==(const AffineMap &o) const
+{
+    return num_dims_ == o.num_dims_ && results_ == o.results_;
+}
+
+std::string
+AffineMap::str() const
+{
+    std::ostringstream os;
+    os << "(";
+    for (int64_t i = 0; i < num_dims_; ++i) {
+        if (i)
+            os << ",";
+        os << "d" << i;
+    }
+    os << ")->(";
+    for (int64_t i = 0; i < numResults(); ++i) {
+        if (i)
+            os << ",";
+        os << results_[i].str();
+    }
+    os << ")";
+    return os.str();
+}
+
+} // namespace ir
+} // namespace streamtensor

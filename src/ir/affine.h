@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Minimal affine expressions and maps for itensor iteration maps.
+ *
+ * The paper's iteration maps only ever bind a data dimension to a
+ * single iteration dimension (e.g. (d0,d1,d2)->(d2,d0)) or to a
+ * constant; a full affine algebra is unnecessary. Each map result is
+ * therefore either a dimension reference or an integer constant.
+ */
+
+#ifndef STREAMTENSOR_IR_AFFINE_H
+#define STREAMTENSOR_IR_AFFINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamtensor {
+namespace ir {
+
+/** One result expression of an AffineMap: a dim ref or a constant. */
+class AffineExpr
+{
+  public:
+    enum class Kind { Dim, Constant };
+
+    /** Build a reference to iteration dimension @p pos. */
+    static AffineExpr dim(int64_t pos);
+
+    /** Build an integer constant expression. */
+    static AffineExpr constant(int64_t value);
+
+    Kind kind() const { return kind_; }
+    bool isDim() const { return kind_ == Kind::Dim; }
+    bool isConstant() const { return kind_ == Kind::Constant; }
+
+    /** Position of the referenced dim; panics on constants. */
+    int64_t dimPos() const;
+
+    /** Constant value; panics on dim refs. */
+    int64_t constantValue() const;
+
+    /** Evaluate against concrete dim values. */
+    int64_t evaluate(const std::vector<int64_t> &dims) const;
+
+    bool operator==(const AffineExpr &o) const;
+    bool operator!=(const AffineExpr &o) const { return !(*this == o); }
+
+    /** Render as "d2" or "7". */
+    std::string str() const;
+
+  private:
+    AffineExpr(Kind kind, int64_t value) : kind_(kind), value_(value) {}
+
+    Kind kind_;
+    int64_t value_;
+};
+
+/**
+ * An affine map from an iteration space to a data space, e.g.
+ * (d0,d1,d2) -> (d2,d0). Results reference input dims or constants.
+ */
+class AffineMap
+{
+  public:
+    AffineMap() : num_dims_(0) {}
+    AffineMap(int64_t num_dims, std::vector<AffineExpr> results);
+
+    /** The identity map on @p n dims. */
+    static AffineMap identity(int64_t n);
+
+    /**
+     * Map whose result i is d(perm[i]); e.g. perm={1,0} builds the
+     * transposing map (d0,d1)->(d1,d0).
+     */
+    static AffineMap fromPermutation(const std::vector<int64_t> &perm);
+
+    int64_t numDims() const { return num_dims_; }
+    int64_t numResults() const
+    {
+        return static_cast<int64_t>(results_.size());
+    }
+    const AffineExpr &result(int64_t i) const;
+    const std::vector<AffineExpr> &results() const { return results_; }
+
+    /** True when numDims == numResults and results are the identity. */
+    bool isIdentity() const;
+
+    /**
+     * True when every input dim is referenced by exactly one result
+     * (a bijection between iteration and data dims).
+     */
+    bool isPermutation() const;
+
+    /**
+     * Result index bound to iteration dim @p pos, or -1 when the dim
+     * is unmapped (a revisit dim).
+     */
+    int64_t resultForDim(int64_t pos) const;
+
+    /** Apply the map to concrete iteration-index values. */
+    std::vector<int64_t>
+    apply(const std::vector<int64_t> &dims) const;
+
+    bool operator==(const AffineMap &o) const;
+    bool operator!=(const AffineMap &o) const { return !(*this == o); }
+
+    /** Render as "(d0,d1)->(d1,d0)". */
+    std::string str() const;
+
+  private:
+    int64_t num_dims_;
+    std::vector<AffineExpr> results_;
+};
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_AFFINE_H

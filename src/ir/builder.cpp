@@ -1,0 +1,160 @@
+#include "ir/builder.h"
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace ir {
+
+Op *
+OpBuilder::create(OpKind kind, const std::vector<Value *> &operands,
+                  const std::vector<Type> &result_types,
+                  std::string label)
+{
+    // Op's constructor is private; build through a keyed helper.
+    std::unique_ptr<Op> op(new Op(kind, std::move(label)));
+    op->parent_ = region_;
+    for (Value *v : operands) {
+        ST_ASSERT(v != nullptr, "null operand");
+        op->operands_.push_back(v);
+        v->users_.push_back(op.get());
+    }
+    for (const Type &t : result_types) {
+        auto val = std::make_unique<Value>(t, module_.freshName());
+        val->defining_op_ = op.get();
+        op->results_.push_back(std::move(val));
+    }
+    Op *raw = op.get();
+    region_->ops_.push_back(std::move(op));
+    return raw;
+}
+
+Region *
+OpBuilder::addRegion(Op *op)
+{
+    op->regions_.push_back(std::make_unique<Region>(op));
+    return op->regions_.back().get();
+}
+
+Op *
+OpBuilder::itensorEmpty(const ITensorType &type)
+{
+    return create(OpKind::ItensorEmpty, {}, {Type(type)});
+}
+
+Op *
+OpBuilder::itensorInstance(const ITensorType &type)
+{
+    return create(OpKind::ItensorInstance, {}, {Type(type)});
+}
+
+Op *
+OpBuilder::itensorWrite(Value *value, Value *dest)
+{
+    ST_CHECK(dest->type().isITensor(),
+             "itensor_write dest must be an itensor");
+    return create(OpKind::ItensorWrite, {value, dest},
+                  {dest->type()});
+}
+
+Op *
+OpBuilder::itensorRead(Value *source)
+{
+    ST_CHECK(source->type().isITensor(),
+             "itensor_read source must be an itensor");
+    const ITensorType &it = source->type().itensor();
+    TensorType elem(it.dtype(), it.elementShape());
+    return create(OpKind::ItensorRead, {source}, {Type(elem)});
+}
+
+Op *
+OpBuilder::itensorConverter(Value *source, const ITensorType &result)
+{
+    ST_CHECK(source->type().isITensor(),
+             "itensor_converter source must be an itensor");
+    ST_CHECK(source->type().itensor().sameDataSpace(result),
+             "itensor_converter requires matching data spaces");
+    return create(OpKind::ItensorConverter, {source}, {Type(result)});
+}
+
+Op *
+OpBuilder::itensorFork(Value *source, int64_t n)
+{
+    ST_CHECK(source->type().isITensor(),
+             "itensor_fork source must be an itensor");
+    std::vector<Type> types(n, source->type());
+    return create(OpKind::ItensorFork, {source}, types);
+}
+
+Op *
+OpBuilder::kernel(const std::vector<Value *> &sources,
+                  const std::vector<Type> &result_types,
+                  std::string label)
+{
+    for (Value *v : sources)
+        ST_CHECK(v->type().isTensor(),
+                 "kernel sources must be tensors");
+    for (const Type &t : result_types)
+        ST_CHECK(t.isTensor(), "kernel results must be tensors");
+    Op *op = create(OpKind::Kernel, sources, result_types,
+                    std::move(label));
+    addRegion(op);
+    return op;
+}
+
+Op *
+OpBuilder::task(const std::vector<Value *> &inits,
+                const std::vector<Type> &result_types,
+                std::string label)
+{
+    Op *op = create(OpKind::Task, inits, result_types,
+                    std::move(label));
+    addRegion(op);
+    return op;
+}
+
+Op *
+OpBuilder::yield(const std::vector<Value *> &outputs)
+{
+    return create(OpKind::Yield, outputs, {});
+}
+
+Op *
+OpBuilder::streamCreate(const StreamType &type)
+{
+    return create(OpKind::StreamCreate, {}, {Type(type)});
+}
+
+Op *
+OpBuilder::streamRead(Value *stream, const Type &value_type)
+{
+    ST_CHECK(stream->type().isStream(),
+             "stream_read source must be a stream");
+    return create(OpKind::StreamRead, {stream}, {value_type});
+}
+
+Op *
+OpBuilder::streamWrite(Value *value, Value *stream)
+{
+    ST_CHECK(stream->type().isStream(),
+             "stream_write dest must be a stream");
+    return create(OpKind::StreamWrite, {value, stream}, {});
+}
+
+Op *
+OpBuilder::bufferCreate(const MemRefType &type)
+{
+    return create(OpKind::BufferCreate, {}, {Type(type)});
+}
+
+Op *
+OpBuilder::loopNest(const std::vector<int64_t> &trips,
+                    std::string label)
+{
+    Op *op = create(OpKind::LoopNest, {}, {}, std::move(label));
+    op->setAttr("trips", trips);
+    addRegion(op);
+    return op;
+}
+
+} // namespace ir
+} // namespace streamtensor

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * OpBuilder: the only way to create ops, keeping def-use chains and
+ * region parenting consistent.
+ */
+
+#ifndef STREAMTENSOR_IR_BUILDER_H
+#define STREAMTENSOR_IR_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace streamtensor {
+namespace ir {
+
+/** Builds ops at the end of a target region. */
+class OpBuilder
+{
+  public:
+    OpBuilder(Module &module, Region &region)
+        : module_(module), region_(&region)
+    {}
+
+    Module &module() { return module_; }
+    Region &insertionRegion() { return *region_; }
+
+    /** Redirect subsequent ops into @p region. */
+    void setInsertionRegion(Region &region) { region_ = &region; }
+
+    /**
+     * Create an op of @p kind with @p operands and one result per
+     * entry of @p result_types. Result names are fresh SSA names.
+     */
+    Op *create(OpKind kind, const std::vector<Value *> &operands,
+               const std::vector<Type> &result_types,
+               std::string label = "");
+
+    /** Create a region attached to @p op and return it. */
+    Region *addRegion(Op *op);
+
+    // ----- Convenience wrappers for common ops -----
+
+    /** itensor_empty: a placeholder destination itensor. */
+    Op *itensorEmpty(const ITensorType &type);
+
+    /** itensor_instance: an itensor that lowers to a FIFO. */
+    Op *itensorInstance(const ITensorType &type);
+
+    /** itensor_write value into dest; returns the updated itensor. */
+    Op *itensorWrite(Value *value, Value *dest);
+
+    /** itensor_read from source, producing one element tensor. */
+    Op *itensorRead(Value *source);
+
+    /** itensor_converter from source to the given result type. */
+    Op *itensorConverter(Value *source, const ITensorType &result);
+
+    /** itensor_fork into n duplicated streams. */
+    Op *itensorFork(Value *source, int64_t n);
+
+    /** kernel with a region; boundary converts tensor<->itensor. */
+    Op *kernel(const std::vector<Value *> &sources,
+               const std::vector<Type> &result_types,
+               std::string label);
+
+    /** task with a region (transparent boundary). */
+    Op *task(const std::vector<Value *> &inits,
+             const std::vector<Type> &result_types, std::string label);
+
+    /** yield region results. */
+    Op *yield(const std::vector<Value *> &outputs);
+
+    /** stream(): create a FIFO value of the given stream type. */
+    Op *streamCreate(const StreamType &type);
+
+    /** stream_read from a FIFO. */
+    Op *streamRead(Value *stream, const Type &value_type);
+
+    /** stream_write value into a FIFO. */
+    Op *streamWrite(Value *value, Value *stream);
+
+    /** buffer(): a ping-pong on-chip buffer of memref type. */
+    Op *bufferCreate(const MemRefType &type);
+
+    /** loop_nest carrying trip counts; owns one body region. */
+    Op *loopNest(const std::vector<int64_t> &trips, std::string label);
+
+  private:
+    Module &module_;
+    Region *region_;
+};
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_BUILDER_H

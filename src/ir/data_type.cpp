@@ -1,0 +1,59 @@
+#include "ir/data_type.h"
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace ir {
+
+int64_t
+bitWidth(DataType t)
+{
+    switch (t) {
+      case DataType::I4: return 4;
+      case DataType::I8: return 8;
+      case DataType::I16: return 16;
+      case DataType::I32: return 32;
+      case DataType::F16: return 16;
+      case DataType::BF16: return 16;
+      case DataType::F32: return 32;
+    }
+    ST_PANIC("unknown DataType");
+}
+
+double
+byteWidth(DataType t)
+{
+    return bitWidth(t) / 8.0;
+}
+
+std::string
+dataTypeName(DataType t)
+{
+    switch (t) {
+      case DataType::I4: return "i4";
+      case DataType::I8: return "i8";
+      case DataType::I16: return "i16";
+      case DataType::I32: return "i32";
+      case DataType::F16: return "f16";
+      case DataType::BF16: return "bf16";
+      case DataType::F32: return "f32";
+    }
+    ST_PANIC("unknown DataType");
+}
+
+bool
+isInteger(DataType t)
+{
+    switch (t) {
+      case DataType::I4:
+      case DataType::I8:
+      case DataType::I16:
+      case DataType::I32:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ir
+} // namespace streamtensor

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Scalar element types supported by StreamTensor.
+ *
+ * Includes the quantized types used by the paper's evaluation
+ * (W4A8: int4 weights, int8 activations) and the float types used
+ * by baselines (FP16 for DFX).
+ */
+
+#ifndef STREAMTENSOR_IR_DATA_TYPE_H
+#define STREAMTENSOR_IR_DATA_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace streamtensor {
+namespace ir {
+
+/** Scalar element type. */
+enum class DataType {
+    I4,
+    I8,
+    I16,
+    I32,
+    F16,
+    BF16,
+    F32,
+};
+
+/** Width of @p t in bits (int4 is 4). */
+int64_t bitWidth(DataType t);
+
+/** Width of @p t in bytes, rounded up for sub-byte types. */
+double byteWidth(DataType t);
+
+/** Printable name, e.g. "i8" or "f32". */
+std::string dataTypeName(DataType t);
+
+/** True for the integer (quantized) types. */
+bool isInteger(DataType t);
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_DATA_TYPE_H

@@ -1,0 +1,237 @@
+#include "ir/itensor_type.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace ir {
+
+ITensorType::ITensorType(DataType dtype,
+                         std::vector<int64_t> element_shape,
+                         std::vector<int64_t> trip_counts,
+                         std::vector<int64_t> steps,
+                         AffineMap iter_map)
+    : dtype_(dtype),
+      element_shape_(std::move(element_shape)),
+      trip_counts_(std::move(trip_counts)),
+      steps_(std::move(steps)),
+      iter_map_(std::move(iter_map))
+{
+    verify();
+}
+
+int64_t
+ITensorType::elementSize(int64_t d) const
+{
+    ST_ASSERT(d >= 0 && d < dataRank(), "data dim out of range");
+    return element_shape_[d];
+}
+
+int64_t
+ITensorType::elementCount() const
+{
+    return product(element_shape_);
+}
+
+int64_t
+ITensorType::tokenBits() const
+{
+    return elementCount() * bitWidth(dtype_);
+}
+
+int64_t
+ITensorType::numTokens() const
+{
+    return product(trip_counts_);
+}
+
+int64_t
+ITensorType::revisitFactor() const
+{
+    int64_t f = 1;
+    for (int64_t p = 0; p < iterRank(); ++p)
+        if (iter_map_.resultForDim(p) < 0)
+            f *= trip_counts_[p];
+    return f;
+}
+
+std::vector<int64_t>
+ITensorType::dataShape() const
+{
+    std::vector<int64_t> shape(dataRank());
+    for (int64_t d = 0; d < dataRank(); ++d) {
+        const AffineExpr &e = iter_map_.result(d);
+        if (e.isDim()) {
+            int64_t p = e.dimPos();
+            shape[d] = steps_[p] * trip_counts_[p];
+        } else {
+            shape[d] = element_shape_[d];
+        }
+    }
+    return shape;
+}
+
+TensorType
+ITensorType::dataTensorType() const
+{
+    return TensorType(dtype_, dataShape());
+}
+
+int64_t
+ITensorType::numUniqueTokens() const
+{
+    return numTokens() / revisitFactor();
+}
+
+void
+ITensorType::verify() const
+{
+    ST_CHECK(static_cast<int64_t>(trip_counts_.size()) ==
+                 static_cast<int64_t>(steps_.size()),
+             "itensor: tripCounts and steps must have equal rank");
+    ST_CHECK(iter_map_.numDims() == iterRank(),
+             "itensor: iterMap dim count must equal iteration rank");
+    ST_CHECK(iter_map_.numResults() ==
+                 static_cast<int64_t>(element_shape_.size()),
+             "itensor: iterMap result count must equal element rank");
+    for (int64_t t : trip_counts_)
+        ST_CHECK(t >= 1, "itensor: trip counts must be >= 1");
+    for (int64_t s : steps_)
+        ST_CHECK(s >= 1, "itensor: steps must be >= 1");
+    for (int64_t e : element_shape_)
+        ST_CHECK(e >= 1, "itensor: element dims must be >= 1");
+
+    // Each iteration dim may feed at most one data dim (injective).
+    std::vector<int64_t> uses(iterRank(), 0);
+    for (int64_t d = 0; d < dataRank(); ++d) {
+        const AffineExpr &e = iter_map_.result(d);
+        if (e.isConstant()) {
+            ST_CHECK(e.constantValue() == 0,
+                     "itensor: constant map results must be 0");
+            continue;
+        }
+        int64_t p = e.dimPos();
+        ST_CHECK(p < iterRank(), "itensor: map dim out of range");
+        ST_CHECK(++uses[p] <= 1,
+                 "itensor: iteration dim bound to multiple data dims");
+        // Contiguous tiling: the step along a mapped loop must equal
+        // the element extent of the data dim it scans, so that
+        // consecutive iterations neither overlap nor leave gaps.
+        ST_CHECK(steps_[p] == element_shape_[d],
+                 "itensor: step of mapped loop must equal element "
+                 "extent (contiguous tiling)");
+    }
+}
+
+std::vector<std::vector<int64_t>>
+ITensorType::streamOffsets() const
+{
+    std::vector<std::vector<int64_t>> out;
+    out.reserve(numTokens());
+    std::vector<int64_t> idx(iterRank(), 0);
+    std::vector<int64_t> iter_vals(iterRank(), 0);
+    int64_t total = numTokens();
+    for (int64_t n = 0; n < total; ++n) {
+        for (int64_t p = 0; p < iterRank(); ++p)
+            iter_vals[p] = idx[p] * steps_[p];
+        out.push_back(iter_map_.apply(iter_vals));
+        // Row-major increment (innermost dim last).
+        for (int64_t p = iterRank() - 1; p >= 0; --p) {
+            if (++idx[p] < trip_counts_[p])
+                break;
+            idx[p] = 0;
+        }
+    }
+    return out;
+}
+
+bool
+ITensorType::operator==(const ITensorType &o) const
+{
+    return dtype_ == o.dtype_ && element_shape_ == o.element_shape_ &&
+           trip_counts_ == o.trip_counts_ && steps_ == o.steps_ &&
+           iter_map_ == o.iter_map_;
+}
+
+bool
+ITensorType::sameDataSpace(const ITensorType &o) const
+{
+    return dtype_ == o.dtype_ && dataShape() == o.dataShape();
+}
+
+std::string
+ITensorType::str() const
+{
+    std::ostringstream os;
+    os << "itensor<";
+    for (int64_t e : element_shape_)
+        os << e << "x";
+    os << dataTypeName(dtype_) << ", space:[";
+    for (size_t i = 0; i < trip_counts_.size(); ++i) {
+        if (i)
+            os << ",";
+        os << trip_counts_[i];
+    }
+    os << "]*[";
+    for (size_t i = 0; i < steps_.size(); ++i) {
+        if (i)
+            os << ",";
+        os << steps_[i];
+    }
+    os << "], " << iter_map_.str() << ">";
+    return os.str();
+}
+
+ITensorType
+makeTiledITensor(const TensorType &tensor,
+                 const std::vector<int64_t> &tile_shape)
+{
+    ST_CHECK(tensor.rank() ==
+                 static_cast<int64_t>(tile_shape.size()),
+             "tile rank must match tensor rank");
+    std::vector<int64_t> trips, steps;
+    for (int64_t d = 0; d < tensor.rank(); ++d) {
+        ST_CHECK(tile_shape[d] >= 1 &&
+                     tensor.dim(d) % tile_shape[d] == 0,
+                 "tile extent must divide tensor extent");
+        trips.push_back(tensor.dim(d) / tile_shape[d]);
+        steps.push_back(tile_shape[d]);
+    }
+    return ITensorType(tensor.dtype(), tile_shape, trips, steps,
+                       AffineMap::identity(tensor.rank()));
+}
+
+ITensorType
+makePermutedITensor(const TensorType &tensor,
+                    const std::vector<int64_t> &tile_shape,
+                    const std::vector<int64_t> &perm)
+{
+    ST_CHECK(perm.size() == tile_shape.size(),
+             "perm rank must match tile rank");
+    // Loop i iterates data dim perm[i]; thus data dim d is produced
+    // by the loop at position invPerm[d].
+    int64_t rank = tensor.rank();
+    std::vector<int64_t> trips(rank), steps(rank);
+    std::vector<AffineExpr> results;
+    std::vector<int64_t> inv(rank, -1);
+    for (int64_t i = 0; i < rank; ++i) {
+        int64_t d = perm[i];
+        ST_CHECK(d >= 0 && d < rank && inv[d] < 0,
+                 "perm must be a permutation of data dims");
+        inv[d] = i;
+        ST_CHECK(tensor.dim(d) % tile_shape[d] == 0,
+                 "tile extent must divide tensor extent");
+        trips[i] = tensor.dim(d) / tile_shape[d];
+        steps[i] = tile_shape[d];
+    }
+    results.reserve(rank);
+    for (int64_t d = 0; d < rank; ++d)
+        results.push_back(AffineExpr::dim(inv[d]));
+    return ITensorType(tensor.dtype(), tile_shape, trips, steps,
+                       AffineMap(rank, std::move(results)));
+}
+
+} // namespace ir
+} // namespace streamtensor

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The iterative tensor (itensor) type — the paper's central
+ * abstraction (§3.1.2).
+ *
+ * An itensor describes a *stream* of identical tensor slices
+ * (elements) cut out of an underlying data space:
+ *
+ *  - elementShape: the shape of one streamed slice (one token);
+ *  - iteration space: tripCounts[i] iterations with step steps[i]
+ *    per iteration dimension, producing iteration indices
+ *    idx[i] * steps[i];
+ *  - iterMap: affine map from iteration indices to data-space
+ *    offsets. Iteration dims absent from the map are *revisit*
+ *    dims: stepping them re-streams the data covered by the inner
+ *    dims.
+ *
+ * Two kernels can stream to each other without conversion iff their
+ * itensor types match exactly; otherwise a layout converter with an
+ * analytically-sized ping-pong buffer is required (Algorithm 1,
+ * implemented in dse/converter_gen).
+ */
+
+#ifndef STREAMTENSOR_IR_ITENSOR_TYPE_H
+#define STREAMTENSOR_IR_ITENSOR_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/affine.h"
+#include "ir/data_type.h"
+#include "ir/tensor_type.h"
+
+namespace streamtensor {
+namespace ir {
+
+/** Stream-layout-aware tensor type (paper Fig. 5). */
+class ITensorType
+{
+  public:
+    ITensorType() = default;
+
+    /**
+     * @param dtype scalar element type
+     * @param element_shape shape of one streamed slice (token)
+     * @param trip_counts iteration-space trip counts, outer first
+     * @param steps iteration-space step sizes, outer first
+     * @param iter_map map from iteration dims to data dims
+     */
+    ITensorType(DataType dtype,
+                std::vector<int64_t> element_shape,
+                std::vector<int64_t> trip_counts,
+                std::vector<int64_t> steps,
+                AffineMap iter_map);
+
+    DataType dtype() const { return dtype_; }
+    const std::vector<int64_t> &elementShape() const
+    {
+        return element_shape_;
+    }
+    const std::vector<int64_t> &tripCounts() const
+    {
+        return trip_counts_;
+    }
+    const std::vector<int64_t> &steps() const { return steps_; }
+    const AffineMap &iterMap() const { return iter_map_; }
+
+    /** Number of iteration (loop) dimensions. */
+    int64_t iterRank() const
+    {
+        return static_cast<int64_t>(trip_counts_.size());
+    }
+
+    /** Number of data dimensions (map results). */
+    int64_t dataRank() const { return iter_map_.numResults(); }
+
+    /** Extent of one element (token) along data dim @p d. */
+    int64_t elementSize(int64_t d) const;
+
+    /** Scalars per token. */
+    int64_t elementCount() const;
+
+    /** Bits per token. */
+    int64_t tokenBits() const;
+
+    /** Total number of tokens streamed = prod(tripCounts). */
+    int64_t numTokens() const;
+
+    /**
+     * How many times each data element is re-streamed: the product
+     * of trip counts of revisit (unmapped) iteration dims.
+     */
+    int64_t revisitFactor() const;
+
+    /**
+     * Reconstruct the underlying data-space shape. Data dim d bound
+     * to loop p has extent steps[p] * tripCounts[p]; const-mapped
+     * dims have extent elementShape[d].
+     */
+    std::vector<int64_t> dataShape() const;
+
+    /** The memory-mapped tensor type of the full data space. */
+    TensorType dataTensorType() const;
+
+    /** Unique tokens (numTokens / revisitFactor). */
+    int64_t numUniqueTokens() const;
+
+    /**
+     * Validate well-formedness; throws FatalError with a diagnostic
+     * when the type is inconsistent (see DESIGN.md invariants).
+     */
+    void verify() const;
+
+    /**
+     * Enumerate the data-space offset of every streamed token in
+     * stream order (row-major iteration-space order). Intended for
+     * tests and the simulator's order checking; cost is
+     * numTokens() x dataRank().
+     */
+    std::vector<std::vector<int64_t>> streamOffsets() const;
+
+    /**
+     * Exact type match: the condition for direct FIFO connection
+     * between producer and consumer (paper Fig. 5 Case1).
+     */
+    bool operator==(const ITensorType &o) const;
+    bool operator!=(const ITensorType &o) const
+    {
+        return !(*this == o);
+    }
+
+    /**
+     * True when this and @p o describe the same underlying data
+     * space (same dtype and data shape) — the precondition for
+     * inserting a layout converter between mismatched streams.
+     */
+    bool sameDataSpace(const ITensorType &o) const;
+
+    /** Render as itensor<4x2xf32, space:[4,2]*[2,4], (d0,d1)->(d1,d0)>. */
+    std::string str() const;
+
+  private:
+    DataType dtype_ = DataType::F32;
+    std::vector<int64_t> element_shape_;
+    std::vector<int64_t> trip_counts_;
+    std::vector<int64_t> steps_;
+    AffineMap iter_map_;
+};
+
+/**
+ * Build the canonical row-major itensor for streaming a full tensor
+ * in tiles of @p tile_shape (identity iteration map). Tile extents
+ * must divide the tensor extents.
+ */
+ITensorType makeTiledITensor(const TensorType &tensor,
+                             const std::vector<int64_t> &tile_shape);
+
+/**
+ * Build a tiled itensor whose loop order is permuted by @p perm
+ * (perm[i] = data dim iterated by loop i) and that carries
+ * @p revisit_trips extra revisit loops appended outermost-first at
+ * loop positions given by @p revisit_pos.
+ */
+ITensorType
+makePermutedITensor(const TensorType &tensor,
+                    const std::vector<int64_t> &tile_shape,
+                    const std::vector<int64_t> &perm);
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_ITENSOR_TYPE_H

@@ -1,0 +1,143 @@
+#include "ir/op.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace ir {
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::ItensorEmpty: return "itensor_empty";
+      case OpKind::ItensorInstance: return "itensor_instance";
+      case OpKind::ItensorRead: return "itensor_read";
+      case OpKind::ItensorWrite: return "itensor_write";
+      case OpKind::ItensorCast: return "itensor_cast";
+      case OpKind::ItensorReassociate: return "itensor_reassociate";
+      case OpKind::ItensorConverter: return "itensor_converter";
+      case OpKind::ItensorChunk: return "itensor_chunk";
+      case OpKind::ItensorConcat: return "itensor_concat";
+      case OpKind::ItensorFork: return "itensor_fork";
+      case OpKind::ItensorJoin: return "itensor_join";
+      case OpKind::ItensorToStream: return "itensor_to_stream";
+      case OpKind::StreamToItensor: return "stream_to_itensor";
+      case OpKind::StreamCreate: return "stream";
+      case OpKind::StreamRead: return "stream_read";
+      case OpKind::StreamWrite: return "stream_write";
+      case OpKind::StreamCast: return "stream_cast";
+      case OpKind::BufferCreate: return "buffer";
+      case OpKind::Kernel: return "kernel";
+      case OpKind::Task: return "task";
+      case OpKind::Yield: return "yield";
+      case OpKind::LoopNest: return "loop_nest";
+      case OpKind::Compute: return "compute";
+      case OpKind::TensorPack: return "tensor.pack";
+      case OpKind::TensorUnpack: return "tensor.unpack";
+      case OpKind::TensorWiden: return "tensor_ext.widen";
+      case OpKind::TensorUnwiden: return "tensor_ext.unwiden";
+      case OpKind::Dma: return "dma";
+    }
+    ST_PANIC("unknown OpKind");
+}
+
+Value *
+Region::addArgument(Type type, std::string name)
+{
+    args_.push_back(
+        std::make_unique<Value>(std::move(type), std::move(name)));
+    return args_.back().get();
+}
+
+Value *
+Region::argument(int64_t i) const
+{
+    ST_ASSERT(i >= 0 && i < static_cast<int64_t>(args_.size()),
+              "region argument index out of range");
+    return args_[i].get();
+}
+
+Op *
+Region::terminator() const
+{
+    return ops_.empty() ? nullptr : ops_.back().get();
+}
+
+Value *
+Op::operand(int64_t i) const
+{
+    ST_ASSERT(i >= 0 && i < numOperands(),
+              "operand index out of range");
+    return operands_[i];
+}
+
+Value *
+Op::result(int64_t i) const
+{
+    ST_ASSERT(i >= 0 && i < numResults(), "result index out of range");
+    return results_[i].get();
+}
+
+bool
+Op::hasAttr(const std::string &key) const
+{
+    return attrs_.count(key) > 0;
+}
+
+void
+Op::setAttr(const std::string &key, Attribute value)
+{
+    attrs_[key] = std::move(value);
+}
+
+int64_t
+Op::intAttr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    ST_ASSERT(it != attrs_.end(), "missing attribute: " + key);
+    return std::get<int64_t>(it->second);
+}
+
+double
+Op::doubleAttr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    ST_ASSERT(it != attrs_.end(), "missing attribute: " + key);
+    return std::get<double>(it->second);
+}
+
+const std::string &
+Op::strAttr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    ST_ASSERT(it != attrs_.end(), "missing attribute: " + key);
+    return std::get<std::string>(it->second);
+}
+
+const std::vector<int64_t> &
+Op::intsAttr(const std::string &key) const
+{
+    auto it = attrs_.find(key);
+    ST_ASSERT(it != attrs_.end(), "missing attribute: " + key);
+    return std::get<std::vector<int64_t>>(it->second);
+}
+
+Region *
+Op::region(int64_t i) const
+{
+    ST_ASSERT(i >= 0 && i < numRegions(), "region index out of range");
+    return regions_[i].get();
+}
+
+std::string
+Module::freshName()
+{
+    std::ostringstream os;
+    os << "%" << next_value_++;
+    return os.str();
+}
+
+} // namespace ir
+} // namespace streamtensor

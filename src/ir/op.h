@@ -1,0 +1,224 @@
+/**
+ * @file
+ * A compact op/region IR hosting the paper's operation set:
+ * itensor ops (Table 1), stream/buffer ops (Table 2), and structure
+ * ops (Table 3), plus the auxiliary ops produced by materialization
+ * (loop nests, DMAs, pack/widen).
+ *
+ * The IR is a tree of regions: a Module owns a top region holding
+ * kernel ops; kernels hold graphs of task ops; tasks hold loop
+ * nests and behavioural ops. Values are SSA-like: each is defined
+ * by exactly one op (or is a region argument) and tracks its users.
+ */
+
+#ifndef STREAMTENSOR_IR_OP_H
+#define STREAMTENSOR_IR_OP_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace streamtensor {
+namespace ir {
+
+class Op;
+class Region;
+class Module;
+
+/** All operation kinds in the StreamTensor IR. */
+enum class OpKind {
+    // Iterative tensor operations (paper Table 1).
+    ItensorEmpty,
+    ItensorInstance,
+    ItensorRead,
+    ItensorWrite,
+    ItensorCast,
+    ItensorReassociate,
+    ItensorConverter,
+    ItensorChunk,
+    ItensorConcat,
+    ItensorFork,
+    ItensorJoin,
+    // Stream and buffer operations (paper Table 2).
+    ItensorToStream,
+    StreamToItensor,
+    StreamCreate,
+    StreamRead,
+    StreamWrite,
+    StreamCast,
+    BufferCreate,
+    // Structure operations (paper Table 3).
+    Kernel,
+    Task,
+    Yield,
+    // Auxiliary operations used by materialized dataflow bodies.
+    LoopNest,
+    Compute,
+    TensorPack,
+    TensorUnpack,
+    TensorWiden,
+    TensorUnwiden,
+    Dma,
+};
+
+/** Printable mnemonic, e.g. "itensor_write". */
+std::string opKindName(OpKind kind);
+
+/** Attribute payload attached to ops. */
+using Attribute =
+    std::variant<int64_t, double, std::string, std::vector<int64_t>>;
+
+/** An SSA value: result of an op or a region argument. */
+class Value
+{
+  public:
+    Value(Type type, std::string name)
+        : type_(std::move(type)), name_(std::move(name))
+    {}
+
+    const Type &type() const { return type_; }
+    const std::string &name() const { return name_; }
+
+    /** Defining op; nullptr for region arguments. */
+    Op *definingOp() const { return defining_op_; }
+
+    /** Ops currently using this value as an operand. */
+    const std::vector<Op *> &users() const { return users_; }
+    bool hasSingleUse() const { return users_.size() == 1; }
+
+  private:
+    friend class Op;
+    friend class Region;
+    friend class OpBuilder;
+
+    Type type_;
+    std::string name_;
+    Op *defining_op_ = nullptr;
+    std::vector<Op *> users_;
+};
+
+/** A region: an ordered list of ops plus entry arguments. */
+class Region
+{
+  public:
+    explicit Region(Op *parent) : parent_op_(parent) {}
+
+    Op *parentOp() const { return parent_op_; }
+
+    /** Append an entry argument of the given type. */
+    Value *addArgument(Type type, std::string name);
+
+    const std::vector<std::unique_ptr<Value>> &arguments() const
+    {
+        return args_;
+    }
+    Value *argument(int64_t i) const;
+
+    const std::vector<std::unique_ptr<Op>> &ops() const
+    {
+        return ops_;
+    }
+    bool empty() const { return ops_.empty(); }
+
+    /** Terminator (last op) or nullptr when empty. */
+    Op *terminator() const;
+
+  private:
+    friend class Op;
+    friend class OpBuilder;
+
+    Op *parent_op_;
+    std::vector<std::unique_ptr<Value>> args_;
+    std::vector<std::unique_ptr<Op>> ops_;
+};
+
+/** An operation: kind, operands, results, attributes, regions. */
+class Op
+{
+  public:
+    OpKind kind() const { return kind_; }
+    const std::string &label() const { return label_; }
+    void setLabel(std::string label) { label_ = std::move(label); }
+
+    Region *parentRegion() const { return parent_; }
+
+    // Operands.
+    int64_t numOperands() const
+    {
+        return static_cast<int64_t>(operands_.size());
+    }
+    Value *operand(int64_t i) const;
+    const std::vector<Value *> &operands() const { return operands_; }
+
+    // Results.
+    int64_t numResults() const
+    {
+        return static_cast<int64_t>(results_.size());
+    }
+    Value *result(int64_t i = 0) const;
+
+    // Attributes.
+    bool hasAttr(const std::string &key) const;
+    void setAttr(const std::string &key, Attribute value);
+    int64_t intAttr(const std::string &key) const;
+    double doubleAttr(const std::string &key) const;
+    const std::string &strAttr(const std::string &key) const;
+    const std::vector<int64_t> &intsAttr(const std::string &key) const;
+    const std::map<std::string, Attribute> &attrs() const
+    {
+        return attrs_;
+    }
+
+    // Regions.
+    int64_t numRegions() const
+    {
+        return static_cast<int64_t>(regions_.size());
+    }
+    Region *region(int64_t i = 0) const;
+
+  private:
+    friend class OpBuilder;
+
+    Op(OpKind kind, std::string label) : kind_(kind),
+        label_(std::move(label))
+    {}
+
+    OpKind kind_;
+    std::string label_;
+    Region *parent_ = nullptr;
+    std::vector<Value *> operands_;
+    std::vector<std::unique_ptr<Value>> results_;
+    std::vector<std::unique_ptr<Region>> regions_;
+    std::map<std::string, Attribute> attrs_;
+};
+
+/** A module: the top-level region plus a value-name allocator. */
+class Module
+{
+  public:
+    explicit Module(std::string name = "module")
+        : name_(std::move(name)), body_(nullptr)
+    {}
+
+    const std::string &name() const { return name_; }
+    Region &body() { return body_; }
+    const Region &body() const { return body_; }
+
+    /** Allocate a fresh SSA value name ("%0", "%1", ...). */
+    std::string freshName();
+
+  private:
+    std::string name_;
+    Region body_;
+    int64_t next_value_ = 0;
+};
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_OP_H

@@ -1,0 +1,129 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace streamtensor {
+namespace ir {
+
+namespace {
+
+void printOpImpl(std::ostringstream &os, const Op &op, int indent);
+
+std::string
+attrStr(const Attribute &attr)
+{
+    std::ostringstream os;
+    if (std::holds_alternative<int64_t>(attr)) {
+        os << std::get<int64_t>(attr);
+    } else if (std::holds_alternative<double>(attr)) {
+        os << std::get<double>(attr);
+    } else if (std::holds_alternative<std::string>(attr)) {
+        os << '"' << std::get<std::string>(attr) << '"';
+    } else {
+        const auto &v = std::get<std::vector<int64_t>>(attr);
+        os << "[";
+        for (size_t i = 0; i < v.size(); ++i) {
+            if (i)
+                os << ",";
+            os << v[i];
+        }
+        os << "]";
+    }
+    return os.str();
+}
+
+void
+printRegion(std::ostringstream &os, const Region &region, int indent)
+{
+    std::string pad(indent * 2, ' ');
+    os << "{";
+    if (!region.arguments().empty()) {
+        os << " (";
+        for (size_t i = 0; i < region.arguments().size(); ++i) {
+            if (i)
+                os << ", ";
+            const auto &arg = region.arguments()[i];
+            os << arg->name() << " : " << arg->type().str();
+        }
+        os << ")";
+    }
+    os << "\n";
+    for (const auto &inner : region.ops())
+        printOpImpl(os, *inner, indent + 1);
+    os << pad << "}";
+}
+
+void
+printOpImpl(std::ostringstream &os, const Op &op, int indent)
+{
+    std::string pad(indent * 2, ' ');
+    os << pad;
+    if (op.numResults() > 0) {
+        for (int64_t i = 0; i < op.numResults(); ++i) {
+            if (i)
+                os << ", ";
+            os << op.result(i)->name();
+        }
+        os << " = ";
+    }
+    os << opKindName(op.kind());
+    if (!op.label().empty())
+        os << " @" << op.label();
+    if (op.numOperands() > 0) {
+        os << "(";
+        for (int64_t i = 0; i < op.numOperands(); ++i) {
+            if (i)
+                os << ", ";
+            os << op.operand(i)->name();
+        }
+        os << ")";
+    }
+    if (!op.attrs().empty()) {
+        os << " {";
+        bool first = true;
+        for (const auto &[key, value] : op.attrs()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << key << " = " << attrStr(value);
+        }
+        os << "}";
+    }
+    for (int64_t i = 0; i < op.numRegions(); ++i) {
+        os << " ";
+        printRegion(os, *op.region(i), indent);
+    }
+    if (op.numResults() > 0) {
+        os << " : ";
+        for (int64_t i = 0; i < op.numResults(); ++i) {
+            if (i)
+                os << ", ";
+            os << op.result(i)->type().str();
+        }
+    }
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+printModule(const Module &module)
+{
+    std::ostringstream os;
+    os << "module @" << module.name() << " {\n";
+    for (const auto &op : module.body().ops())
+        printOpImpl(os, *op, 1);
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printOp(const Op &op, int indent)
+{
+    std::ostringstream os;
+    printOpImpl(os, op, indent);
+    return os.str();
+}
+
+} // namespace ir
+} // namespace streamtensor

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Textual printer for the StreamTensor IR: renders modules,
+ * regions, and ops in an MLIR-like syntax for debugging, golden
+ * tests, and the generated-code reports.
+ */
+
+#ifndef STREAMTENSOR_IR_PRINTER_H
+#define STREAMTENSOR_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/op.h"
+
+namespace streamtensor {
+namespace ir {
+
+/** Print the whole module. */
+std::string printModule(const Module &module);
+
+/** Print one op (and its regions) at the given indent level. */
+std::string printOp(const Op &op, int indent = 0);
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_PRINTER_H

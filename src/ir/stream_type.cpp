@@ -1,0 +1,60 @@
+#include "ir/stream_type.h"
+
+#include <sstream>
+
+#include "ir/itensor_type.h"
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace ir {
+
+StreamType::StreamType(DataType dtype,
+                       std::vector<int64_t> vector_shape,
+                       int64_t depth)
+    : dtype_(dtype), vector_shape_(std::move(vector_shape)),
+      depth_(depth)
+{
+    ST_CHECK(depth_ >= 1, "stream depth must be >= 1");
+    for (int64_t v : vector_shape_)
+        ST_CHECK(v >= 1, "stream vector dims must be >= 1");
+}
+
+int64_t
+StreamType::lanes() const
+{
+    return product(vector_shape_);
+}
+
+int64_t
+StreamType::tokenBits() const
+{
+    return lanes() * bitWidth(dtype_);
+}
+
+bool
+StreamType::operator==(const StreamType &o) const
+{
+    return dtype_ == o.dtype_ && vector_shape_ == o.vector_shape_ &&
+           depth_ == o.depth_;
+}
+
+std::string
+StreamType::str() const
+{
+    std::ostringstream os;
+    os << "stream<";
+    for (int64_t v : vector_shape_)
+        os << v << "x";
+    os << dataTypeName(dtype_) << ", depth:" << depth_ << ">";
+    return os.str();
+}
+
+StreamType
+streamTypeFor(const ITensorType &itensor, int64_t depth)
+{
+    return StreamType(itensor.dtype(), itensor.elementShape(), depth);
+}
+
+} // namespace ir
+} // namespace streamtensor

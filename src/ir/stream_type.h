@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The stream type: a hardware FIFO carrying fixed-width tokens
+ * (paper §3.1.3). Lowered from itensor during bufferization; only
+ * the token type and the FIFO depth survive, the layout is dropped.
+ */
+
+#ifndef STREAMTENSOR_IR_STREAM_TYPE_H
+#define STREAMTENSOR_IR_STREAM_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/data_type.h"
+
+namespace streamtensor {
+namespace ir {
+
+class ITensorType;
+
+/** A FIFO of vectorised tokens with a fixed depth. */
+class StreamType
+{
+  public:
+    StreamType() = default;
+
+    /**
+     * @param dtype scalar type of the token lanes
+     * @param vector_shape lanes per token ({} = scalar token)
+     * @param depth FIFO depth in tokens
+     */
+    StreamType(DataType dtype, std::vector<int64_t> vector_shape,
+               int64_t depth);
+
+    DataType dtype() const { return dtype_; }
+    const std::vector<int64_t> &vectorShape() const
+    {
+        return vector_shape_;
+    }
+    int64_t depth() const { return depth_; }
+
+    /** Scalar lanes per token. */
+    int64_t lanes() const;
+
+    /** Bits per token. */
+    int64_t tokenBits() const;
+
+    /** Total FIFO storage in bits. */
+    int64_t storageBits() const { return tokenBits() * depth_; }
+
+    bool operator==(const StreamType &o) const;
+    bool operator!=(const StreamType &o) const { return !(*this == o); }
+
+    /** Render as "stream<4x2xi8, depth:32>". */
+    std::string str() const;
+
+  private:
+    DataType dtype_ = DataType::F32;
+    std::vector<int64_t> vector_shape_;
+    int64_t depth_ = 2;
+};
+
+/**
+ * Bufferize an itensor into a stream type with depth @p depth: the
+ * token vector shape is the itensor element shape and the layout is
+ * stripped (paper §3.1.3).
+ */
+StreamType streamTypeFor(const ITensorType &itensor, int64_t depth);
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_STREAM_TYPE_H

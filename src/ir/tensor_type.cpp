@@ -1,0 +1,55 @@
+#include "ir/tensor_type.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace ir {
+
+TensorType::TensorType(DataType dtype, std::vector<int64_t> shape)
+    : dtype_(dtype), shape_(std::move(shape))
+{
+    for (int64_t d : shape_)
+        ST_CHECK(d >= 1, "tensor dims must be >= 1");
+}
+
+int64_t
+TensorType::dim(int64_t i) const
+{
+    ST_ASSERT(i >= 0 && i < rank(), "dim index out of range");
+    return shape_[i];
+}
+
+int64_t
+TensorType::numElements() const
+{
+    return product(shape_);
+}
+
+int64_t
+TensorType::sizeBytes() const
+{
+    return ceilDiv(numElements() * bitWidth(dtype_), 8);
+}
+
+bool
+TensorType::operator==(const TensorType &o) const
+{
+    return dtype_ == o.dtype_ && shape_ == o.shape_;
+}
+
+std::string
+TensorType::str() const
+{
+    std::ostringstream os;
+    os << "tensor<";
+    for (int64_t d : shape_)
+        os << d << "x";
+    os << dataTypeName(dtype_) << ">";
+    return os.str();
+}
+
+} // namespace ir
+} // namespace streamtensor

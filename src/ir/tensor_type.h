@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory-mapped tensor type: a data type plus a static shape.
+ */
+
+#ifndef STREAMTENSOR_IR_TENSOR_TYPE_H
+#define STREAMTENSOR_IR_TENSOR_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/data_type.h"
+
+namespace streamtensor {
+namespace ir {
+
+/**
+ * A traditional memory-mapped tensor type (cf. paper §3.1.1):
+ * elements addressed by offsets, no streaming order implied.
+ */
+class TensorType
+{
+  public:
+    TensorType() : dtype_(DataType::F32) {}
+    TensorType(DataType dtype, std::vector<int64_t> shape);
+
+    DataType dtype() const { return dtype_; }
+    const std::vector<int64_t> &shape() const { return shape_; }
+    int64_t rank() const
+    {
+        return static_cast<int64_t>(shape_.size());
+    }
+    int64_t dim(int64_t i) const;
+
+    /** Total number of scalar elements. */
+    int64_t numElements() const;
+
+    /** Total storage in bytes (sub-byte types round per-tensor). */
+    int64_t sizeBytes() const;
+
+    bool operator==(const TensorType &o) const;
+    bool operator!=(const TensorType &o) const { return !(*this == o); }
+
+    /** Render as "tensor<8x8xf32>". */
+    std::string str() const;
+
+  private:
+    DataType dtype_;
+    std::vector<int64_t> shape_;
+};
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_TENSOR_TYPE_H

@@ -1,0 +1,133 @@
+#include "ir/type.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace ir {
+
+std::string
+memoryKindName(MemoryKind kind)
+{
+    switch (kind) {
+      case MemoryKind::LUTRAM: return "lutram";
+      case MemoryKind::BRAM: return "bram";
+      case MemoryKind::URAM: return "uram";
+      case MemoryKind::Auto: return "auto";
+    }
+    ST_PANIC("unknown MemoryKind");
+}
+
+MemRefType::MemRefType(DataType dtype, std::vector<int64_t> shape,
+                       bool ping_pong, MemoryKind kind)
+    : dtype_(dtype), shape_(std::move(shape)), ping_pong_(ping_pong),
+      kind_(kind)
+{
+    for (int64_t d : shape_)
+        ST_CHECK(d >= 1, "memref dims must be >= 1");
+}
+
+int64_t
+MemRefType::numElements() const
+{
+    return product(shape_);
+}
+
+int64_t
+MemRefType::storageBytes() const
+{
+    int64_t banks = ping_pong_ ? 2 : 1;
+    return banks * ceilDiv(numElements() * bitWidth(dtype_), 8);
+}
+
+bool
+MemRefType::operator==(const MemRefType &o) const
+{
+    return dtype_ == o.dtype_ && shape_ == o.shape_ &&
+           ping_pong_ == o.ping_pong_ && kind_ == o.kind_;
+}
+
+std::string
+MemRefType::str() const
+{
+    std::ostringstream os;
+    os << "memref<";
+    for (int64_t d : shape_)
+        os << d << "x";
+    os << dataTypeName(dtype_);
+    if (ping_pong_)
+        os << ", ping_pong";
+    if (kind_ != MemoryKind::Auto)
+        os << ", " << memoryKindName(kind_);
+    os << ">";
+    return os.str();
+}
+
+bool
+Type::isTensor() const
+{
+    return std::holds_alternative<TensorType>(storage_);
+}
+
+bool
+Type::isITensor() const
+{
+    return std::holds_alternative<ITensorType>(storage_);
+}
+
+bool
+Type::isStream() const
+{
+    return std::holds_alternative<StreamType>(storage_);
+}
+
+bool
+Type::isMemRef() const
+{
+    return std::holds_alternative<MemRefType>(storage_);
+}
+
+const TensorType &
+Type::tensor() const
+{
+    ST_ASSERT(isTensor(), "type is not a tensor");
+    return std::get<TensorType>(storage_);
+}
+
+const ITensorType &
+Type::itensor() const
+{
+    ST_ASSERT(isITensor(), "type is not an itensor");
+    return std::get<ITensorType>(storage_);
+}
+
+const StreamType &
+Type::stream() const
+{
+    ST_ASSERT(isStream(), "type is not a stream");
+    return std::get<StreamType>(storage_);
+}
+
+const MemRefType &
+Type::memref() const
+{
+    ST_ASSERT(isMemRef(), "type is not a memref");
+    return std::get<MemRefType>(storage_);
+}
+
+std::string
+Type::str() const
+{
+    if (isTensor())
+        return tensor().str();
+    if (isITensor())
+        return itensor().str();
+    if (isStream())
+        return stream().str();
+    return memref().str();
+}
+
+} // namespace ir
+} // namespace streamtensor

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The unified Type used by IR values: one of Tensor, ITensor,
+ * Stream, or MemRef (on-chip buffer).
+ */
+
+#ifndef STREAMTENSOR_IR_TYPE_H
+#define STREAMTENSOR_IR_TYPE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/itensor_type.h"
+#include "ir/stream_type.h"
+#include "ir/tensor_type.h"
+
+namespace streamtensor {
+namespace ir {
+
+/** On-chip memory kinds an FPGA buffer may be placed into. */
+enum class MemoryKind { LUTRAM, BRAM, URAM, Auto };
+
+/** Printable name for a MemoryKind. */
+std::string memoryKindName(MemoryKind kind);
+
+/**
+ * An on-chip buffer type (lowered from tensor instances). Ping-pong
+ * buffers double the physical storage.
+ */
+class MemRefType
+{
+  public:
+    MemRefType() = default;
+    MemRefType(DataType dtype, std::vector<int64_t> shape,
+               bool ping_pong, MemoryKind kind = MemoryKind::Auto);
+
+    DataType dtype() const { return dtype_; }
+    const std::vector<int64_t> &shape() const { return shape_; }
+    bool isPingPong() const { return ping_pong_; }
+    MemoryKind memoryKind() const { return kind_; }
+
+    /** Logical elements of one bank. */
+    int64_t numElements() const;
+
+    /** Physical storage in bytes (x2 for ping-pong). */
+    int64_t storageBytes() const;
+
+    bool operator==(const MemRefType &o) const;
+    bool operator!=(const MemRefType &o) const { return !(*this == o); }
+
+    /** Render as "memref<16x64xi8, ping_pong, bram>". */
+    std::string str() const;
+
+  private:
+    DataType dtype_ = DataType::F32;
+    std::vector<int64_t> shape_;
+    bool ping_pong_ = false;
+    MemoryKind kind_ = MemoryKind::Auto;
+};
+
+/** A value type: tensor | itensor | stream | memref. */
+class Type
+{
+  public:
+    Type() : storage_(TensorType()) {}
+    Type(TensorType t) : storage_(std::move(t)) {}
+    Type(ITensorType t) : storage_(std::move(t)) {}
+    Type(StreamType t) : storage_(std::move(t)) {}
+    Type(MemRefType t) : storage_(std::move(t)) {}
+
+    bool isTensor() const;
+    bool isITensor() const;
+    bool isStream() const;
+    bool isMemRef() const;
+
+    const TensorType &tensor() const;
+    const ITensorType &itensor() const;
+    const StreamType &stream() const;
+    const MemRefType &memref() const;
+
+    bool operator==(const Type &o) const
+    {
+        return storage_ == o.storage_;
+    }
+    bool operator!=(const Type &o) const { return !(*this == o); }
+
+    std::string str() const;
+
+  private:
+    std::variant<TensorType, ITensorType, StreamType, MemRefType>
+        storage_;
+};
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_TYPE_H

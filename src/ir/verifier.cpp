@@ -1,0 +1,344 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+namespace streamtensor {
+namespace ir {
+
+namespace {
+
+/** Collects diagnostics while walking the IR. */
+class Verifier
+{
+  public:
+    VerifyResult takeResult() { return std::move(result_); }
+
+    void
+    error(const Op &op, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << opKindName(op.kind());
+        if (!op.label().empty())
+            os << " @" << op.label();
+        os << ": " << msg;
+        result_.diagnostics.push_back(os.str());
+    }
+
+    void
+    verify(const Op &op)
+    {
+        switch (op.kind()) {
+          case OpKind::ItensorEmpty:
+          case OpKind::ItensorInstance:
+            checkCounts(op, 0, 1);
+            checkResultITensor(op);
+            break;
+          case OpKind::ItensorRead:
+            verifyRead(op);
+            break;
+          case OpKind::ItensorWrite:
+            verifyWrite(op);
+            break;
+          case OpKind::ItensorCast:
+            checkCounts(op, 1, 1);
+            checkOperandITensor(op, 0);
+            checkResultITensor(op);
+            break;
+          case OpKind::ItensorReassociate:
+            verifyReassociate(op);
+            break;
+          case OpKind::ItensorConverter:
+            verifyConverter(op);
+            break;
+          case OpKind::ItensorChunk:
+          case OpKind::ItensorConcat:
+            verifyChunkConcat(op);
+            break;
+          case OpKind::ItensorFork:
+            verifyFork(op);
+            break;
+          case OpKind::ItensorJoin:
+            verifyJoin(op);
+            break;
+          case OpKind::ItensorToStream:
+            checkCounts(op, 1, 1);
+            checkOperandITensor(op, 0);
+            if (!op.result()->type().isStream())
+                error(op, "result must be a stream");
+            break;
+          case OpKind::StreamToItensor:
+            checkCounts(op, 1, 1);
+            if (!op.operand(0)->type().isStream())
+                error(op, "operand must be a stream");
+            checkResultITensor(op);
+            break;
+          case OpKind::StreamCreate:
+            checkCounts(op, 0, 1);
+            if (!op.result()->type().isStream())
+                error(op, "result must be a stream");
+            break;
+          case OpKind::StreamRead:
+            checkCounts(op, 1, 1);
+            if (!op.operand(0)->type().isStream())
+                error(op, "source must be a stream");
+            break;
+          case OpKind::StreamWrite:
+            checkCounts(op, 2, 0);
+            if (!op.operand(1)->type().isStream())
+                error(op, "dest must be a stream");
+            break;
+          case OpKind::StreamCast:
+            checkCounts(op, 1, 1);
+            break;
+          case OpKind::BufferCreate:
+            checkCounts(op, 0, 1);
+            if (!op.result()->type().isMemRef())
+                error(op, "result must be a memref");
+            break;
+          case OpKind::Kernel:
+            verifyKernel(op);
+            break;
+          case OpKind::Task:
+            verifyTask(op);
+            break;
+          case OpKind::Yield:
+            verifyYield(op);
+            break;
+          case OpKind::LoopNest:
+            if (!op.hasAttr("trips"))
+                error(op, "loop_nest requires a trips attribute");
+            break;
+          default:
+            break;
+        }
+        for (int64_t i = 0; i < op.numRegions(); ++i)
+            for (const auto &inner : op.region(i)->ops())
+                verify(*inner);
+    }
+
+  private:
+    void
+    checkCounts(const Op &op, int64_t operands, int64_t results)
+    {
+        if (op.numOperands() != operands)
+            error(op, "expected " + std::to_string(operands) +
+                          " operands");
+        if (op.numResults() != results)
+            error(op, "expected " + std::to_string(results) +
+                          " results");
+    }
+
+    bool
+    checkOperandITensor(const Op &op, int64_t i)
+    {
+        if (i >= op.numOperands() ||
+            !op.operand(i)->type().isITensor()) {
+            error(op, "operand " + std::to_string(i) +
+                          " must be an itensor");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    checkResultITensor(const Op &op)
+    {
+        if (op.numResults() < 1 ||
+            !op.result()->type().isITensor()) {
+            error(op, "result must be an itensor");
+            return false;
+        }
+        return true;
+    }
+
+    void
+    verifyRead(const Op &op)
+    {
+        // source(itensor) [+ optional init] -> value.
+        if (op.numOperands() < 1 || op.numOperands() > 2) {
+            error(op, "expected source (+ optional init) operands");
+            return;
+        }
+        if (!checkOperandITensor(op, 0) || op.numResults() != 1)
+            return;
+        const ITensorType &src = op.operand(0)->type().itensor();
+        const Type &value = op.result()->type();
+        if (value.isTensor() &&
+            value.tensor().shape() != src.elementShape()) {
+            error(op, "read value shape must equal element shape");
+        }
+    }
+
+    void
+    verifyWrite(const Op &op)
+    {
+        // value + dest(itensor) -> result(itensor, same type).
+        if (op.numOperands() != 2 || op.numResults() != 1) {
+            error(op, "expected (value, dest) -> result");
+            return;
+        }
+        if (!checkOperandITensor(op, 1) || !checkResultITensor(op))
+            return;
+        const ITensorType &dest = op.operand(1)->type().itensor();
+        const ITensorType &res = op.result()->type().itensor();
+        if (!(dest == res))
+            error(op, "result type must match dest type "
+                      "(destination-carried)");
+        const Type &value = op.operand(0)->type();
+        if (value.isTensor() &&
+            value.tensor().shape() != dest.elementShape()) {
+            error(op, "written value shape must equal element shape");
+        }
+    }
+
+    void
+    verifyReassociate(const Op &op)
+    {
+        checkCounts(op, 1, 1);
+        if (!checkOperandITensor(op, 0) || !checkResultITensor(op))
+            return;
+        const ITensorType &src = op.operand(0)->type().itensor();
+        const ITensorType &res = op.result()->type().itensor();
+        if (src.dataTensorType().numElements() !=
+            res.dataTensorType().numElements()) {
+            error(op, "reassociation must preserve element count");
+        }
+    }
+
+    void
+    verifyConverter(const Op &op)
+    {
+        checkCounts(op, 1, 1);
+        if (!checkOperandITensor(op, 0) || !checkResultITensor(op))
+            return;
+        const ITensorType &src = op.operand(0)->type().itensor();
+        const ITensorType &res = op.result()->type().itensor();
+        if (!src.sameDataSpace(res))
+            error(op, "converter requires identical data spaces");
+    }
+
+    void
+    verifyChunkConcat(const Op &op)
+    {
+        bool chunk = op.kind() == OpKind::ItensorChunk;
+        int64_t many = chunk ? op.numResults() : op.numOperands();
+        if (many < 1)
+            error(op, "needs at least one variadic side entry");
+        if ((chunk && op.numOperands() != 1) ||
+            (!chunk && op.numResults() != 1)) {
+            error(op, "single side must have exactly one value");
+        }
+    }
+
+    void
+    verifyFork(const Op &op)
+    {
+        if (op.numOperands() != 1 || op.numResults() < 1) {
+            error(op, "fork expects one source, >= 1 results");
+            return;
+        }
+        if (!checkOperandITensor(op, 0))
+            return;
+        for (int64_t i = 0; i < op.numResults(); ++i) {
+            if (!op.result(i)->type().isITensor() ||
+                op.result(i)->type().itensor() !=
+                    op.operand(0)->type().itensor()) {
+                error(op, "fork results must duplicate source type");
+            }
+        }
+    }
+
+    void
+    verifyJoin(const Op &op)
+    {
+        if (op.numOperands() < 1 || op.numResults() != 1)
+            error(op, "join expects >= 1 sources, one result");
+    }
+
+    void
+    verifyKernel(const Op &op)
+    {
+        for (int64_t i = 0; i < op.numOperands(); ++i)
+            if (!op.operand(i)->type().isTensor())
+                error(op, "kernel sources must be tensors");
+        for (int64_t i = 0; i < op.numResults(); ++i)
+            if (!op.result(i)->type().isTensor())
+                error(op, "kernel results must be tensors");
+        if (op.numRegions() != 1) {
+            error(op, "kernel must have exactly one region");
+            return;
+        }
+        // Boundary: region args must be itensors (implicit DMAs).
+        for (const auto &arg : op.region()->arguments())
+            if (!arg->type().isITensor())
+                error(op, "kernel region args must be itensors");
+        const Op *term = op.region()->terminator();
+        if (!term || term->kind() != OpKind::Yield)
+            error(op, "kernel region must end with yield");
+    }
+
+    void
+    verifyTask(const Op &op)
+    {
+        if (op.numRegions() != 1)
+            error(op, "task must have exactly one region");
+        for (int64_t i = 0; i < op.numOperands(); ++i) {
+            const Type &t = op.operand(i)->type();
+            if (!t.isITensor() && !t.isTensor() && !t.isStream() &&
+                !t.isMemRef()) {
+                error(op, "task operands must be itensor/tensor/"
+                          "stream/memref");
+            }
+        }
+    }
+
+    void
+    verifyYield(const Op &op)
+    {
+        const Region *region = op.parentRegion();
+        if (!region || !region->parentOp())
+            return;
+        const Op *parent = region->parentOp();
+        if (parent->kind() != OpKind::Kernel &&
+            parent->kind() != OpKind::Task &&
+            parent->kind() != OpKind::LoopNest) {
+            error(op, "yield only terminates kernel/task/loop");
+        }
+    }
+
+    VerifyResult result_;
+};
+
+} // namespace
+
+std::string
+VerifyResult::str() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < diagnostics.size(); ++i) {
+        if (i)
+            os << "\n";
+        os << diagnostics[i];
+    }
+    return os.str();
+}
+
+VerifyResult
+verifyOp(const Op &op)
+{
+    Verifier v;
+    v.verify(op);
+    return v.takeResult();
+}
+
+VerifyResult
+verifyModule(const Module &module)
+{
+    Verifier v;
+    for (const auto &op : module.body().ops())
+        v.verify(*op);
+    return v.takeResult();
+}
+
+} // namespace ir
+} // namespace streamtensor

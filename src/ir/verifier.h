@@ -1,0 +1,39 @@
+/**
+ * @file
+ * IR verifier: structural and type checks for every op kind
+ * (paper §3.1: "dedicated type and operation verifiers ... ensure
+ * the IR's validity after any transformation pass").
+ */
+
+#ifndef STREAMTENSOR_IR_VERIFIER_H
+#define STREAMTENSOR_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace streamtensor {
+namespace ir {
+
+/** Result of verification: empty diagnostics == valid. */
+struct VerifyResult
+{
+    std::vector<std::string> diagnostics;
+
+    bool ok() const { return diagnostics.empty(); }
+
+    /** All diagnostics joined by newlines. */
+    std::string str() const;
+};
+
+/** Verify one op (recursing into regions). */
+VerifyResult verifyOp(const Op &op);
+
+/** Verify all ops of a module. */
+VerifyResult verifyModule(const Module &module);
+
+} // namespace ir
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_IR_VERIFIER_H

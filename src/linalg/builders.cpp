@@ -1,0 +1,291 @@
+#include "linalg/builders.h"
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace linalg {
+
+namespace {
+
+IndexingMap
+identityMap(int64_t rank)
+{
+    IndexingMap map;
+    for (int64_t i = 0; i < rank; ++i)
+        map.dims.push_back(i);
+    return map;
+}
+
+double
+ewiseCost(EwiseFn fn)
+{
+    switch (fn) {
+      case EwiseFn::Gelu: return 8.0;
+      case EwiseFn::Silu: return 6.0;
+      case EwiseFn::Exp: return 4.0;
+      case EwiseFn::Div: return 4.0;
+      default: return 1.0;
+    }
+}
+
+} // namespace
+
+int64_t
+matmul(Graph &g, int64_t a, int64_t b, ir::DataType out_dtype,
+       const std::string &name, int64_t init)
+{
+    const ir::TensorType ta = g.tensor(a).type;
+    const ir::TensorType tb = g.tensor(b).type;
+    ST_CHECK(ta.rank() == 2 && tb.rank() == 2,
+             "matmul operands must be rank 2");
+    ST_CHECK(ta.dim(1) == tb.dim(0),
+             "matmul contraction dims must match");
+    int64_t m = ta.dim(0), k = ta.dim(1), n = tb.dim(1);
+    int64_t out = g.addTensor(ir::TensorType(out_dtype, {m, n}),
+                              name);
+    OpInfo op;
+    op.kind = OpKind::MatMul;
+    op.name = name;
+    op.inputs = {a, b};
+    op.input_indexing = {IndexingMap{{0, 2}}, IndexingMap{{2, 1}}};
+    if (init >= 0) {
+        ST_CHECK(g.tensor(init).type.shape() ==
+                     std::vector<int64_t>({m, n}),
+                 "matmul init shape must match output");
+        op.inputs.push_back(init);
+        op.input_indexing.push_back(IndexingMap{{0, 1}});
+    }
+    op.output = out;
+    op.loop_extents = {m, n, k};
+    op.iterators = {IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Reduction};
+    op.output_indexing = IndexingMap{{0, 1}};
+    op.flops_per_point = 2.0;
+    g.addOp(std::move(op));
+    return out;
+}
+
+int64_t
+batchMatmul(Graph &g, int64_t a, int64_t b, ir::DataType out_dtype,
+            const std::string &name)
+{
+    const ir::TensorType ta = g.tensor(a).type;
+    const ir::TensorType tb = g.tensor(b).type;
+    ST_CHECK(ta.rank() == 3 && tb.rank() == 3,
+             "batch_matmul operands must be rank 3");
+    ST_CHECK(ta.dim(0) == tb.dim(0), "batch dims must match");
+    ST_CHECK(ta.dim(2) == tb.dim(1),
+             "batch_matmul contraction dims must match");
+    int64_t bsz = ta.dim(0), m = ta.dim(1), k = ta.dim(2),
+            n = tb.dim(2);
+    int64_t out =
+        g.addTensor(ir::TensorType(out_dtype, {bsz, m, n}), name);
+    OpInfo op;
+    op.kind = OpKind::BatchMatMul;
+    op.name = name;
+    op.inputs = {a, b};
+    op.output = out;
+    op.loop_extents = {bsz, m, n, k};
+    op.iterators = {IteratorKind::Parallel, IteratorKind::Parallel,
+                    IteratorKind::Parallel, IteratorKind::Reduction};
+    op.input_indexing = {IndexingMap{{0, 1, 3}},
+                         IndexingMap{{0, 3, 2}}};
+    op.output_indexing = IndexingMap{{0, 1, 2}};
+    op.flops_per_point = 2.0;
+    g.addOp(std::move(op));
+    return out;
+}
+
+int64_t
+fill(Graph &g, ir::TensorType type, const std::string &name)
+{
+    int64_t rank = type.rank();
+    int64_t out = g.addTensor(type, name);
+    OpInfo op;
+    op.kind = OpKind::Fill;
+    op.name = name;
+    op.output = out;
+    op.loop_extents = type.shape();
+    op.iterators.assign(rank, IteratorKind::Parallel);
+    op.output_indexing = identityMap(rank);
+    op.flops_per_point = 0.0;
+    g.addOp(std::move(op));
+    return out;
+}
+
+int64_t
+ewiseUnary(Graph &g, int64_t x, EwiseFn fn, const std::string &name)
+{
+    const ir::TensorType tx = g.tensor(x).type;
+    int64_t out = g.addTensor(tx, name);
+    OpInfo op;
+    op.kind = OpKind::Elementwise;
+    op.ewise_fn = fn;
+    op.name = name;
+    op.inputs = {x};
+    op.output = out;
+    op.loop_extents = tx.shape();
+    op.iterators.assign(tx.rank(), IteratorKind::Parallel);
+    op.input_indexing = {identityMap(tx.rank())};
+    op.output_indexing = identityMap(tx.rank());
+    op.flops_per_point = ewiseCost(fn);
+    g.addOp(std::move(op));
+    return out;
+}
+
+int64_t
+ewiseBinary(Graph &g, int64_t a, int64_t b, EwiseFn fn,
+            const std::string &name)
+{
+    const ir::TensorType ta = g.tensor(a).type;
+    const ir::TensorType tb = g.tensor(b).type;
+    ST_CHECK(ta.shape() == tb.shape(),
+             "ewise binary operands must have equal shapes");
+    int64_t out = g.addTensor(ta, name);
+    OpInfo op;
+    op.kind = OpKind::Elementwise;
+    op.ewise_fn = fn;
+    op.name = name;
+    op.inputs = {a, b};
+    op.output = out;
+    op.loop_extents = ta.shape();
+    op.iterators.assign(ta.rank(), IteratorKind::Parallel);
+    op.input_indexing = {identityMap(ta.rank()),
+                         identityMap(ta.rank())};
+    op.output_indexing = identityMap(ta.rank());
+    op.flops_per_point = ewiseCost(fn);
+    g.addOp(std::move(op));
+    return out;
+}
+
+int64_t
+ewiseBroadcast(Graph &g, int64_t a, int64_t vec, EwiseFn fn,
+               const std::string &name)
+{
+    const ir::TensorType ta = g.tensor(a).type;
+    const ir::TensorType tv = g.tensor(vec).type;
+    ST_CHECK(tv.rank() == 1 &&
+                 tv.dim(0) == ta.dim(ta.rank() - 1),
+             "broadcast vector must match the innermost dim");
+    int64_t out = g.addTensor(ta, name);
+    OpInfo op;
+    op.kind = OpKind::Elementwise;
+    op.ewise_fn = fn;
+    op.name = name;
+    op.inputs = {a, vec};
+    op.output = out;
+    op.loop_extents = ta.shape();
+    op.iterators.assign(ta.rank(), IteratorKind::Parallel);
+    op.input_indexing = {identityMap(ta.rank()),
+                         IndexingMap{{ta.rank() - 1}}};
+    op.output_indexing = identityMap(ta.rank());
+    op.flops_per_point = ewiseCost(fn);
+    g.addOp(std::move(op));
+    return out;
+}
+
+namespace {
+
+int64_t
+innerReduceOp(Graph &g, int64_t x, int64_t weight, OpKind kind,
+              double cost, const std::string &name)
+{
+    const ir::TensorType tx = g.tensor(x).type;
+    int64_t out = g.addTensor(tx, name);
+    OpInfo op;
+    op.kind = kind;
+    op.name = name;
+    op.inputs = {x};
+    op.input_indexing = {identityMap(tx.rank())};
+    if (weight >= 0) {
+        const ir::TensorType tw = g.tensor(weight).type;
+        ST_CHECK(tw.rank() == 1 &&
+                     tw.dim(0) == tx.dim(tx.rank() - 1),
+                 "norm weight must match the innermost dim");
+        op.inputs.push_back(weight);
+        op.input_indexing.push_back(IndexingMap{{tx.rank() - 1}});
+    }
+    op.output = out;
+    op.loop_extents = tx.shape();
+    op.iterators.assign(tx.rank(), IteratorKind::Parallel);
+    op.iterators.back() = IteratorKind::Reduction;
+    op.output_indexing = identityMap(tx.rank());
+    op.flops_per_point = cost;
+    g.addOp(std::move(op));
+    return out;
+}
+
+} // namespace
+
+int64_t
+softmax(Graph &g, int64_t x, const std::string &name)
+{
+    return innerReduceOp(g, x, -1, OpKind::Softmax, 5.0, name);
+}
+
+int64_t
+layerNorm(Graph &g, int64_t x, int64_t weight,
+          const std::string &name)
+{
+    return innerReduceOp(g, x, weight, OpKind::LayerNorm, 6.0, name);
+}
+
+int64_t
+rmsNorm(Graph &g, int64_t x, int64_t weight, const std::string &name)
+{
+    return innerReduceOp(g, x, weight, OpKind::RMSNorm, 4.0, name);
+}
+
+int64_t
+rope(Graph &g, int64_t x, const std::string &name)
+{
+    const ir::TensorType tx = g.tensor(x).type;
+    int64_t out = g.addTensor(tx, name);
+    OpInfo op;
+    op.kind = OpKind::Rope;
+    op.name = name;
+    op.inputs = {x};
+    op.output = out;
+    op.loop_extents = tx.shape();
+    op.iterators.assign(tx.rank(), IteratorKind::Parallel);
+    op.input_indexing = {identityMap(tx.rank())};
+    op.output_indexing = identityMap(tx.rank());
+    op.flops_per_point = 4.0;
+    g.addOp(std::move(op));
+    return out;
+}
+
+int64_t
+transpose(Graph &g, int64_t x, const std::vector<int64_t> &perm,
+          const std::string &name)
+{
+    const ir::TensorType tx = g.tensor(x).type;
+    ST_CHECK(static_cast<int64_t>(perm.size()) == tx.rank(),
+             "transpose perm rank mismatch");
+    std::vector<int64_t> out_shape;
+    for (int64_t p : perm)
+        out_shape.push_back(tx.dim(p));
+    int64_t out =
+        g.addTensor(ir::TensorType(tx.dtype(), out_shape), name);
+    OpInfo op;
+    op.kind = OpKind::Transpose;
+    op.name = name;
+    op.inputs = {x};
+    op.output = out;
+    op.loop_extents = out_shape;
+    op.iterators.assign(tx.rank(), IteratorKind::Parallel);
+    // Output dim i is loop i; input dim perm[i] is loop i, i.e.
+    // input dim d is indexed by loop invPerm[d].
+    IndexingMap in_map;
+    in_map.dims.assign(tx.rank(), -1);
+    for (int64_t i = 0; i < tx.rank(); ++i)
+        in_map.dims[perm[i]] = i;
+    op.input_indexing = {in_map};
+    op.output_indexing = identityMap(tx.rank());
+    op.flops_per_point = 0.0;
+    g.addOp(std::move(op));
+    return out;
+}
+
+} // namespace linalg
+} // namespace streamtensor

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Named-op builders for the linalg graph: each creates the output
+ * tensor and a structured op with the right iteration domain and
+ * indexing, mirroring MLIR named linalg ops.
+ */
+
+#ifndef STREAMTENSOR_LINALG_BUILDERS_H
+#define STREAMTENSOR_LINALG_BUILDERS_H
+
+#include <string>
+
+#include "linalg/graph.h"
+
+namespace streamtensor {
+namespace linalg {
+
+/** C[m,n] = sum_k A[m,k] * B[k,n]; returns C's tensor id.
+ *  When @p init >= 0 it is consumed as the accumulator produced by
+ *  a fill op (exercised by the fuse-fill pass). @p out_dtype lets
+ *  quantized matmuls accumulate wide and emit requantized. */
+int64_t matmul(Graph &g, int64_t a, int64_t b,
+               ir::DataType out_dtype, const std::string &name,
+               int64_t init = -1);
+
+/** C[b,m,n] = sum_k A[b,m,k] * B[b,k,n]. */
+int64_t batchMatmul(Graph &g, int64_t a, int64_t b,
+                    ir::DataType out_dtype, const std::string &name);
+
+/** Zero/constant-filled tensor of the given type. */
+int64_t fill(Graph &g, ir::TensorType type, const std::string &name);
+
+/** Unary elementwise map. */
+int64_t ewiseUnary(Graph &g, int64_t x, EwiseFn fn,
+                   const std::string &name);
+
+/** Binary elementwise map; shapes must match exactly. */
+int64_t ewiseBinary(Graph &g, int64_t a, int64_t b, EwiseFn fn,
+                    const std::string &name);
+
+/** Binary elementwise with the second operand broadcast along all
+ *  but the last dim (bias/scale vectors). */
+int64_t ewiseBroadcast(Graph &g, int64_t a, int64_t vec, EwiseFn fn,
+                       const std::string &name);
+
+/** Softmax over the innermost dim. */
+int64_t softmax(Graph &g, int64_t x, const std::string &name);
+
+/** LayerNorm over the innermost dim with a weight vector. */
+int64_t layerNorm(Graph &g, int64_t x, int64_t weight,
+                  const std::string &name);
+
+/** RMSNorm over the innermost dim with a weight vector. */
+int64_t rmsNorm(Graph &g, int64_t x, int64_t weight,
+                const std::string &name);
+
+/** Rotary positional embedding (elementwise rotation pairs). */
+int64_t rope(Graph &g, int64_t x, const std::string &name);
+
+/** Transpose with the given permutation of data dims. */
+int64_t transpose(Graph &g, int64_t x,
+                  const std::vector<int64_t> &perm,
+                  const std::string &name);
+
+} // namespace linalg
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_LINALG_BUILDERS_H

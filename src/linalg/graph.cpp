@@ -1,0 +1,271 @@
+#include "linalg/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace linalg {
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::MatMul: return "matmul";
+      case OpKind::BatchMatMul: return "batch_matmul";
+      case OpKind::Elementwise: return "elementwise";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::LayerNorm: return "layer_norm";
+      case OpKind::RMSNorm: return "rms_norm";
+      case OpKind::Rope: return "rope";
+      case OpKind::Transpose: return "transpose";
+      case OpKind::Fill: return "fill";
+      case OpKind::Pack: return "pack";
+      case OpKind::Unpack: return "unpack";
+    }
+    ST_PANIC("unknown linalg OpKind");
+}
+
+std::string
+ewiseFnName(EwiseFn fn)
+{
+    switch (fn) {
+      case EwiseFn::Add: return "add";
+      case EwiseFn::Sub: return "sub";
+      case EwiseFn::Mul: return "mul";
+      case EwiseFn::Div: return "div";
+      case EwiseFn::Gelu: return "gelu";
+      case EwiseFn::Silu: return "silu";
+      case EwiseFn::Exp: return "exp";
+      case EwiseFn::Scale: return "scale";
+      case EwiseFn::Residual: return "residual";
+    }
+    ST_PANIC("unknown EwiseFn");
+}
+
+int64_t
+OpInfo::numPoints() const
+{
+    return product(loop_extents);
+}
+
+double
+OpInfo::flops() const
+{
+    return static_cast<double>(numPoints()) *
+           (flops_per_point +
+            static_cast<double>(fused_payloads.size()));
+}
+
+int64_t
+OpInfo::numReductionLoops() const
+{
+    return std::count(iterators.begin(), iterators.end(),
+                      IteratorKind::Reduction);
+}
+
+int64_t
+Graph::addTensor(ir::TensorType type, std::string name,
+                 TensorRole role)
+{
+    TensorInfo info;
+    info.type = std::move(type);
+    info.name = std::move(name);
+    info.role = role;
+    tensors_.push_back(std::move(info));
+    return numTensors() - 1;
+}
+
+int64_t
+Graph::addOp(OpInfo op)
+{
+    ST_CHECK(op.loop_extents.size() == op.iterators.size(),
+             "op loop extents and iterator kinds must align");
+    ST_CHECK(op.input_indexing.size() == op.inputs.size(),
+             "op needs one indexing map per input");
+    for (int64_t t : op.inputs)
+        ST_CHECK(t >= 0 && t < numTensors(), "op input out of range");
+    ST_CHECK(op.output >= 0 && op.output < numTensors(),
+             "op output out of range");
+
+    auto check_map = [&](const IndexingMap &map, int64_t tensor_id) {
+        const auto &shape = tensors_[tensor_id].type.shape();
+        ST_CHECK(map.dims.size() == shape.size(),
+                 "indexing rank must match tensor rank");
+        for (size_t d = 0; d < map.dims.size(); ++d) {
+            int64_t l = map.dims[d];
+            if (l < 0)
+                continue; // broadcast
+            ST_CHECK(l < static_cast<int64_t>(op.loop_extents.size()),
+                     "indexing references loop out of range");
+            ST_CHECK(op.loop_extents[l] == shape[d],
+                     "loop extent must equal indexed tensor extent");
+        }
+    };
+    for (size_t i = 0; i < op.inputs.size(); ++i)
+        check_map(op.input_indexing[i], op.inputs[i]);
+    check_map(op.output_indexing, op.output);
+
+    int64_t id = numOps();
+    for (int64_t t : op.inputs)
+        tensors_[t].consumers.push_back(id);
+    ST_CHECK(tensors_[op.output].producer < 0,
+             "tensor already has a producer");
+    tensors_[op.output].producer = id;
+    ops_.push_back(std::move(op));
+    erased_.push_back(false);
+    return id;
+}
+
+const TensorInfo &
+Graph::tensor(int64_t id) const
+{
+    ST_ASSERT(id >= 0 && id < numTensors(), "tensor id out of range");
+    return tensors_[id];
+}
+
+TensorInfo &
+Graph::tensor(int64_t id)
+{
+    ST_ASSERT(id >= 0 && id < numTensors(), "tensor id out of range");
+    return tensors_[id];
+}
+
+const OpInfo &
+Graph::op(int64_t id) const
+{
+    ST_ASSERT(id >= 0 && id < numOps(), "op id out of range");
+    return ops_[id];
+}
+
+OpInfo &
+Graph::op(int64_t id)
+{
+    ST_ASSERT(id >= 0 && id < numOps(), "op id out of range");
+    return ops_[id];
+}
+
+std::vector<int64_t>
+Graph::topoOrder() const
+{
+    std::vector<int64_t> indeg(numOps(), 0);
+    for (int64_t i = 0; i < numOps(); ++i) {
+        if (erased_[i])
+            continue;
+        for (int64_t t : ops_[i].inputs) {
+            int64_t p = tensors_[t].producer;
+            if (p >= 0 && !erased_[p])
+                ++indeg[i];
+        }
+    }
+    std::vector<int64_t> ready, order;
+    for (int64_t i = 0; i < numOps(); ++i)
+        if (!erased_[i] && indeg[i] == 0)
+            ready.push_back(i);
+    while (!ready.empty()) {
+        int64_t u = ready.back();
+        ready.pop_back();
+        order.push_back(u);
+        int64_t out = ops_[u].output;
+        for (int64_t c : tensors_[out].consumers) {
+            if (erased_[c])
+                continue;
+            if (--indeg[c] == 0)
+                ready.push_back(c);
+        }
+    }
+    int64_t live = 0;
+    for (int64_t i = 0; i < numOps(); ++i)
+        if (!erased_[i])
+            ++live;
+    ST_CHECK(static_cast<int64_t>(order.size()) == live,
+             "linalg graph must be acyclic");
+    return order;
+}
+
+void
+Graph::eraseOp(int64_t id)
+{
+    ST_ASSERT(id >= 0 && id < numOps(), "op id out of range");
+    erased_[id] = true;
+}
+
+bool
+Graph::isErased(int64_t id) const
+{
+    ST_ASSERT(id >= 0 && id < numOps(), "op id out of range");
+    return erased_[id];
+}
+
+std::vector<int64_t>
+Graph::inputTensors() const
+{
+    std::vector<int64_t> out;
+    for (int64_t i = 0; i < numTensors(); ++i)
+        if (tensors_[i].role == TensorRole::Input)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<int64_t>
+Graph::outputTensors() const
+{
+    std::vector<int64_t> out;
+    for (int64_t i = 0; i < numTensors(); ++i)
+        if (tensors_[i].role == TensorRole::Output)
+            out.push_back(i);
+    return out;
+}
+
+int64_t
+Graph::intermediateBytes() const
+{
+    int64_t total = 0;
+    for (int64_t i = 0; i < numTensors(); ++i) {
+        const TensorInfo &t = tensors_[i];
+        if (t.role != TensorRole::Activation)
+            continue;
+        int64_t p = t.producer;
+        if (p < 0 || erased_[p])
+            continue;
+        bool consumed = false;
+        for (int64_t c : t.consumers)
+            if (!erased_[c])
+                consumed = true;
+        if (consumed)
+            total += t.type.sizeBytes();
+    }
+    return total;
+}
+
+std::string
+Graph::str() const
+{
+    std::ostringstream os;
+    os << "linalg.graph @" << name_ << " {\n";
+    for (int64_t id : topoOrder()) {
+        const OpInfo &o = ops_[id];
+        os << "  %" << tensors_[o.output].name << " = "
+           << opKindName(o.kind);
+        if (o.kind == OpKind::Elementwise) {
+            os << "<" << ewiseFnName(o.ewise_fn);
+            for (EwiseFn f : o.fused_payloads)
+                os << "+" << ewiseFnName(f);
+            os << ">";
+        }
+        os << "(";
+        for (size_t i = 0; i < o.inputs.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << "%" << tensors_[o.inputs[i]].name;
+        }
+        os << ") : " << tensors_[o.output].type.str() << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace linalg
+} // namespace streamtensor

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Structured linear-algebra graph IR — StreamTensor's front-end
+ * after Torch-MLIR import (paper Fig. 4, "Linalg" stage).
+ *
+ * Each op is a perfectly-nested iteration domain (loop extents +
+ * iterator kinds) with per-operand indexing, mirroring MLIR's
+ * linalg.generic. Named builders (matmul, softmax, ...) live in
+ * builders.h; Linalg-level optimizations (elementwise fusion,
+ * unit-dim folding, fill fusion) live in passes.h.
+ */
+
+#ifndef STREAMTENSOR_LINALG_GRAPH_H
+#define STREAMTENSOR_LINALG_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/tensor_type.h"
+
+namespace streamtensor {
+namespace linalg {
+
+/** Loop iterator kinds. */
+enum class IteratorKind { Parallel, Reduction };
+
+/** Structured op kinds used by the LLM workloads. */
+enum class OpKind {
+    MatMul,      ///< C[m,n] += A[m,k] * B[k,n]
+    BatchMatMul, ///< C[b,m,n] += A[b,m,k] * B[b,k,n]
+    Elementwise, ///< generic map over parallel dims (add/mul/act.)
+    Softmax,     ///< softmax over the innermost dim
+    LayerNorm,   ///< mean/var normalisation over innermost dim
+    RMSNorm,     ///< RMS normalisation over innermost dim
+    Rope,        ///< rotary positional embedding
+    Transpose,   ///< data permutation
+    Fill,        ///< fill output with a constant
+    Pack,        ///< host-side tiled-layout packing
+    Unpack,      ///< inverse of Pack
+};
+
+/** Printable mnemonic. */
+std::string opKindName(OpKind kind);
+
+/** Elementwise payload functions. */
+enum class EwiseFn {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Gelu,
+    Silu,
+    Exp,
+    Scale,
+    Residual,
+};
+
+/** Printable mnemonic. */
+std::string ewiseFnName(EwiseFn fn);
+
+/** How a tensor participates in the graph. */
+enum class TensorRole {
+    Activation, ///< intermediate result
+    Parameter,  ///< pre-trained weight (packed offline)
+    Input,      ///< model input
+    Output,     ///< model output
+    KvCache,    ///< attention cache (dynamic length)
+};
+
+/** A logical tensor in the graph. */
+struct TensorInfo
+{
+    ir::TensorType type;
+    std::string name;
+    TensorRole role = TensorRole::Activation;
+    int64_t producer = -1; ///< op id or -1
+    std::vector<int64_t> consumers;
+};
+
+/**
+ * Per-operand indexing: operand dim d is indexed by loop
+ * `dims[d]`, or broadcast when dims[d] == -1.
+ */
+struct IndexingMap
+{
+    std::vector<int64_t> dims;
+};
+
+/** One structured op. */
+struct OpInfo
+{
+    OpKind kind = OpKind::Elementwise;
+    EwiseFn ewise_fn = EwiseFn::Add; ///< payload when Elementwise
+    std::string name;
+    std::vector<int64_t> inputs;  ///< tensor ids
+    int64_t output = -1;          ///< tensor id
+    std::vector<int64_t> loop_extents;
+    std::vector<IteratorKind> iterators;
+    std::vector<IndexingMap> input_indexing;
+    IndexingMap output_indexing;
+
+    /** Arithmetic ops per iteration point (2 for MAC). */
+    double flops_per_point = 1.0;
+
+    /** Payloads merged into this op by elementwise fusion. */
+    std::vector<EwiseFn> fused_payloads;
+
+    /** Total iteration points. */
+    int64_t numPoints() const;
+
+    /** Total arithmetic work. */
+    double flops() const;
+
+    /** Count of reduction loops. */
+    int64_t numReductionLoops() const;
+};
+
+/** The tensor-op graph. */
+class Graph
+{
+  public:
+    explicit Graph(std::string name = "graph")
+        : name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+
+    /** Add a tensor; returns its id. */
+    int64_t addTensor(ir::TensorType type, std::string name,
+                      TensorRole role = TensorRole::Activation);
+
+    /** Add an op; returns its id. Validates indexing ranks. */
+    int64_t addOp(OpInfo op);
+
+    int64_t numTensors() const
+    {
+        return static_cast<int64_t>(tensors_.size());
+    }
+    int64_t numOps() const
+    {
+        return static_cast<int64_t>(ops_.size());
+    }
+
+    const TensorInfo &tensor(int64_t id) const;
+    TensorInfo &tensor(int64_t id);
+    const OpInfo &op(int64_t id) const;
+    OpInfo &op(int64_t id);
+
+    /** Ids of live ops in topological order. */
+    std::vector<int64_t> topoOrder() const;
+
+    /** Mark an op deleted (after fusion rewires around it). */
+    void eraseOp(int64_t id);
+    bool isErased(int64_t id) const;
+
+    /** Tensors with TensorRole::Input. */
+    std::vector<int64_t> inputTensors() const;
+
+    /** Tensors with TensorRole::Output. */
+    std::vector<int64_t> outputTensors() const;
+
+    /** Sum of activation bytes flowing between live ops — the
+     *  "intermediate results" metric of paper Fig. 10a. */
+    int64_t intermediateBytes() const;
+
+    /** Human-readable dump. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    std::vector<TensorInfo> tensors_;
+    std::vector<OpInfo> ops_;
+    std::vector<bool> erased_;
+};
+
+} // namespace linalg
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_LINALG_GRAPH_H

@@ -1,0 +1,167 @@
+#include "linalg/passes.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace linalg {
+
+namespace {
+
+bool
+isIdentityIndexing(const IndexingMap &map)
+{
+    for (size_t i = 0; i < map.dims.size(); ++i)
+        if (map.dims[i] != static_cast<int64_t>(i))
+            return false;
+    return true;
+}
+
+/** Live consumers of the op's output tensor. */
+std::vector<int64_t>
+liveConsumers(const Graph &g, int64_t op_id)
+{
+    std::vector<int64_t> out;
+    int64_t t = g.op(op_id).output;
+    for (int64_t c : g.tensor(t).consumers)
+        if (!g.isErased(c))
+            out.push_back(c);
+    return out;
+}
+
+} // namespace
+
+int64_t
+fuseElementwiseOps(Graph &g)
+{
+    int64_t fused = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int64_t id : g.topoOrder()) {
+            const OpInfo &producer = g.op(id);
+            if (producer.kind != OpKind::Elementwise)
+                continue;
+            if (!isIdentityIndexing(producer.output_indexing))
+                continue;
+            auto consumers = liveConsumers(g, id);
+            if (consumers.size() != 1)
+                continue;
+            int64_t cid = consumers[0];
+            OpInfo &consumer = g.op(cid);
+            if (consumer.kind != OpKind::Elementwise)
+                continue;
+            if (consumer.loop_extents != producer.loop_extents)
+                continue;
+            // Locate the consumed operand; it must use identity
+            // indexing so the domains align point-for-point.
+            int64_t slot = -1;
+            for (size_t i = 0; i < consumer.inputs.size(); ++i) {
+                if (consumer.inputs[i] == producer.output) {
+                    slot = static_cast<int64_t>(i);
+                    break;
+                }
+            }
+            ST_ASSERT(slot >= 0, "consumer does not use producer");
+            if (!isIdentityIndexing(consumer.input_indexing[slot]))
+                continue;
+            // Splice the producer's payload (applied first) and
+            // inputs into the consumer.
+            std::vector<EwiseFn> payloads = producer.fused_payloads;
+            payloads.push_back(producer.ewise_fn);
+            payloads.insert(payloads.end(),
+                            consumer.fused_payloads.begin(),
+                            consumer.fused_payloads.end());
+            consumer.fused_payloads = std::move(payloads);
+            consumer.inputs.erase(consumer.inputs.begin() + slot);
+            consumer.input_indexing.erase(
+                consumer.input_indexing.begin() + slot);
+            for (size_t i = 0; i < producer.inputs.size(); ++i) {
+                consumer.inputs.push_back(producer.inputs[i]);
+                consumer.input_indexing.push_back(
+                    producer.input_indexing[i]);
+                g.tensor(producer.inputs[i])
+                    .consumers.push_back(cid);
+            }
+            g.eraseOp(id);
+            ++fused;
+            changed = true;
+        }
+    }
+    return fused;
+}
+
+int64_t
+foldUnitExtentDims(Graph &g)
+{
+    int64_t folded = 0;
+    for (int64_t id : g.topoOrder()) {
+        OpInfo &op = g.op(id);
+        std::vector<int64_t> remap(op.loop_extents.size(), -1);
+        std::vector<int64_t> extents;
+        std::vector<IteratorKind> iters;
+        for (size_t l = 0; l < op.loop_extents.size(); ++l) {
+            if (op.loop_extents[l] == 1) {
+                ++folded;
+                continue;
+            }
+            remap[l] = static_cast<int64_t>(extents.size());
+            extents.push_back(op.loop_extents[l]);
+            iters.push_back(op.iterators[l]);
+        }
+        if (extents.size() == op.loop_extents.size())
+            continue;
+        // Keep at least one loop so the op still has a domain.
+        if (extents.empty()) {
+            extents.push_back(1);
+            iters.push_back(IteratorKind::Parallel);
+        }
+        auto rewrite = [&](IndexingMap &map) {
+            for (int64_t &d : map.dims)
+                if (d >= 0)
+                    d = remap[d];
+        };
+        for (auto &map : op.input_indexing)
+            rewrite(map);
+        rewrite(op.output_indexing);
+        op.loop_extents = std::move(extents);
+        op.iterators = std::move(iters);
+    }
+    return folded;
+}
+
+int64_t
+fuseFill(Graph &g)
+{
+    int64_t absorbed = 0;
+    for (int64_t id : g.topoOrder()) {
+        const OpInfo &op = g.op(id);
+        if (op.kind != OpKind::Fill)
+            continue;
+        auto consumers = liveConsumers(g, id);
+        if (consumers.size() != 1)
+            continue;
+        OpInfo &consumer = g.op(consumers[0]);
+        if (consumer.kind != OpKind::MatMul &&
+            consumer.kind != OpKind::BatchMatMul) {
+            continue;
+        }
+        // Drop the init operand; the matmul initialises its own
+        // accumulator in hardware.
+        for (size_t i = 0; i < consumer.inputs.size(); ++i) {
+            if (consumer.inputs[i] == op.output) {
+                consumer.inputs.erase(consumer.inputs.begin() + i);
+                consumer.input_indexing.erase(
+                    consumer.input_indexing.begin() + i);
+                break;
+            }
+        }
+        g.eraseOp(id);
+        ++absorbed;
+    }
+    return absorbed;
+}
+
+} // namespace linalg
+} // namespace streamtensor

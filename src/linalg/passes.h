@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Linalg-level optimization passes (paper Fig. 4 "Linalg
+ * Optimization" stage): elementwise-op fusion, unit-extent dim
+ * folding, and fill fusion.
+ */
+
+#ifndef STREAMTENSOR_LINALG_PASSES_H
+#define STREAMTENSOR_LINALG_PASSES_H
+
+#include <cstdint>
+
+#include "linalg/graph.h"
+
+namespace streamtensor {
+namespace linalg {
+
+/**
+ * Merge producer elementwise ops into their single consumer when
+ * both are elementwise over identical domains with identity
+ * indexing. Returns the number of ops fused away.
+ */
+int64_t fuseElementwiseOps(Graph &g);
+
+/**
+ * Drop extent-1 loops from every op's iteration domain, rewiring
+ * indexing maps (dims indexed by a dropped loop become broadcast).
+ * Returns the number of loops removed.
+ */
+int64_t foldUnitExtentDims(Graph &g);
+
+/**
+ * Absorb fill ops into the matmul accumulators they initialise
+ * (linalg fill fusion). Returns the number of fills absorbed.
+ */
+int64_t fuseFill(Graph &g);
+
+} // namespace linalg
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_LINALG_PASSES_H

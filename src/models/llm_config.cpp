@@ -1,0 +1,126 @@
+#include "models/llm_config.h"
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace models {
+
+int64_t
+LlmConfig::blockParams() const
+{
+    int64_t q_dim = heads * head_dim;
+    int64_t kv_dim = kv_heads * head_dim;
+    int64_t attn = hidden * q_dim          // Wq
+                   + 2 * hidden * kv_dim   // Wk, Wv
+                   + q_dim * hidden;       // Wo
+    int64_t ffn;
+    if (activation == Activation::Silu) {
+        ffn = 3 * hidden * ffn_hidden; // gate, up, down
+    } else {
+        ffn = 2 * hidden * ffn_hidden; // fc1, fc2
+    }
+    int64_t norms = 2 * hidden;
+    return attn + ffn + norms;
+}
+
+int64_t
+LlmConfig::blockParamBytes() const
+{
+    return ceilDiv(blockParams() * ir::bitWidth(weight_dtype), 8);
+}
+
+double
+LlmConfig::blockFlops(int64_t seq_len, int64_t kv_len) const
+{
+    double s = static_cast<double>(seq_len);
+    double l = static_cast<double>(kv_len);
+    int64_t q_dim = heads * head_dim;
+    int64_t kv_dim = kv_heads * head_dim;
+    double proj = 2.0 * s *
+                  (hidden * q_dim + 2.0 * hidden * kv_dim +
+                   q_dim * hidden);
+    double attn = 2.0 * s * l * heads * head_dim * 2.0;
+    double ffn = activation == Activation::Silu
+                     ? 2.0 * s * 3.0 * hidden * ffn_hidden
+                     : 2.0 * s * 2.0 * hidden * ffn_hidden;
+    return proj + attn + ffn;
+}
+
+LlmConfig
+gpt2Config()
+{
+    LlmConfig c;
+    c.name = "GPT-2";
+    c.layers = 24;
+    c.hidden = 1024;
+    c.ffn_hidden = 4096;
+    c.heads = 16;
+    c.kv_heads = 16;
+    c.head_dim = 64;
+    c.activation = Activation::Gelu;
+    c.norm = NormKind::LayerNorm;
+    c.rope = false;
+    return c;
+}
+
+LlmConfig
+qwenConfig()
+{
+    LlmConfig c;
+    c.name = "Qwen";
+    c.layers = 24;
+    c.hidden = 896;
+    c.ffn_hidden = 4864;
+    c.heads = 14;
+    c.kv_heads = 2;
+    c.head_dim = 64;
+    c.activation = Activation::Silu;
+    c.norm = NormKind::RMSNorm;
+    c.rope = true;
+    return c;
+}
+
+LlmConfig
+llamaConfig()
+{
+    LlmConfig c;
+    c.name = "Llama";
+    c.layers = 22;
+    c.hidden = 2048;
+    c.ffn_hidden = 5632;
+    c.heads = 32;
+    c.kv_heads = 4;
+    c.head_dim = 64;
+    c.activation = Activation::Silu;
+    c.norm = NormKind::RMSNorm;
+    c.rope = true;
+    return c;
+}
+
+LlmConfig
+gemmaConfig()
+{
+    LlmConfig c;
+    c.name = "Gemma";
+    c.layers = 26;
+    c.hidden = 1152;
+    c.ffn_hidden = 6912;
+    c.heads = 4;
+    c.kv_heads = 1;
+    c.head_dim = 256;
+    c.activation = Activation::Gelu;
+    c.norm = NormKind::RMSNorm;
+    c.rope = true;
+    return c;
+}
+
+std::vector<LlmConfig>
+allConfigs()
+{
+    return {gpt2Config(), qwenConfig(), llamaConfig(),
+            gemmaConfig()};
+}
+
+} // namespace models
+} // namespace streamtensor

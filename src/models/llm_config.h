@@ -1,0 +1,82 @@
+/**
+ * @file
+ * LLM configurations evaluated in the paper (Table 7), collected
+ * from the Hugging Face model cards: GPT-2 (medium), Qwen2.5-0.5B,
+ * Llama-3.2-1B, and Gemma-3-1B. Weights are W4 and activations A8
+ * to match the paper's quantization (Table 6).
+ */
+
+#ifndef STREAMTENSOR_MODELS_LLM_CONFIG_H
+#define STREAMTENSOR_MODELS_LLM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/data_type.h"
+
+namespace streamtensor {
+namespace models {
+
+/** FFN activation function. */
+enum class Activation { Gelu, Silu };
+
+/** Normalisation kind. */
+enum class NormKind { LayerNorm, RMSNorm };
+
+/** One model configuration (Table 7 row set). */
+struct LlmConfig
+{
+    std::string name;
+    int64_t layers = 0;
+    int64_t hidden = 0;
+    int64_t ffn_hidden = 0;
+    int64_t heads = 0;
+    int64_t kv_heads = 0; ///< == heads for MHA
+    int64_t head_dim = 0;
+    Activation activation = Activation::Gelu;
+    NormKind norm = NormKind::LayerNorm;
+    bool rope = false;
+    int64_t max_seq = 1024;
+
+    ir::DataType weight_dtype = ir::DataType::I4;
+    ir::DataType act_dtype = ir::DataType::I8;
+
+    /** GQA group size = heads / kv_heads. */
+    int64_t groupSize() const { return heads / kv_heads; }
+
+    /** Weight parameters of one transformer block. */
+    int64_t blockParams() const;
+
+    /** Packed weight bytes of one block (W4). */
+    int64_t blockParamBytes() const;
+
+    /** Packed weight bytes of the whole model's blocks. */
+    int64_t totalParamBytes() const
+    {
+        return blockParamBytes() * layers;
+    }
+
+    /** Arithmetic work of one block at the given shapes. */
+    double blockFlops(int64_t seq_len, int64_t kv_len) const;
+};
+
+/** GPT-2 (355M class: 24 x 1024, FFN 4096, 16 heads, GELU). */
+LlmConfig gpt2Config();
+
+/** Qwen2.5-0.5B (24 x 896, FFN 4864, 14 heads / 2 KV, SiLU). */
+LlmConfig qwenConfig();
+
+/** Llama-3.2-1B (22 x 2048, FFN 5632, 32 heads / 4 KV, SiLU). */
+LlmConfig llamaConfig();
+
+/** Gemma-3-1B (26 x 1152, FFN 6912, 4 heads / 1 KV, GELU). */
+LlmConfig gemmaConfig();
+
+/** All four evaluated models in paper order. */
+std::vector<LlmConfig> allConfigs();
+
+} // namespace models
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_MODELS_LLM_CONFIG_H

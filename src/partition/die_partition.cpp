@@ -1,0 +1,169 @@
+#include "partition/die_partition.h"
+
+#include <algorithm>
+#include <map>
+
+#include "hls/resource.h"
+#include "solver/ilp.h"
+#include "support/error.h"
+
+namespace streamtensor {
+namespace partition {
+
+namespace {
+
+/** Greedy fallback: walk the topological order, filling die 0,
+ *  then die 1, ... whenever the running resource share exceeds an
+ *  even split. Keeps chains contiguous, which minimises crossings
+ *  for pipeline-shaped graphs. */
+PartitionResult
+greedyPartition(dataflow::ComponentGraph &g, int64_t group,
+                const hls::FpgaPlatform &platform)
+{
+    PartitionResult result;
+    result.used_ilp = false;
+    result.die_of.assign(g.numComponents(), 0);
+
+    auto order = g.groupTopoOrder(group);
+    double total_luts = 0.0;
+    for (int64_t id : order)
+        total_luts += hls::estimateComponent(g.component(id)).luts;
+    double per_die = total_luts /
+                     static_cast<double>(platform.num_dies);
+
+    double acc = 0.0;
+    int64_t die = 0;
+    for (int64_t id : order) {
+        acc += hls::estimateComponent(g.component(id)).luts;
+        g.component(id).die = die;
+        result.die_of[id] = die;
+        if (acc > per_die * (die + 1) &&
+            die + 1 < platform.num_dies) {
+            ++die;
+        }
+    }
+    for (int64_t ch : g.groupChannels(group)) {
+        const auto &c = g.channel(ch);
+        if (g.component(c.src).die != g.component(c.dst).die)
+            ++result.crossings;
+    }
+    return result;
+}
+
+} // namespace
+
+PartitionResult
+partitionGroup(dataflow::ComponentGraph &g, int64_t group,
+               const hls::FpgaPlatform &platform,
+               const PartitionOptions &options)
+{
+    auto members = g.groupComponents(group);
+    int64_t n = static_cast<int64_t>(members.size());
+    int64_t dies = platform.num_dies;
+    if (n == 0) {
+        return PartitionResult{{}, 0, false};
+    }
+    if (dies <= 1 || n > options.max_ilp_components)
+        return greedyPartition(g, group, platform);
+
+    // Dense index of members and the group's internal channels.
+    std::map<int64_t, int64_t> idx;
+    for (int64_t i = 0; i < n; ++i)
+        idx[members[i]] = i;
+    auto channels = g.groupChannels(group);
+    int64_t m = static_cast<int64_t>(channels.size());
+
+    // Variables: x[i][d] (n*dies binaries, task i on die d), then
+    // y[e][d] (m*dies crossing indicators), then one imbalance
+    // variable z.
+    auto xvar = [&](int64_t i, int64_t d) { return i * dies + d; };
+    auto yvar = [&](int64_t e, int64_t d) {
+        return n * dies + e * dies + d;
+    };
+    int64_t zvar = n * dies + m * dies;
+    solver::IlpProblem ilp(zvar + 1);
+
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t d = 0; d < dies; ++d)
+            ilp.setBinary(xvar(i, d));
+
+    // Exactly one die per task.
+    for (int64_t i = 0; i < n; ++i) {
+        std::vector<int64_t> vars;
+        std::vector<double> ones(dies, 1.0);
+        for (int64_t d = 0; d < dies; ++d)
+            vars.push_back(xvar(i, d));
+        ilp.lp().addSparseConstraint(vars, ones,
+                                     solver::Relation::EQ, 1.0);
+    }
+
+    // Crossing linearisation: y[e][d] >= x[src][d] - x[dst][d]
+    // and y[e][d] >= x[dst][d] - x[src][d]. The sum over d of
+    // y[e][d] is 0 when co-located and 2 when split.
+    for (int64_t e = 0; e < m; ++e) {
+        const auto &ch = g.channel(channels[e]);
+        int64_t si = idx.at(ch.src), di = idx.at(ch.dst);
+        for (int64_t d = 0; d < dies; ++d) {
+            ilp.lp().addSparseConstraint(
+                {yvar(e, d), xvar(si, d), xvar(di, d)},
+                {1.0, -1.0, 1.0}, solver::Relation::GE, 0.0);
+            ilp.lp().addSparseConstraint(
+                {yvar(e, d), xvar(di, d), xvar(si, d)},
+                {1.0, -1.0, 1.0}, solver::Relation::GE, 0.0);
+        }
+    }
+
+    // Imbalance: z >= luts(die d) - total/dies for every die.
+    std::vector<double> luts(n, 0.0);
+    double total_luts = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        luts[i] = hls::estimateComponent(
+                      g.component(members[i]))
+                      .luts;
+        total_luts += luts[i];
+    }
+    for (int64_t d = 0; d < dies; ++d) {
+        std::vector<int64_t> vars{zvar};
+        std::vector<double> coeffs{1.0};
+        for (int64_t i = 0; i < n; ++i) {
+            vars.push_back(xvar(i, d));
+            coeffs.push_back(-luts[i]);
+        }
+        ilp.lp().addSparseConstraint(vars, coeffs,
+                                     solver::Relation::GE,
+                                     -total_luts / dies);
+    }
+
+    // Objective: crossings + weighted imbalance (normalised).
+    for (int64_t e = 0; e < m; ++e)
+        for (int64_t d = 0; d < dies; ++d)
+            ilp.lp().setObjective(yvar(e, d), 0.5);
+    double z_scale = options.imbalance_weight /
+                     std::max(total_luts / dies, 1.0);
+    ilp.lp().setObjective(zvar, z_scale);
+
+    solver::IlpSolution sol = solveIlp(ilp, options.max_ilp_nodes);
+    if (!sol.optimal())
+        return greedyPartition(g, group, platform);
+
+    PartitionResult result;
+    result.used_ilp = true;
+    result.die_of.assign(g.numComponents(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t d = 0; d < dies; ++d) {
+            if (sol.values[xvar(i, d)] > 0.5) {
+                g.component(members[i]).die = d;
+                result.die_of[members[i]] = d;
+            }
+        }
+    }
+    for (int64_t ch : channels) {
+        const auto &c = g.channel(ch);
+        if (g.component(c.src).die != g.component(c.dst).die)
+            ++result.crossings;
+    }
+    return result;
+}
+
+} // namespace partition
+} // namespace streamtensor

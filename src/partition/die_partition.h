@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multi-die graph partitioning (paper §5.3 item 2): assign each
+ * task of a fused group to an SLR die, minimising inter-die
+ * FIFO crossings and resource imbalance, subject to one-die-per-
+ * task assignment and per-die resource capacity.
+ *
+ * Solved with ILP (binary assignment variables, crossing
+ * indicators linearised) for small groups; a greedy
+ * topological-wavefront fallback handles large groups or ILP
+ * node-budget exhaustion.
+ */
+
+#ifndef STREAMTENSOR_PARTITION_DIE_PARTITION_H
+#define STREAMTENSOR_PARTITION_DIE_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/graph.h"
+#include "hls/platform.h"
+
+namespace streamtensor {
+namespace partition {
+
+/** Partitioning outcome for one group. */
+struct PartitionResult
+{
+    /** die[id] for every component of the group (indexed by
+     *  component id). */
+    std::vector<int64_t> die_of;
+
+    /** Channels crossing a die boundary. */
+    int64_t crossings = 0;
+
+    /** True when the ILP produced the assignment (else greedy). */
+    bool used_ilp = true;
+};
+
+/** Options for the partitioner. */
+struct PartitionOptions
+{
+    /** Groups with more components than this go straight to the
+     *  greedy fallback (ILP size guard). */
+    int64_t max_ilp_components = 24;
+
+    /** Branch-and-bound node budget. */
+    int64_t max_ilp_nodes = 20000;
+
+    /** Weight of the resource-imbalance term vs crossings. */
+    double imbalance_weight = 0.25;
+};
+
+/**
+ * Partition one fused group of @p g across the platform's dies,
+ * writing each component's `die` field. Returns the result
+ * summary.
+ */
+PartitionResult
+partitionGroup(dataflow::ComponentGraph &g, int64_t group,
+               const hls::FpgaPlatform &platform,
+               const PartitionOptions &options = {});
+
+} // namespace partition
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_PARTITION_DIE_PARTITION_H

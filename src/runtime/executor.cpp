@@ -1,0 +1,123 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace runtime {
+
+double
+CompiledBlock::totalCycles() const
+{
+    double cycles = 0.0;
+    for (const auto &s : sims)
+        cycles += s.cycles;
+    return cycles;
+}
+
+bool
+CompiledBlock::deadlocked() const
+{
+    for (const auto &s : sims)
+        if (s.deadlock)
+            return true;
+    return false;
+}
+
+LlmExecutor::LlmExecutor(models::LlmConfig config,
+                         hls::FpgaPlatform platform,
+                         compiler::CompileOptions options)
+    : config_(std::move(config)), platform_(std::move(platform)),
+      options_(std::move(options))
+{}
+
+const CompiledBlock &
+LlmExecutor::block(const models::BlockShapes &shapes)
+{
+    auto key = std::make_pair(shapes.seq_len, shapes.kv_len);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return *it->second;
+
+    auto compiled = std::make_unique<CompiledBlock>();
+    linalg::Graph graph =
+        models::buildTransformerBlock(config_, shapes);
+    compiled->compile =
+        compiler::compile(std::move(graph), platform_, options_);
+    compiled->sims =
+        sim::simulateAll(compiled->compile.design.components);
+    auto [pos, inserted] = cache_.emplace(key, std::move(compiled));
+    ST_ASSERT(inserted, "cache insertion failed");
+    return *pos->second;
+}
+
+LlmRunResult
+LlmExecutor::run(int64_t input_len, int64_t output_len)
+{
+    ST_CHECK(input_len >= 1 && output_len >= 1,
+             "request lengths must be positive");
+    LlmRunResult result;
+    double freq_hz = platform_.freq_mhz * 1e6;
+
+    // --- Prefill: one trigger per layer at seq = input length.
+    const CompiledBlock &prefill =
+        block(models::prefillShapes(input_len));
+    result.block_prefill_ms =
+        prefill.totalCycles() / freq_hz * 1e3;
+    result.deadlock |= prefill.deadlocked();
+
+    // Invocation overhead amortises as the run queue stays warm.
+    auto overhead_ms = [&](int64_t tokens_in_flight) {
+        double amort =
+            0.55 + 0.45 / (1.0 + tokens_in_flight / 96.0);
+        return platform_.invocation_overhead_us * amort / 1e3;
+    };
+    result.ttft_ms =
+        config_.layers *
+        (result.block_prefill_ms + overhead_ms(1));
+
+    // --- Decode: simulate at the run's mean context length.
+    int64_t mid_kv = input_len + std::max<int64_t>(output_len / 2,
+                                                   1);
+    const CompiledBlock &decode =
+        block(models::decodeShapes(mid_kv));
+    result.block_decode_ms = decode.totalCycles() / freq_hz * 1e3;
+    result.deadlock |= decode.deadlocked();
+
+    result.decode_ms_per_token =
+        config_.layers *
+        (result.block_decode_ms + overhead_ms(output_len));
+    double decode_total_ms =
+        result.decode_ms_per_token * output_len;
+    result.total_latency_ms = result.ttft_ms + decode_total_ms;
+    result.tokens_per_s = output_len / decode_total_ms * 1e3;
+
+    // --- Energy: idle floor plus dynamic compute and HBM shares.
+    double decode_flops = config_.blockFlops(1, mid_kv) *
+                          config_.layers;
+    double util_compute =
+        decode_flops /
+        (result.decode_ms_per_token / 1e3) /
+        (platform_.peakInt8Tops() * 1e12);
+    double bytes_per_token =
+        static_cast<double>(config_.blockParamBytes()) *
+        config_.layers;
+    double util_bw = bytes_per_token /
+                     (result.decode_ms_per_token / 1e3) /
+                     (platform_.memory_bandwidth_gbps * 1e9);
+    util_compute = std::clamp(util_compute, 0.0, 1.0);
+    util_bw = std::clamp(util_bw, 0.0, 1.0);
+    result.avg_power_w =
+        platform_.tdp_watts *
+        (platform_.idle_power_fraction + 0.35 * util_compute +
+         0.20 * util_bw);
+    result.energy_j =
+        result.avg_power_w * result.total_latency_ms / 1e3;
+    result.tokens_per_joule = output_len / result.energy_j;
+    return result;
+}
+
+} // namespace runtime
+} // namespace streamtensor

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Host runtime executor: sequences the compiled transformer-block
+ * accelerator over all layers and tokens the way the paper runs
+ * GPT-2 on the U55C ("this single FPGA accelerator is triggered
+ * multiple times with different weight parameters", §6.1), and
+ * accounts latency, TTFT, decode speed, and energy.
+ *
+ * Block execution times come from the cycle-level simulator; each
+ * trigger pays the platform's invocation overhead, which amortises
+ * as the XRT run queue stays warm on longer generations.
+ */
+
+#ifndef STREAMTENSOR_RUNTIME_EXECUTOR_H
+#define STREAMTENSOR_RUNTIME_EXECUTOR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "compiler/compiler.h"
+#include "models/block_builder.h"
+#include "models/llm_config.h"
+#include "sim/simulator.h"
+
+namespace streamtensor {
+namespace runtime {
+
+/** End-to-end metrics of one (input, output) request. */
+struct LlmRunResult
+{
+    double ttft_ms = 0.0;
+    double decode_ms_per_token = 0.0;
+    double total_latency_ms = 0.0;
+
+    /** Decode speed: output tokens over decode time. */
+    double tokens_per_s = 0.0;
+
+    double avg_power_w = 0.0;
+    double energy_j = 0.0;
+    double tokens_per_joule = 0.0;
+
+    /** Per-block simulated latencies (one layer, one trigger). */
+    double block_prefill_ms = 0.0;
+    double block_decode_ms = 0.0;
+
+    /** A simulation deadlocked (should never happen with LP
+     *  sizing; surfaced for the ablation benches). */
+    bool deadlock = false;
+};
+
+/** One compiled + simulated block shape. */
+struct CompiledBlock
+{
+    compiler::CompileResult compile;
+    std::vector<sim::SimResult> sims;
+
+    /** Sequential-group makespan in cycles. */
+    double totalCycles() const;
+
+    bool deadlocked() const;
+};
+
+/** Compiles transformer blocks on demand and executes requests. */
+class LlmExecutor
+{
+  public:
+    LlmExecutor(models::LlmConfig config,
+                hls::FpgaPlatform platform,
+                compiler::CompileOptions options = {});
+
+    const models::LlmConfig &config() const { return config_; }
+    const hls::FpgaPlatform &platform() const { return platform_; }
+
+    /** Compile (or fetch) the block at the given shapes. */
+    const CompiledBlock &block(const models::BlockShapes &shapes);
+
+    /** Run one request end to end. */
+    LlmRunResult run(int64_t input_len, int64_t output_len);
+
+  private:
+    models::LlmConfig config_;
+    hls::FpgaPlatform platform_;
+    compiler::CompileOptions options_;
+    std::map<std::pair<int64_t, int64_t>,
+             std::unique_ptr<CompiledBlock>>
+        cache_;
+};
+
+} // namespace runtime
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_RUNTIME_EXECUTOR_H

@@ -1,0 +1,275 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace sim {
+
+namespace {
+
+/** Simulation state of one FIFO channel. */
+struct ChannelState
+{
+    int64_t occupancy = 0;
+    int64_t capacity = 2;
+    ChannelStats stats;
+};
+
+/** Simulation state of one component process. */
+struct ComponentState
+{
+    int64_t id = -1;
+    int64_t firings_total = 0;
+    int64_t fired = 0;
+    double ii = 1.0;
+    double initial_delay = 0.0;
+    double ready_time = 0.0;  ///< own pipeline availability
+    double blocked_since = -1.0;
+    bool in_queue = false;
+    std::vector<int64_t> in_channels;   ///< dense channel indices
+    std::vector<int64_t> out_channels;
+    std::vector<int64_t> consumed; ///< per in channel
+    std::vector<int64_t> produced; ///< per out channel
+
+    bool done() const { return fired >= firings_total; }
+};
+
+/** Target cumulative tokens on a channel after firing k of n. */
+int64_t
+cumulativeTokens(int64_t k, int64_t firings, int64_t tokens)
+{
+    // ceil((k+1) * tokens / firings): uniform interleave of the
+    // channel's tokens across the component's firings.
+    return ceilDiv((k + 1) * tokens, firings);
+}
+
+} // namespace
+
+SimResult
+simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
+              const SimOptions &options)
+{
+    auto member_ids = g.groupComponents(group);
+    auto channel_ids = g.groupChannels(group);
+
+    // Dense indices.
+    std::map<int64_t, int64_t> comp_index;
+    for (size_t i = 0; i < member_ids.size(); ++i)
+        comp_index[member_ids[i]] = static_cast<int64_t>(i);
+
+    std::vector<ChannelState> channels(channel_ids.size());
+    for (size_t c = 0; c < channel_ids.size(); ++c) {
+        const dataflow::Channel &ch = g.channel(channel_ids[c]);
+        // A folded channel is the merged producer/consumer buffer:
+        // it holds exactly one consumer burst (the shared tile).
+        channels[c].capacity =
+            ch.folded ? g.channelBurst(channel_ids[c]) : ch.depth;
+    }
+
+    std::vector<ComponentState> comps(member_ids.size());
+    for (size_t i = 0; i < member_ids.size(); ++i) {
+        const dataflow::Component &c = g.component(member_ids[i]);
+        ComponentState &s = comps[i];
+        s.id = member_ids[i];
+        s.initial_delay = c.initial_delay;
+        s.ready_time = c.initial_delay;
+    }
+    for (size_t c = 0; c < channel_ids.size(); ++c) {
+        const dataflow::Channel &ch = g.channel(channel_ids[c]);
+        comps[comp_index.at(ch.src)].out_channels.push_back(
+            static_cast<int64_t>(c));
+        comps[comp_index.at(ch.dst)].in_channels.push_back(
+            static_cast<int64_t>(c));
+    }
+    for (auto &s : comps) {
+        // Firings: one per token on the widest out channel; sinks
+        // fire per input token.
+        int64_t t = 0;
+        for (int64_t c : s.out_channels)
+            t = std::max(t, g.channel(channel_ids[c]).tokens);
+        if (t == 0) {
+            for (int64_t c : s.in_channels)
+                t = std::max(t, g.channel(channel_ids[c]).tokens);
+        }
+        s.firings_total = std::max<int64_t>(t, 1);
+        const dataflow::Component &c = g.component(s.id);
+        double span =
+            std::max(c.total_cycles - c.initial_delay, 0.0);
+        s.ii = s.firings_total > 1
+                   ? span / static_cast<double>(s.firings_total - 1)
+                   : span;
+        s.ii = std::max(s.ii, 1e-9);
+        s.consumed.assign(s.in_channels.size(), 0);
+        s.produced.assign(s.out_channels.size(), 0);
+    }
+
+    // Waiters: components blocked on a channel (for data or for
+    // space).
+    std::vector<std::vector<int64_t>> data_waiters(channels.size());
+    std::vector<std::vector<int64_t>> space_waiters(channels.size());
+
+    using Event = std::pair<double, int64_t>; // time, comp index
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        queue;
+    for (size_t i = 0; i < comps.size(); ++i) {
+        queue.push({comps[i].ready_time, static_cast<int64_t>(i)});
+        comps[i].in_queue = true;
+    }
+
+    SimResult result;
+    result.components.resize(comps.size());
+    result.channels.resize(channels.size());
+    double now = 0.0;
+    int64_t live = static_cast<int64_t>(comps.size());
+    bool first_output_seen = false;
+
+    auto wake = [&](int64_t i, double t) {
+        ComponentState &s = comps[i];
+        if (s.in_queue || s.done())
+            return;
+        if (s.blocked_since >= 0.0) {
+            result.components[i].stall_cycles +=
+                std::max(t, s.blocked_since) - s.blocked_since;
+            s.blocked_since = -1.0;
+        }
+        queue.push({std::max(t, s.ready_time), i});
+        s.in_queue = true;
+    };
+
+    while (!queue.empty()) {
+        auto [t, i] = queue.top();
+        queue.pop();
+        ComponentState &s = comps[i];
+        s.in_queue = false;
+        now = std::max(now, t);
+        if (now > options.max_cycles) {
+            result.deadlock = true;
+            break;
+        }
+        if (s.done())
+            continue;
+
+        // Check input availability and output space for firing k.
+        int64_t k = s.fired;
+        bool blocked = false;
+        for (size_t ci = 0; ci < s.in_channels.size(); ++ci) {
+            int64_t c = s.in_channels[ci];
+            int64_t tokens = g.channel(channel_ids[c]).tokens;
+            int64_t need =
+                cumulativeTokens(k, s.firings_total, tokens) -
+                s.consumed[ci];
+            if (channels[c].occupancy < need) {
+                data_waiters[c].push_back(i);
+                blocked = true;
+            }
+        }
+        for (size_t ci = 0; ci < s.out_channels.size(); ++ci) {
+            int64_t c = s.out_channels[ci];
+            int64_t tokens = g.channel(channel_ids[c]).tokens;
+            int64_t put =
+                cumulativeTokens(k, s.firings_total, tokens) -
+                s.produced[ci];
+            if (channels[c].occupancy + put >
+                channels[c].capacity) {
+                space_waiters[c].push_back(i);
+                blocked = true;
+            }
+        }
+        if (blocked) {
+            if (s.blocked_since < 0.0)
+                s.blocked_since = t;
+            continue;
+        }
+
+        // Fire: consume, produce, advance.
+        for (size_t ci = 0; ci < s.in_channels.size(); ++ci) {
+            int64_t c = s.in_channels[ci];
+            int64_t tokens = g.channel(channel_ids[c]).tokens;
+            int64_t need =
+                cumulativeTokens(k, s.firings_total, tokens) -
+                s.consumed[ci];
+            if (need <= 0)
+                continue;
+            channels[c].occupancy -= need;
+            s.consumed[ci] += need;
+            channels[c].stats.pops += need;
+            auto waiters = std::move(space_waiters[c]);
+            space_waiters[c].clear();
+            for (int64_t w : waiters)
+                wake(w, t);
+        }
+        for (size_t ci = 0; ci < s.out_channels.size(); ++ci) {
+            int64_t c = s.out_channels[ci];
+            int64_t tokens = g.channel(channel_ids[c]).tokens;
+            int64_t put =
+                cumulativeTokens(k, s.firings_total, tokens) -
+                s.produced[ci];
+            if (put <= 0)
+                continue;
+            channels[c].occupancy += put;
+            s.produced[ci] += put;
+            channels[c].stats.pushes += put;
+            channels[c].stats.max_occupancy =
+                std::max(channels[c].stats.max_occupancy,
+                         channels[c].occupancy);
+            auto waiters = std::move(data_waiters[c]);
+            data_waiters[c].clear();
+            for (int64_t w : waiters)
+                wake(w, t);
+        }
+
+        // First token reaching a store DMA marks group TTFT.
+        if (!first_output_seen &&
+            g.component(s.id).kind ==
+                dataflow::ComponentKind::StoreDma) {
+            result.first_output_cycle = t;
+            first_output_seen = true;
+        }
+
+        s.fired += 1;
+        result.components[i].firings = s.fired;
+        result.components[i].finish_time = t;
+        if (s.done()) {
+            --live;
+            continue;
+        }
+        s.ready_time = t + s.ii;
+        queue.push({s.ready_time, i});
+        s.in_queue = true;
+    }
+
+    if (live > 0 && !result.deadlock) {
+        result.deadlock = true;
+    }
+    if (result.deadlock) {
+        for (size_t i = 0; i < comps.size(); ++i)
+            if (!comps[i].done())
+                result.blocked_components.push_back(comps[i].id);
+    }
+    for (size_t c = 0; c < channels.size(); ++c)
+        result.channels[c] = channels[c].stats;
+    for (const auto &cs : result.components)
+        result.cycles = std::max(result.cycles, cs.finish_time);
+    if (!first_output_seen)
+        result.first_output_cycle = result.cycles;
+    return result;
+}
+
+std::vector<SimResult>
+simulateAll(const dataflow::ComponentGraph &g,
+            const SimOptions &options)
+{
+    std::vector<SimResult> results;
+    for (int64_t group = 0; group < g.numGroups(); ++group)
+        results.push_back(simulateGroup(g, group, options));
+    return results;
+}
+
+} // namespace sim
+} // namespace streamtensor

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cycle-level dataflow accelerator simulator — the on-board
+ * measurement substitute.
+ *
+ * Executes one fused group's component graph at token granularity:
+ * every component is a process that fires once per output token,
+ * blocking on empty input FIFOs and full output FIFOs
+ * (back-pressure), with its pace set by the profiled initial delay
+ * and II. Reproduces the overlapped schedule of paper Fig. 1(c)
+ * and the token dynamics of Fig. 8, detects deadlocks caused by
+ * undersized FIFOs on reconvergent paths, and reports per-FIFO
+ * peak occupancy so LP sizing can be validated against observed
+ * behaviour.
+ */
+
+#ifndef STREAMTENSOR_SIM_SIMULATOR_H
+#define STREAMTENSOR_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/graph.h"
+
+namespace streamtensor {
+namespace sim {
+
+/** Per-component simulation stats. */
+struct ComponentStats
+{
+    double finish_time = 0.0;
+    int64_t firings = 0;
+    double stall_cycles = 0.0;
+};
+
+/** Per-channel simulation stats. */
+struct ChannelStats
+{
+    int64_t max_occupancy = 0;
+    int64_t pushes = 0;
+    int64_t pops = 0;
+};
+
+/** Result of simulating one group. */
+struct SimResult
+{
+    bool deadlock = false;
+    double cycles = 0.0;
+
+    /** Cycle at which the group produced its first output token
+     *  into a store DMA (time-to-first-token inside the group). */
+    double first_output_cycle = 0.0;
+
+    std::vector<ComponentStats> components;
+    std::vector<ChannelStats> channels;
+
+    /** Components still blocked when a deadlock was declared. */
+    std::vector<int64_t> blocked_components;
+};
+
+/** Simulation controls. */
+struct SimOptions
+{
+    /** Abort (as deadlock) beyond this many cycles. */
+    double max_cycles = 4.0e12;
+};
+
+/** Simulate one fused group of @p g. */
+SimResult simulateGroup(const dataflow::ComponentGraph &g,
+                        int64_t group, const SimOptions &options = {});
+
+/** Simulate every group sequentially; returns per-group results. */
+std::vector<SimResult>
+simulateAll(const dataflow::ComponentGraph &g,
+            const SimOptions &options = {});
+
+} // namespace sim
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SIM_SIMULATOR_H

@@ -1,0 +1,133 @@
+#include "solver/ilp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace solver {
+
+namespace {
+
+constexpr double kIntEps = 1e-6;
+
+struct SearchState
+{
+    const IlpProblem *problem;
+    double best_obj = std::numeric_limits<double>::infinity();
+    std::vector<double> best_values;
+    int64_t nodes = 0;
+    int64_t max_nodes = 0;
+};
+
+/** Index of the most fractional integer variable, or -1. */
+int64_t
+pickBranchVar(const IlpProblem &problem,
+              const std::vector<double> &x)
+{
+    int64_t best = -1;
+    double best_frac = kIntEps;
+    const auto &ints = problem.integerVars();
+    for (int64_t j = 0; j < problem.numVars(); ++j) {
+        if (!ints[j])
+            continue;
+        double f = x[j] - std::floor(x[j]);
+        double dist = std::min(f, 1.0 - f);
+        if (dist > best_frac) {
+            best_frac = dist;
+            best = j;
+        }
+    }
+    return best;
+}
+
+void
+branchAndBound(SearchState &state, LpProblem relaxation)
+{
+    if (state.nodes++ >= state.max_nodes)
+        return;
+    LpSolution sol = solveLp(relaxation);
+    if (!sol.optimal())
+        return;
+    if (sol.objective >= state.best_obj - 1e-9)
+        return; // bound: cannot improve the incumbent.
+    int64_t var = pickBranchVar(*state.problem, sol.values);
+    if (var < 0) {
+        // Integral solution.
+        state.best_obj = sol.objective;
+        state.best_values = sol.values;
+        return;
+    }
+    double v = sol.values[var];
+    // Down branch: x <= floor(v).
+    {
+        LpProblem down = relaxation;
+        std::vector<double> row(down.numVars(), 0.0);
+        row[var] = 1.0;
+        down.addConstraint(row, Relation::LE, std::floor(v));
+        branchAndBound(state, std::move(down));
+    }
+    // Up branch: x >= ceil(v).
+    {
+        LpProblem up = relaxation;
+        std::vector<double> row(up.numVars(), 0.0);
+        row[var] = 1.0;
+        up.addConstraint(row, Relation::GE, std::ceil(v));
+        branchAndBound(state, std::move(up));
+    }
+}
+
+} // namespace
+
+IlpProblem::IlpProblem(int64_t num_vars)
+    : lp_(num_vars), integer_(num_vars, false)
+{}
+
+void
+IlpProblem::setInteger(int64_t var)
+{
+    ST_ASSERT(var >= 0 && var < numVars(), "integer var range");
+    integer_[var] = true;
+}
+
+void
+IlpProblem::setBinary(int64_t var)
+{
+    setInteger(var);
+    setUpperBound(var, 1.0);
+}
+
+void
+IlpProblem::setUpperBound(int64_t var, double bound)
+{
+    std::vector<double> row(numVars(), 0.0);
+    row[var] = 1.0;
+    lp_.addConstraint(std::move(row), Relation::LE, bound);
+}
+
+IlpSolution
+solveIlp(const IlpProblem &problem, int64_t max_nodes)
+{
+    SearchState state;
+    state.problem = &problem;
+    state.max_nodes = max_nodes;
+    branchAndBound(state, problem.lp());
+
+    IlpSolution out;
+    out.nodes_explored = state.nodes;
+    if (!state.best_values.empty()) {
+        out.status = LpStatus::Optimal;
+        out.objective = state.best_obj;
+        out.values = std::move(state.best_values);
+        // Snap near-integers exactly.
+        const auto &ints = problem.integerVars();
+        for (int64_t j = 0; j < problem.numVars(); ++j)
+            if (ints[j])
+                out.values[j] = std::round(out.values[j]);
+    }
+    return out;
+}
+
+} // namespace solver
+} // namespace streamtensor

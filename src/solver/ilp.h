@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Integer linear programming via branch-and-bound on the simplex
+ * relaxation. Used by the multi-die graph-partitioning problem
+ * (paper §5.3, "Graph partitioning ... formulated and solved using
+ * Integer Linear Programming").
+ */
+
+#ifndef STREAMTENSOR_SOLVER_ILP_H
+#define STREAMTENSOR_SOLVER_ILP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/lp.h"
+
+namespace streamtensor {
+namespace solver {
+
+/** An ILP: an LP plus integrality flags and optional upper bounds. */
+class IlpProblem
+{
+  public:
+    explicit IlpProblem(int64_t num_vars);
+
+    LpProblem &lp() { return lp_; }
+    const LpProblem &lp() const { return lp_; }
+    int64_t numVars() const { return lp_.numVars(); }
+
+    /** Mark variable @p var integer-valued. */
+    void setInteger(int64_t var);
+
+    /** Mark variable @p var binary (integer in [0, 1]). */
+    void setBinary(int64_t var);
+
+    /** Add an upper bound x[var] <= bound. */
+    void setUpperBound(int64_t var, double bound);
+
+    const std::vector<bool> &integerVars() const { return integer_; }
+
+  private:
+    LpProblem lp_;
+    std::vector<bool> integer_;
+};
+
+/** ILP solve result. */
+struct IlpSolution
+{
+    LpStatus status = LpStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<double> values;
+    int64_t nodes_explored = 0;
+
+    bool optimal() const { return status == LpStatus::Optimal; }
+};
+
+/**
+ * Solve with depth-first branch-and-bound (most-fractional
+ * branching). @p max_nodes caps the search; when hit, the best
+ * incumbent found so far is returned (still marked Optimal if one
+ * exists, since partitioning only needs a good feasible point).
+ */
+IlpSolution solveIlp(const IlpProblem &problem,
+                     int64_t max_nodes = 200000);
+
+} // namespace solver
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SOLVER_ILP_H

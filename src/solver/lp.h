@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A dense two-phase simplex linear-programming solver.
+ *
+ * StreamTensor needs exact LP optima for the FIFO sizing problem
+ * (paper §5.3.4, Eq. 3-5) whose instances are small (one variable
+ * per dataflow edge). All variables are non-negative; constraints
+ * may be <=, >=, or ==. The objective is always minimised.
+ */
+
+#ifndef STREAMTENSOR_SOLVER_LP_H
+#define STREAMTENSOR_SOLVER_LP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamtensor {
+namespace solver {
+
+/** Constraint relation. */
+enum class Relation { LE, GE, EQ };
+
+/** One linear constraint: coeffs . x (rel) rhs. */
+struct Constraint
+{
+    std::vector<double> coeffs;
+    Relation rel;
+    double rhs;
+};
+
+/** Outcome of an LP solve. */
+enum class LpStatus { Optimal, Infeasible, Unbounded };
+
+/** Printable status name. */
+std::string lpStatusName(LpStatus status);
+
+/** A linear program: minimise objective . x subject to constraints,
+ *  x >= 0. */
+class LpProblem
+{
+  public:
+    explicit LpProblem(int64_t num_vars);
+
+    int64_t numVars() const { return num_vars_; }
+    int64_t numConstraints() const
+    {
+        return static_cast<int64_t>(constraints_.size());
+    }
+
+    /** Set the objective coefficient of variable @p var. */
+    void setObjective(int64_t var, double coeff);
+    const std::vector<double> &objective() const { return objective_; }
+
+    /** Add a dense constraint row. */
+    void addConstraint(std::vector<double> coeffs, Relation rel,
+                       double rhs);
+
+    /** Add a sparse constraint: sum coeff[i]*x[vars[i]] rel rhs. */
+    void addSparseConstraint(const std::vector<int64_t> &vars,
+                             const std::vector<double> &coeffs,
+                             Relation rel, double rhs);
+
+    const std::vector<Constraint> &constraints() const
+    {
+        return constraints_;
+    }
+
+  private:
+    int64_t num_vars_;
+    std::vector<double> objective_;
+    std::vector<Constraint> constraints_;
+};
+
+/** LP solve result. */
+struct LpSolution
+{
+    LpStatus status = LpStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<double> values;
+
+    bool optimal() const { return status == LpStatus::Optimal; }
+};
+
+/**
+ * Solve with two-phase dense simplex (Bland's rule, so it cannot
+ * cycle). Suitable for the small/medium instances StreamTensor
+ * generates.
+ */
+LpSolution solveLp(const LpProblem &problem);
+
+} // namespace solver
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SOLVER_LP_H

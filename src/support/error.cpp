@@ -1,0 +1,33 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace streamtensor {
+namespace detail {
+
+namespace {
+
+std::string
+decorate(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+} // namespace
+
+void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(decorate(file, line, msg));
+}
+
+void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(decorate(file, line, msg));
+}
+
+} // namespace detail
+} // namespace streamtensor

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Error-handling primitives for StreamTensor.
+ *
+ * Follows the gem5 fatal()/panic() distinction, adapted to a library
+ * setting: instead of terminating the process, both raise typed
+ * exceptions so that embedders (and tests) can observe failures.
+ *
+ *  - fatal / FatalError: the *user* did something unsupported (bad
+ *    model configuration, infeasible constraint, invalid type).
+ *  - panic / PanicError: an internal invariant was violated, i.e. a
+ *    StreamTensor bug.
+ */
+
+#ifndef STREAMTENSOR_SUPPORT_ERROR_H
+#define STREAMTENSOR_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace streamtensor {
+
+/** Raised on unrecoverable user errors (bad input or configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Raised on internal invariant violations (StreamTensor bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+/** Format "<file>:<line>: <msg>" and throw E. */
+[[noreturn]] void throwFatal(const char *file, int line,
+                             const std::string &msg);
+[[noreturn]] void throwPanic(const char *file, int line,
+                             const std::string &msg);
+
+} // namespace detail
+
+} // namespace streamtensor
+
+/** Abort the current operation due to a user-caused error. */
+#define ST_FATAL(msg)                                                  \
+    ::streamtensor::detail::throwFatal(__FILE__, __LINE__, (msg))
+
+/** Abort the current operation due to an internal bug. */
+#define ST_PANIC(msg)                                                  \
+    ::streamtensor::detail::throwPanic(__FILE__, __LINE__, (msg))
+
+/** Check an internal invariant; panics with the condition text. */
+#define ST_ASSERT(cond, msg)                                           \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::streamtensor::detail::throwPanic(                        \
+                __FILE__, __LINE__,                                    \
+                std::string("assertion `" #cond "` failed: ") + (msg));\
+        }                                                              \
+    } while (false)
+
+/** Check a user-facing precondition; throws FatalError when false. */
+#define ST_CHECK(cond, msg)                                            \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::streamtensor::detail::throwFatal(                        \
+                __FILE__, __LINE__, (msg));                            \
+        }                                                              \
+    } while (false)
+
+#endif // STREAMTENSOR_SUPPORT_ERROR_H

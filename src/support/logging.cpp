@@ -1,0 +1,51 @@
+#include "support/logging.h"
+
+#include <cstdio>
+
+namespace streamtensor {
+
+namespace {
+
+LogLevel global_level = LogLevel::Warn;
+
+void
+emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(global_level))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    emit(LogLevel::Info, "info", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit(LogLevel::Warn, "warn", msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    emit(LogLevel::Debug, "debug", msg);
+}
+
+} // namespace streamtensor

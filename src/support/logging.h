@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal leveled logging for StreamTensor.
+ *
+ * Status messages never stop the flow (gem5 inform()/warn()
+ * semantics). The global level defaults to Warn so that library
+ * consumers are quiet by default; benches raise it to Info.
+ */
+
+#ifndef STREAMTENSOR_SUPPORT_LOGGING_H
+#define STREAMTENSOR_SUPPORT_LOGGING_H
+
+#include <string>
+
+namespace streamtensor {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+
+/** Set the global log level. Messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+/** Informative message the user should know but not worry about. */
+void inform(const std::string &msg);
+
+/** Functionality may be degraded; a good place to look after odd
+ *  behaviour. */
+void warn(const std::string &msg);
+
+/** Verbose diagnostic output. */
+void debug(const std::string &msg);
+
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SUPPORT_LOGGING_H

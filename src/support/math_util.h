@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small integer-math helpers used across StreamTensor.
+ */
+
+#ifndef STREAMTENSOR_SUPPORT_MATH_UTIL_H
+#define STREAMTENSOR_SUPPORT_MATH_UTIL_H
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/error.h"
+
+namespace streamtensor {
+
+/** Ceiling division for non-negative integers. */
+constexpr int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the nearest multiple of @p align. */
+constexpr int64_t
+alignTo(int64_t a, int64_t align)
+{
+    return ceilDiv(a, align) * align;
+}
+
+/** True if @p a is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(int64_t a)
+{
+    return a > 0 && (a & (a - 1)) == 0;
+}
+
+/** Product of all elements; 1 for an empty range. */
+inline int64_t
+product(const std::vector<int64_t> &v)
+{
+    int64_t p = 1;
+    for (int64_t x : v)
+        p *= x;
+    return p;
+}
+
+/** Largest divisor of @p n that is <= @p bound (bound >= 1). */
+inline int64_t
+largestDivisorUpTo(int64_t n, int64_t bound)
+{
+    ST_ASSERT(n >= 1 && bound >= 1, "domain");
+    for (int64_t d = std::min(n, bound); d >= 1; --d)
+        if (n % d == 0)
+            return d;
+    return 1;
+}
+
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SUPPORT_MATH_UTIL_H

@@ -1,0 +1,19 @@
+#include "support/stopwatch.h"
+
+namespace streamtensor {
+
+void
+Stopwatch::restart()
+{
+    start_ = std::chrono::steady_clock::now();
+}
+
+double
+Stopwatch::elapsedSeconds() const
+{
+    auto now = std::chrono::steady_clock::now();
+    std::chrono::duration<double> d = now - start_;
+    return d.count();
+}
+
+} // namespace streamtensor

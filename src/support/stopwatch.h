@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Wall-clock stopwatch used for compile-time breakdowns (Fig. 10c).
+ */
+
+#ifndef STREAMTENSOR_SUPPORT_STOPWATCH_H
+#define STREAMTENSOR_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace streamtensor {
+
+/** A restartable wall-clock stopwatch with second resolution. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { restart(); }
+
+    /** Reset the start point to now. */
+    void restart();
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double elapsedSeconds() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SUPPORT_STOPWATCH_H

@@ -1,0 +1,89 @@
+/** @file Unit tests for affine expressions and maps. */
+
+#include <gtest/gtest.h>
+
+#include "ir/affine.h"
+#include "support/error.h"
+
+using namespace streamtensor;
+using ir::AffineExpr;
+using ir::AffineMap;
+
+TEST(AffineExpr, DimBasics)
+{
+    AffineExpr d = AffineExpr::dim(2);
+    EXPECT_TRUE(d.isDim());
+    EXPECT_FALSE(d.isConstant());
+    EXPECT_EQ(d.dimPos(), 2);
+    EXPECT_EQ(d.str(), "d2");
+    EXPECT_EQ(d.evaluate({10, 20, 30}), 30);
+}
+
+TEST(AffineExpr, ConstantBasics)
+{
+    AffineExpr c = AffineExpr::constant(7);
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.constantValue(), 7);
+    EXPECT_EQ(c.str(), "7");
+    EXPECT_EQ(c.evaluate({1, 2}), 7);
+}
+
+TEST(AffineExpr, WrongAccessorPanics)
+{
+    EXPECT_THROW(AffineExpr::dim(0).constantValue(), PanicError);
+    EXPECT_THROW(AffineExpr::constant(1).dimPos(), PanicError);
+}
+
+TEST(AffineMap, Identity)
+{
+    AffineMap map = AffineMap::identity(3);
+    EXPECT_TRUE(map.isIdentity());
+    EXPECT_TRUE(map.isPermutation());
+    EXPECT_EQ(map.apply({1, 2, 3}), (std::vector<int64_t>{1, 2, 3}));
+    EXPECT_EQ(map.str(), "(d0,d1,d2)->(d0,d1,d2)");
+}
+
+TEST(AffineMap, Transpose)
+{
+    AffineMap map = AffineMap::fromPermutation({1, 0});
+    EXPECT_FALSE(map.isIdentity());
+    EXPECT_TRUE(map.isPermutation());
+    EXPECT_EQ(map.apply({3, 8}), (std::vector<int64_t>{8, 3}));
+    EXPECT_EQ(map.str(), "(d0,d1)->(d1,d0)");
+}
+
+TEST(AffineMap, RevisitDimIsNotPermutation)
+{
+    // Fig. 5(c): (d0,d1,d2)->(d2,d0), d1 is a revisit dim.
+    AffineMap map(3, {AffineExpr::dim(2), AffineExpr::dim(0)});
+    EXPECT_FALSE(map.isPermutation());
+    EXPECT_EQ(map.resultForDim(0), 1);
+    EXPECT_EQ(map.resultForDim(1), -1);
+    EXPECT_EQ(map.resultForDim(2), 0);
+    EXPECT_EQ(map.apply({2, 9, 4}), (std::vector<int64_t>{4, 2}));
+}
+
+TEST(AffineMap, ConstantResults)
+{
+    AffineMap map(1, {AffineExpr::constant(0), AffineExpr::dim(0)});
+    EXPECT_EQ(map.apply({5}), (std::vector<int64_t>{0, 5}));
+    EXPECT_FALSE(map.isPermutation());
+}
+
+TEST(AffineMap, OutOfRangeDimRejected)
+{
+    EXPECT_THROW(AffineMap(1, {AffineExpr::dim(1)}), FatalError);
+}
+
+TEST(AffineMap, ApplyArityChecked)
+{
+    AffineMap map = AffineMap::identity(2);
+    EXPECT_THROW(map.apply({1}), FatalError);
+}
+
+TEST(AffineMap, Equality)
+{
+    EXPECT_EQ(AffineMap::identity(2), AffineMap::identity(2));
+    EXPECT_NE(AffineMap::identity(2),
+              AffineMap::fromPermutation({1, 0}));
+}

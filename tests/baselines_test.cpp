@@ -1,0 +1,107 @@
+/** @file Unit tests for the GPU and FPGA baseline models. */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "baselines/fpga_baselines.h"
+#include "baselines/gpu_model.h"
+
+using namespace streamtensor;
+using namespace streamtensor::baselines;
+
+TEST(GpuModel, TtftFlatAcrossInputLengths)
+{
+    // The paper's A100 TTFT is ~8.7 ms regardless of input length
+    // (launch-overhead bound); the model must keep it flat within
+    // a few percent.
+    auto cfg = models::gpt2Config();
+    auto gpu = a100();
+    auto r32 = evaluateGpu(gpu, cfg, 32, 32);
+    auto r256 = evaluateGpu(gpu, cfg, 256, 256);
+    EXPECT_LT(r256.ttft_ms / r32.ttft_ms, 1.3);
+}
+
+TEST(GpuModel, A100FasterThan2080Ti)
+{
+    auto cfg = models::gpt2Config();
+    auto fast = evaluateGpu(a100(), cfg, 64, 64);
+    auto slow = evaluateGpu(rtx2080ti(), cfg, 64, 64);
+    EXPECT_LT(fast.total_latency_ms, slow.total_latency_ms);
+    EXPECT_GT(fast.tokens_per_s, slow.tokens_per_s);
+}
+
+TEST(GpuModel, ContextKneeSlows2080Ti)
+{
+    // The paper's 2080Ti decode speed halves from [64:64] to
+    // [128:128]; the cache-pressure knee reproduces the drop.
+    auto cfg = models::gpt2Config();
+    auto gpu = rtx2080ti();
+    auto small = evaluateGpu(gpu, cfg, 64, 64);
+    auto big = evaluateGpu(gpu, cfg, 128, 128);
+    EXPECT_LT(big.tokens_per_s, 0.85 * small.tokens_per_s);
+}
+
+TEST(GpuModel, EnergyAccountingConsistent)
+{
+    auto cfg = models::qwenConfig();
+    auto r = evaluateGpu(a100(), cfg, 64, 64);
+    EXPECT_GT(r.avg_power_w, 0.0);
+    EXPECT_LE(r.avg_power_w, a100().tdp_watts);
+    EXPECT_NEAR(r.energy_j,
+                r.avg_power_w * r.total_latency_ms / 1e3, 1e-9);
+    EXPECT_NEAR(r.tokens_per_joule, 64.0 / r.energy_j, 1e-9);
+}
+
+TEST(GpuModel, LatencyDecomposition)
+{
+    auto cfg = models::gpt2Config();
+    auto r = evaluateGpu(a100(), cfg, 32, 32);
+    EXPECT_NEAR(r.total_latency_ms,
+                r.ttft_ms + 32 * r.decode_ms_per_token,
+                r.total_latency_ms * 0.05);
+}
+
+TEST(GpuModel, RejectsBadLengths)
+{
+    EXPECT_THROW(
+        evaluateGpu(a100(), models::gpt2Config(), 0, 32),
+        FatalError);
+}
+
+TEST(FpgaBaseline, AlloDecodeNearPaper)
+{
+    // The paper reports Allo at 204 token/s on GPT-2.
+    auto perf = evaluateFpgaBaseline(alloSpec(),
+                                     models::gpt2Config(), 32, 32);
+    EXPECT_NEAR(perf.tokens_per_s, 204.0, 25.0);
+}
+
+TEST(FpgaBaseline, DfxSlowerThanAllo)
+{
+    // FP16 weights are 4x the W4 traffic.
+    auto cfg = models::gpt2Config();
+    auto allo = evaluateFpgaBaseline(alloSpec(), cfg, 64, 64);
+    auto dfx = evaluateFpgaBaseline(dfxSpec(), cfg, 64, 64);
+    EXPECT_GT(allo.tokens_per_s, dfx.tokens_per_s);
+    EXPECT_LT(allo.ttft_ms, dfx.ttft_ms);
+}
+
+TEST(FpgaBaseline, LatencyScalesLinearly)
+{
+    auto cfg = models::gpt2Config();
+    auto spec = alloSpec();
+    auto r1 = evaluateFpgaBaseline(spec, cfg, 32, 32);
+    auto r2 = evaluateFpgaBaseline(spec, cfg, 64, 64);
+    EXPECT_NEAR(r2.total_latency_ms / r1.total_latency_ms, 2.0,
+                0.05);
+}
+
+TEST(FpgaBaseline, PrefillSpeedupShortensTtft)
+{
+    auto cfg = models::gpt2Config();
+    auto allo = evaluateFpgaBaseline(alloSpec(), cfg, 128, 32);
+    // TTFT = in * decode / speedup < in * decode.
+    EXPECT_LT(allo.ttft_ms,
+              128 * allo.decode_ms_per_token);
+}

@@ -1,0 +1,148 @@
+/** @file Unit tests for the compiler facade (paper Fig. 4). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "ir/verifier.h"
+#include "linalg/builders.h"
+#include "models/block_builder.h"
+
+using namespace streamtensor;
+using ir::DataType;
+using ir::TensorType;
+
+namespace {
+
+linalg::Graph
+mlpGraph()
+{
+    linalg::Graph g("mlp");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {64, 128}),
+                            "x", linalg::TensorRole::Input);
+    int64_t w1 = g.addTensor(TensorType(DataType::I4, {128, 256}),
+                             "w1", linalg::TensorRole::Parameter);
+    int64_t h = linalg::matmul(g, x, w1, DataType::I8, "fc1");
+    int64_t a =
+        linalg::ewiseUnary(g, h, linalg::EwiseFn::Gelu, "gelu");
+    int64_t w2 = g.addTensor(TensorType(DataType::I4, {256, 64}),
+                             "w2", linalg::TensorRole::Parameter);
+    int64_t y = linalg::matmul(g, a, w2, DataType::I8, "fc2");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    return g;
+}
+
+} // namespace
+
+TEST(Compiler, StagesRecordedInPipelineOrder)
+{
+    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    std::vector<std::string> expected{
+        "Linalg_Opt",     "Linalg_Tiling", "Kernel_Fusion",
+        "Dataflow_Opt",   "HLS_Opt",       "Resource_Alloc",
+        "Bufferization",  "Code_Gen"};
+    ASSERT_EQ(result.times.stages.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(result.times.stages[i].first, expected[i]);
+    EXPECT_GT(result.times.total(), 0.0);
+}
+
+TEST(Compiler, ProducesVerifiedModuleAndCode)
+{
+    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    ASSERT_NE(result.module, nullptr);
+    EXPECT_TRUE(ir::verifyModule(*result.module).ok());
+    EXPECT_FALSE(result.code.hls_cpp.empty());
+    EXPECT_FALSE(result.code.host_cpp.empty());
+    EXPECT_FALSE(result.code.connectivity.empty());
+}
+
+TEST(Compiler, FifoDepthsAssignedEverywhere)
+{
+    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    const auto &cg = result.design.components;
+    for (int64_t c = 0; c < cg.numChannels(); ++c) {
+        EXPECT_GE(cg.channel(c).depth, 2);
+    }
+    EXPECT_EQ(result.sizing.size(),
+              static_cast<size_t>(cg.numGroups()));
+}
+
+TEST(Compiler, MemoryAllocationFeasible)
+{
+    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    EXPECT_TRUE(result.memory.feasible);
+    EXPECT_GT(result.memory.totalBytes(), 0);
+}
+
+TEST(Compiler, DepthCapLoopShrinksOverBudgetDesigns)
+{
+    // A platform with almost no on-chip memory forces the
+    // feasibility loop to tighten the depth cap.
+    hls::FpgaPlatform tiny = hls::u55c();
+    tiny.lutram_kib = 16;
+    tiny.bram_kib = 64;
+    tiny.uram_kib = 64;
+    auto result = compiler::compile(mlpGraph(), tiny, {});
+    // Depths were clamped (possibly still infeasible, but the
+    // compiler must terminate and report).
+    EXPECT_GE(result.clamped_fifos, 0);
+}
+
+TEST(Compiler, AutoConservativeTriggersUnderPressure)
+{
+    compiler::CompileOptions options;
+    options.auto_conservative = true;
+    options.conservative_threshold = 1e-9; // always trigger
+    auto result =
+        compiler::compile(mlpGraph(), hls::u55c(), options);
+    EXPECT_EQ(result.used_equalization,
+              token::Equalization::Conservative);
+}
+
+TEST(Compiler, ExplicitEqualizationHonored)
+{
+    compiler::CompileOptions options;
+    options.equalization = token::Equalization::Conservative;
+    options.auto_conservative = false;
+    auto result =
+        compiler::compile(mlpGraph(), hls::u55c(), options);
+    EXPECT_EQ(result.used_equalization,
+              token::Equalization::Conservative);
+}
+
+TEST(Compiler, LinalgStatsReported)
+{
+    // A graph with an elementwise chain: fusion count surfaces.
+    linalg::Graph g("chain");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {32, 32}),
+                            "x", linalg::TensorRole::Input);
+    int64_t a =
+        linalg::ewiseUnary(g, x, linalg::EwiseFn::Gelu, "a");
+    int64_t b =
+        linalg::ewiseUnary(g, a, linalg::EwiseFn::Scale, "b");
+    g.tensor(b).role = linalg::TensorRole::Output;
+    auto result = compiler::compile(std::move(g), hls::u55c(), {});
+    EXPECT_EQ(result.elementwise_fused, 1);
+}
+
+TEST(Compiler, TransformerBlockEndToEnd)
+{
+    auto graph = models::buildTransformerBlock(
+        models::gpt2Config(), models::decodeShapes(48));
+    auto result =
+        compiler::compile(std::move(graph), hls::u55c(), {});
+    EXPECT_EQ(result.design.plan.groups.size(), 1u);
+    EXPECT_TRUE(result.memory.feasible);
+    EXPECT_TRUE(ir::verifyModule(*result.module).ok());
+    EXPECT_GT(result.fold_stats.channels_folded, 0);
+    EXPECT_GT(result.vectorized_components, 0);
+}
+
+TEST(Compiler, CustomCmaxSplitsDesign)
+{
+    compiler::CompileOptions options;
+    options.c_max = 1; // nothing with a converter can fuse
+    auto result =
+        compiler::compile(mlpGraph(), hls::u55c(), options);
+    EXPECT_GT(result.design.plan.groups.size(), 1u);
+}

@@ -1,0 +1,147 @@
+/** @file Unit tests for Linalg-to-dataflow conversion and itensor
+ *  inference (paper §4.1). */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "dataflow/conversion.h"
+#include "linalg/builders.h"
+
+using namespace streamtensor;
+using ir::DataType;
+using ir::TensorType;
+
+namespace {
+
+linalg::Graph
+singleMatmul(int64_t m = 32, int64_t k = 64, int64_t n = 128)
+{
+    linalg::Graph g("mm");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {m, k}), "x",
+                            linalg::TensorRole::Input);
+    int64_t w = g.addTensor(TensorType(DataType::I4, {k, n}), "w",
+                            linalg::TensorRole::Parameter);
+    int64_t y = linalg::matmul(g, x, w, DataType::I8, "mm");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    return g;
+}
+
+std::map<int64_t, dse::TileConfig>
+tile16(const linalg::Graph &g)
+{
+    dse::TilingOptions opts;
+    opts.default_tile_size = 16;
+    return dse::exploreTiling(g, opts);
+}
+
+} // namespace
+
+TEST(Conversion, MatmulOutputType)
+{
+    auto g = singleMatmul();
+    auto configs = tile16(g);
+    auto out = dataflow::inferBoundaryIT(g, g.op(0), configs[0],
+                                         -1);
+    // Output iterates only the parallel loops (m, n): 2x8 tiles.
+    EXPECT_EQ(out.numTokens(), (32 / 16) * (128 / 16));
+    EXPECT_EQ(out.revisitFactor(), 1);
+    EXPECT_EQ(out.dataShape(), (std::vector<int64_t>{32, 128}));
+    EXPECT_EQ(out.elementShape(), (std::vector<int64_t>{16, 16}));
+}
+
+TEST(Conversion, MatmulInputARevisitsPerNTile)
+{
+    auto g = singleMatmul();
+    auto configs = tile16(g);
+    auto a = dataflow::inferBoundaryIT(g, g.op(0), configs[0], 0);
+    // A[m,k] is re-streamed for every n tile: 8 revisits.
+    EXPECT_EQ(a.revisitFactor(), 128 / 16);
+    EXPECT_EQ(a.numTokens(),
+              (32 / 16) * (128 / 16) * (64 / 16));
+    EXPECT_EQ(a.numUniqueTokens(), (32 / 16) * (64 / 16));
+    EXPECT_EQ(a.dataShape(), (std::vector<int64_t>{32, 64}));
+}
+
+TEST(Conversion, MatmulInputBRevisitsPerMTile)
+{
+    auto g = singleMatmul();
+    auto configs = tile16(g);
+    auto b = dataflow::inferBoundaryIT(g, g.op(0), configs[0], 1);
+    EXPECT_EQ(b.revisitFactor(), 32 / 16);
+    EXPECT_EQ(b.dataShape(), (std::vector<int64_t>{64, 128}));
+    EXPECT_EQ(b.dtype(), DataType::I4);
+}
+
+TEST(Conversion, StreamOrderMatchesLoopNest)
+{
+    auto g = singleMatmul(32, 32, 32);
+    dse::TileConfig cfg;
+    cfg.tile_sizes = {16, 16, 16};
+    auto out = dataflow::inferBoundaryIT(g, g.op(0), cfg, -1);
+    auto offsets = out.streamOffsets();
+    // Loop order (m, n): row-major over output tiles.
+    ASSERT_EQ(offsets.size(), 4u);
+    EXPECT_EQ(offsets[0], (std::vector<int64_t>{0, 0}));
+    EXPECT_EQ(offsets[1], (std::vector<int64_t>{0, 16}));
+    EXPECT_EQ(offsets[2], (std::vector<int64_t>{16, 0}));
+}
+
+TEST(Conversion, BroadcastOperandBecomesConstantMap)
+{
+    linalg::Graph g("norm");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {8, 64}), "x",
+                            linalg::TensorRole::Input);
+    int64_t w = g.addTensor(TensorType(DataType::F32, {64}), "w",
+                            linalg::TensorRole::Parameter);
+    int64_t y = linalg::layerNorm(g, x, w, "ln");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    auto configs = tile16(g);
+    auto wt = dataflow::inferBoundaryIT(g, g.op(0), configs[0], 1);
+    // The weight is indexed only by the inner loop.
+    EXPECT_EQ(wt.dataShape(), (std::vector<int64_t>{64}));
+    EXPECT_GE(wt.revisitFactor(), 1);
+}
+
+TEST(Conversion, KernelSpecsForWholeGraph)
+{
+    auto g = singleMatmul();
+    auto configs = tile16(g);
+    auto kernels = dataflow::convertToKernels(g, configs);
+    ASSERT_EQ(kernels.size(), 1u);
+    const auto &spec = kernels[0];
+    EXPECT_EQ(spec.op_id, 0);
+    EXPECT_EQ(spec.input_types.size(), 2u);
+    EXPECT_EQ(spec.total_points, 32 * 64 * 128);
+    EXPECT_EQ(spec.points_per_token,
+              32 * 64 * 128 / spec.output_type.numTokens());
+    EXPECT_GT(spec.local_buffer_bytes, 0);
+}
+
+TEST(Conversion, ProducerConsumerSameTensorSameDataSpace)
+{
+    // Two chained matmuls: producer output and consumer input of
+    // the shared tensor must reference the same data space.
+    linalg::Graph g("chain");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {32, 64}),
+                            "x", linalg::TensorRole::Input);
+    int64_t w1 = g.addTensor(TensorType(DataType::I4, {64, 32}),
+                             "w1", linalg::TensorRole::Parameter);
+    int64_t h = linalg::matmul(g, x, w1, DataType::I8, "mm1");
+    int64_t w2 = g.addTensor(TensorType(DataType::I4, {32, 16}),
+                             "w2", linalg::TensorRole::Parameter);
+    int64_t y = linalg::matmul(g, h, w2, DataType::I8, "mm2");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    auto configs = tile16(g);
+    auto kernels = dataflow::convertToKernels(g, configs);
+    ASSERT_EQ(kernels.size(), 2u);
+    EXPECT_TRUE(kernels[0].output_type.sameDataSpace(
+        kernels[1].input_types[0]));
+}
+
+TEST(Conversion, MissingConfigIsFatal)
+{
+    auto g = singleMatmul();
+    std::map<int64_t, dse::TileConfig> empty;
+    EXPECT_THROW(dataflow::convertToKernels(g, empty), FatalError);
+}

@@ -1,0 +1,185 @@
+/** @file Semantic verification of Algorithm 1: the inferred
+ *  ping-pong buffer must actually suffice to replay the consumer's
+ *  stream order from the producer's stream order.
+ *
+ *  The invariant: group both streams by the shared-outer-loop
+ *  prefix (the loops hoisted above the buffer). Within one prefix
+ *  iteration, every tile the consumer reads must (a) be produced
+ *  by the source in the same prefix iteration and (b) fit inside
+ *  the inferred buffer extent along every data dimension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dse/converter_gen.h"
+#include "ir/itensor_type.h"
+
+using namespace streamtensor;
+using ir::AffineExpr;
+using ir::AffineMap;
+using ir::DataType;
+using ir::ITensorType;
+using ir::TensorType;
+
+namespace {
+
+/** Per-token (prefix iteration index, data offset). */
+struct TaggedStream
+{
+    std::vector<int64_t> prefix; // linearized shared-loop index
+    std::vector<std::vector<int64_t>> offsets;
+};
+
+TaggedStream
+tagStream(const ITensorType &t, int64_t shared_prefix)
+{
+    TaggedStream out;
+    std::vector<int64_t> idx(t.iterRank(), 0);
+    std::vector<int64_t> vals(t.iterRank(), 0);
+    int64_t total = t.numTokens();
+    for (int64_t n = 0; n < total; ++n) {
+        for (int64_t p = 0; p < t.iterRank(); ++p)
+            vals[p] = idx[p] * t.steps()[p];
+        int64_t prefix = 0;
+        for (int64_t p = 0; p < shared_prefix; ++p)
+            prefix = prefix * t.tripCounts()[p] + idx[p];
+        out.prefix.push_back(prefix);
+        out.offsets.push_back(t.iterMap().apply(vals));
+        for (int64_t p = t.iterRank() - 1; p >= 0; --p) {
+            if (++idx[p] < t.tripCounts()[p])
+                break;
+            idx[p] = 0;
+        }
+    }
+    return out;
+}
+
+/** Check the converter invariant for a (src, res) pair. */
+void
+checkConverter(const ITensorType &src, const ITensorType &res)
+{
+    dse::ConverterSpec spec = dse::inferConverter(src, res);
+    auto produced = tagStream(src, spec.before_loop);
+    auto consumed = tagStream(res, spec.before_loop);
+
+    // Group tile offsets by prefix iteration.
+    std::map<int64_t, std::set<std::vector<int64_t>>> prod_groups;
+    for (size_t i = 0; i < produced.offsets.size(); ++i)
+        prod_groups[produced.prefix[i]].insert(
+            produced.offsets[i]);
+    std::map<int64_t, std::set<std::vector<int64_t>>> cons_groups;
+    for (size_t i = 0; i < consumed.offsets.size(); ++i)
+        cons_groups[consumed.prefix[i]].insert(
+            consumed.offsets[i]);
+
+    ASSERT_EQ(prod_groups.size(), cons_groups.size());
+    for (const auto &[prefix, tiles] : cons_groups) {
+        // (a) Availability: the consumer only reads tiles the
+        // producer wrote in the same prefix iteration.
+        ASSERT_TRUE(prod_groups.count(prefix));
+        for (const auto &tile : tiles)
+            EXPECT_TRUE(prod_groups[prefix].count(tile))
+                << "consumer reads a tile the producer did not "
+                   "write in prefix iteration "
+                << prefix;
+        // (b) Capacity: the tiles of one prefix iteration fit the
+        // inferred buffer extent along every data dim.
+        for (int64_t d = 0; d < res.dataRank(); ++d) {
+            int64_t lo = INT64_MAX, hi = INT64_MIN;
+            for (const auto &tile : tiles) {
+                lo = std::min(lo, tile[d]);
+                hi = std::max(hi, tile[d] + res.elementSize(d));
+            }
+            EXPECT_LE(hi - lo, spec.buffer_shape[d])
+                << "dim " << d << " span exceeds buffer";
+        }
+    }
+}
+
+} // namespace
+
+TEST(ConverterSemantics, Figure5Case)
+{
+    ITensorType b(DataType::F32, {4, 2}, {4, 2}, {2, 4},
+                  AffineMap(2, {AffineExpr::dim(1),
+                                AffineExpr::dim(0)}));
+    ITensorType c(DataType::F32, {4, 2}, {4, 2, 2}, {2, 1, 4},
+                  AffineMap(3, {AffineExpr::dim(2),
+                                AffineExpr::dim(0)}));
+    checkConverter(b, c);
+}
+
+TEST(ConverterSemantics, RowToColumnMajor)
+{
+    TensorType tensor(DataType::I8, {64, 64});
+    checkConverter(ir::makeTiledITensor(tensor, {16, 16}),
+                   ir::makePermutedITensor(tensor, {16, 16},
+                                           {1, 0}));
+}
+
+TEST(ConverterSemantics, SharedRowStripe)
+{
+    TensorType tensor(DataType::I8, {64, 64});
+    auto producer = ir::makeTiledITensor(tensor, {16, 16});
+    ITensorType consumer(
+        DataType::I8, {16, 16}, {4, 2, 4}, {16, 1, 16},
+        AffineMap(3, {AffineExpr::dim(0), AffineExpr::dim(2)}));
+    checkConverter(producer, consumer);
+}
+
+TEST(ConverterSemantics, IdentityIsTrivial)
+{
+    TensorType tensor(DataType::I8, {32, 48});
+    auto t = ir::makeTiledITensor(tensor, {8, 16});
+    checkConverter(t, t);
+}
+
+// Property sweep: random tilings and orders on both sides.
+class ConverterSemanticsProperty
+    : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ConverterSemanticsProperty, BufferSufficesForReplay)
+{
+    uint64_t s = 0xace + GetParam();
+    auto rnd = [&]() {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        return s * 0x2545f4914f6cdd1dull;
+    };
+    std::vector<int64_t> tiles{4, 8, 16};
+    int64_t t = tiles[rnd() % tiles.size()];
+    TensorType tensor(DataType::I8, {32, 32});
+    auto src = rnd() % 2
+                   ? ir::makeTiledITensor(tensor, {t, t})
+                   : ir::makePermutedITensor(tensor, {t, t},
+                                             {1, 0});
+    // Consumer: same tiles, optionally transposed order or with a
+    // revisit loop in the middle.
+    ITensorType res = [&]() -> ITensorType {
+        switch (rnd() % 3) {
+          case 0:
+            return ir::makeTiledITensor(tensor, {t, t});
+          case 1:
+            return ir::makePermutedITensor(tensor, {t, t},
+                                           {1, 0});
+          default: {
+            int64_t trips = 32 / t;
+            return ITensorType(
+                DataType::I8, {t, t}, {trips, 2, trips},
+                {t, 1, t},
+                AffineMap(3, {AffineExpr::dim(0),
+                              AffineExpr::dim(2)}));
+          }
+        }
+    }();
+    checkConverter(src, res);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConverterSemanticsProperty,
+                         ::testing::Range(0, 30));

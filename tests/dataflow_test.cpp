@@ -1,0 +1,252 @@
+/** @file Unit tests for accelerator materialization, dataflow
+ *  passes, and bufferization (paper §4.2-4.3). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dataflow/bufferize.h"
+#include "dataflow/fusion_apply.h"
+#include "dataflow/passes.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "linalg/builders.h"
+
+using namespace streamtensor;
+using ir::DataType;
+using ir::TensorType;
+using dataflow::ComponentKind;
+
+namespace {
+
+linalg::Graph
+mlpGraph()
+{
+    linalg::Graph g("mlp");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {64, 128}),
+                            "x", linalg::TensorRole::Input);
+    int64_t w1 = g.addTensor(TensorType(DataType::I4, {128, 256}),
+                             "w1", linalg::TensorRole::Parameter);
+    int64_t h = linalg::matmul(g, x, w1, DataType::I8, "fc1");
+    int64_t a =
+        linalg::ewiseUnary(g, h, linalg::EwiseFn::Gelu, "gelu");
+    int64_t w2 = g.addTensor(TensorType(DataType::I4, {256, 64}),
+                             "w2", linalg::TensorRole::Parameter);
+    int64_t y = linalg::matmul(g, a, w2, DataType::I8, "fc2");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    return g;
+}
+
+dataflow::AcceleratorDesign
+buildMlp(int64_t c_max = 1 << 30)
+{
+    auto g = mlpGraph();
+    dse::TilingOptions opts;
+    opts.default_tile_size = 16;
+    auto configs = dse::exploreTiling(g, opts);
+    return dataflow::buildAccelerator(g, configs, c_max);
+}
+
+int64_t
+countKind(const dataflow::ComponentGraph &g, ComponentKind kind)
+{
+    int64_t n = 0;
+    for (int64_t i = 0; i < g.numComponents(); ++i)
+        if (g.component(i).kind == kind)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(Materialize, MlpComponentInventory)
+{
+    auto design = buildMlp();
+    const auto &cg = design.components;
+    EXPECT_EQ(countKind(cg, ComponentKind::Kernel), 3);
+    // Loads: x, w1, w2. Store: fc2 output.
+    EXPECT_EQ(countKind(cg, ComponentKind::LoadDma), 3);
+    EXPECT_EQ(countKind(cg, ComponentKind::StoreDma), 1);
+    // gelu -> fc2 needs a revisit converter; fc1 -> gelu matches.
+    EXPECT_EQ(countKind(cg, ComponentKind::Converter), 1);
+    EXPECT_EQ(design.plan.groups.size(), 1u);
+}
+
+TEST(Materialize, ChannelsCarryMatchingTypes)
+{
+    auto design = buildMlp();
+    const auto &cg = design.components;
+    for (int64_t c = 0; c < cg.numChannels(); ++c) {
+        const auto &ch = cg.channel(c);
+        EXPECT_EQ(ch.tokens, ch.type.numTokens());
+        EXPECT_EQ(cg.component(ch.src).group,
+                  cg.component(ch.dst).group);
+    }
+}
+
+TEST(Materialize, GroupTopoOrderIsValid)
+{
+    auto design = buildMlp();
+    const auto &cg = design.components;
+    auto order = cg.groupTopoOrder(0);
+    std::map<int64_t, size_t> pos;
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    for (int64_t c = 0; c < cg.numChannels(); ++c) {
+        const auto &ch = cg.channel(c);
+        EXPECT_LT(pos.at(ch.src), pos.at(ch.dst));
+    }
+}
+
+TEST(Materialize, SplitIntoGroupsAddsDmas)
+{
+    // Tiny budget: every mismatched edge splits; the intermediate
+    // tensor then flows через store+load DMA pairs.
+    auto fused = buildMlp();
+    auto split = buildMlp(/*c_max=*/0);
+    EXPECT_GT(split.plan.groups.size(), fused.plan.groups.size());
+    EXPECT_GT(countKind(split.components, ComponentKind::StoreDma),
+              countKind(fused.components, ComponentKind::StoreDma));
+}
+
+TEST(Materialize, ConverterSharedAcrossConsumers)
+{
+    // One producer fanning out to two consumers with the same
+    // mismatched layout: CSE keeps a single converter.
+    linalg::Graph g("fanout");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {64, 64}),
+                            "x", linalg::TensorRole::Input);
+    int64_t a =
+        linalg::ewiseUnary(g, x, linalg::EwiseFn::Gelu, "a");
+    int64_t w = g.addTensor(TensorType(DataType::I4, {64, 64}),
+                            "w", linalg::TensorRole::Parameter);
+    int64_t y1 = linalg::matmul(g, a, w, DataType::I8, "mm1");
+    int64_t y2 = linalg::matmul(g, a, w, DataType::I8, "mm2");
+    g.tensor(y1).role = linalg::TensorRole::Output;
+    g.tensor(y2).role = linalg::TensorRole::Output;
+    auto configs = dse::exploreTiling(g, {});
+    auto design = dataflow::buildAccelerator(g, configs, 1 << 30);
+    EXPECT_EQ(countKind(design.components, ComponentKind::Converter),
+              1);
+}
+
+TEST(Passes, FoldRemovesDmaKernelFifos)
+{
+    // Elementwise kernels stream their input without revisit, so
+    // the DMA->kernel pattern matches exactly and folds.
+    linalg::Graph g("ew");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {64, 64}),
+                            "x", linalg::TensorRole::Input);
+    int64_t y =
+        linalg::ewiseUnary(g, x, linalg::EwiseFn::Gelu, "gelu");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    auto configs = dse::exploreTiling(g, {});
+    auto design = dataflow::buildAccelerator(g, configs, 1 << 30);
+
+    auto stats = dataflow::foldITensors(design.components);
+    EXPECT_GT(stats.channels_folded, 0);
+    EXPECT_GT(stats.bytes_saved, 0);
+    for (int64_t c = 0; c < design.components.numChannels(); ++c) {
+        const auto &ch = design.components.channel(c);
+        if (!ch.folded)
+            continue;
+        EXPECT_EQ(design.components.component(ch.src).kind,
+                  ComponentKind::LoadDma);
+        EXPECT_EQ(ch.type.revisitFactor(), 1);
+    }
+
+    // Matmul inputs revisit tiles: those streams must keep their
+    // FIFOs (folding is more restrictive than fusion, §4.3.2).
+    auto mlp = buildMlp();
+    auto mlp_stats = dataflow::foldITensors(mlp.components);
+    for (int64_t c = 0; c < mlp.components.numChannels(); ++c) {
+        const auto &ch = mlp.components.channel(c);
+        if (ch.type.revisitFactor() > 1)
+            EXPECT_FALSE(ch.folded);
+    }
+    (void)mlp_stats;
+}
+
+TEST(Passes, VectorizeWidensDmasToPort)
+{
+    auto design = buildMlp();
+    dataflow::vectorizeITensors(design.components, 512);
+    for (int64_t i = 0; i < design.components.numComponents();
+         ++i) {
+        const auto &c = design.components.component(i);
+        if (c.kind != ComponentKind::LoadDma)
+            continue;
+        EXPECT_GE(c.vector_lanes, 1);
+        // 512-bit port: at most 128 i4 lanes or 64 i8 lanes.
+        EXPECT_LE(c.vector_lanes, 128);
+    }
+}
+
+TEST(Passes, ReduceStreamDepthFloorsAtBurst)
+{
+    auto design = buildMlp();
+    for (int64_t c = 0; c < design.components.numChannels(); ++c)
+        design.components.channel(c).depth = 4096;
+    dataflow::reduceStreamDepth(design.components, 8);
+    for (int64_t c = 0; c < design.components.numChannels(); ++c) {
+        const auto &ch = design.components.channel(c);
+        int64_t burst = design.components.channelBurst(c);
+        EXPECT_GE(ch.depth, std::min<int64_t>(8, 2 * burst));
+        EXPECT_LE(ch.depth, std::max<int64_t>(8, 2 * burst));
+    }
+}
+
+TEST(Graph, BurstComputation)
+{
+    auto design = buildMlp();
+    const auto &cg = design.components;
+    for (int64_t c = 0; c < cg.numChannels(); ++c) {
+        int64_t burst = cg.channelBurst(c);
+        EXPECT_GE(burst, 1);
+        EXPECT_LE(burst, cg.channel(c).tokens);
+    }
+}
+
+TEST(Bufferize, ModuleVerifiesAndPrints)
+{
+    auto design = buildMlp();
+    auto module = dataflow::bufferize(design.components);
+    auto verify = ir::verifyModule(*module);
+    EXPECT_TRUE(verify.ok()) << verify.str();
+    std::string text = ir::printModule(*module);
+    EXPECT_NE(text.find("kernel @group0"), std::string::npos);
+    EXPECT_NE(text.find("stream<"), std::string::npos);
+    EXPECT_NE(text.find("task @fc1"), std::string::npos);
+    EXPECT_NE(text.find("loop_nest"), std::string::npos);
+}
+
+TEST(Bufferize, FoldedChannelsHaveNoStream)
+{
+    auto design = buildMlp();
+    dataflow::foldITensors(design.components);
+    auto module = dataflow::bufferize(design.components);
+    // Count stream ops: one per unfolded channel.
+    int64_t unfolded = 0;
+    for (int64_t c = 0; c < design.components.numChannels(); ++c)
+        if (!design.components.channel(c).folded)
+            ++unfolded;
+    std::string text = ir::printModule(*module);
+    int64_t streams = 0;
+    size_t pos = 0;
+    while ((pos = text.find("= stream ", pos)) !=
+           std::string::npos) {
+        ++streams;
+        pos += 1;
+    }
+    EXPECT_EQ(streams, unfolded);
+}
+
+TEST(Stats, MemoryAccounting)
+{
+    auto design = buildMlp();
+    EXPECT_GT(design.original_intermediate_bytes, 0);
+    EXPECT_GT(design.components.totalConverterBytes(), 0);
+    EXPECT_GT(design.components.totalLocalBufferBytes(), 0);
+    EXPECT_GE(design.fusedIntermediateBytes(),
+              design.components.totalConverterBytes());
+}

@@ -1,0 +1,162 @@
+/** @file Unit tests for Algorithm 2 (kernel fusion exploration,
+ *  paper §5.2.2). */
+
+#include <gtest/gtest.h>
+
+#include "dse/converter_gen.h"
+#include "dse/fusion.h"
+#include "support/error.h"
+
+using namespace streamtensor;
+using ir::DataType;
+using ir::ITensorType;
+using ir::TensorType;
+
+namespace {
+
+ITensorType
+rowTiles()
+{
+    return ir::makeTiledITensor(TensorType(DataType::I8, {64, 64}),
+                                {16, 16});
+}
+
+ITensorType
+colTiles()
+{
+    return ir::makePermutedITensor(
+        TensorType(DataType::I8, {64, 64}), {16, 16}, {1, 0});
+}
+
+/** Chain of n kernels; every edge needs a whole-tensor converter
+ *  (row-major producer, col-major consumer): cost 8 KiB each. */
+dse::FusionGraph
+chain(int64_t n)
+{
+    dse::FusionGraph g;
+    for (int64_t i = 0; i < n; ++i)
+        g.addNode();
+    for (int64_t i = 0; i + 1 < n; ++i)
+        g.addEdge(i, i + 1, rowTiles(), colTiles());
+    return g;
+}
+
+} // namespace
+
+TEST(Algorithm2, UnlimitedBudgetFusesEverything)
+{
+    auto plan = dse::exploreFusion(chain(6), 1 << 30);
+    EXPECT_EQ(plan.groups.size(), 1u);
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(plan.fusion_index[i], 0);
+}
+
+TEST(Algorithm2, MatchingTypesAreFreeToFuse)
+{
+    dse::FusionGraph g;
+    for (int64_t i = 0; i < 4; ++i)
+        g.addNode();
+    for (int64_t i = 0; i + 1 < 4; ++i)
+        g.addEdge(i, i + 1, rowTiles(), rowTiles());
+    auto plan = dse::exploreFusion(g, 0); // zero budget
+    EXPECT_EQ(plan.groups.size(), 1u);
+    EXPECT_EQ(plan.totalCost(), 0);
+}
+
+TEST(Algorithm2, BudgetSplitsChain)
+{
+    int64_t edge_cost =
+        dse::converterCostBytes(rowTiles(), colTiles());
+    ASSERT_GT(edge_cost, 0);
+    // Budget for exactly two converters per group.
+    auto plan = dse::exploreFusion(chain(7), 2 * edge_cost);
+    EXPECT_GT(plan.groups.size(), 1u);
+    for (int64_t cost : plan.costs)
+        EXPECT_LE(cost, 2 * edge_cost);
+}
+
+TEST(Algorithm2, ZeroBudgetIsolatesMismatchedKernels)
+{
+    auto plan = dse::exploreFusion(chain(5), 0);
+    EXPECT_EQ(plan.groups.size(), 5u);
+    EXPECT_EQ(plan.totalCost(), 0);
+}
+
+TEST(Algorithm2, CostNeverExceedsBudget)
+{
+    int64_t edge_cost =
+        dse::converterCostBytes(rowTiles(), colTiles());
+    for (int64_t budget :
+         {edge_cost / 2, edge_cost, 3 * edge_cost}) {
+        auto plan = dse::exploreFusion(chain(9), budget);
+        for (int64_t cost : plan.costs)
+            EXPECT_LE(cost, budget);
+    }
+}
+
+TEST(Algorithm2, DiamondReconvergence)
+{
+    // 0 -> {1, 2} -> 3 with free types: all fuse into one group.
+    dse::FusionGraph g;
+    for (int64_t i = 0; i < 4; ++i)
+        g.addNode();
+    g.addEdge(0, 1, rowTiles(), rowTiles());
+    g.addEdge(0, 2, rowTiles(), rowTiles());
+    g.addEdge(1, 3, rowTiles(), rowTiles());
+    g.addEdge(2, 3, rowTiles(), rowTiles());
+    auto plan = dse::exploreFusion(g, 1 << 30);
+    EXPECT_EQ(plan.groups.size(), 1u);
+    EXPECT_TRUE(plan.sameGroup(0, 3));
+    EXPECT_EQ(plan.internalEdges(g).size(), 4u);
+}
+
+TEST(Algorithm2, NearestCandidatePreferred)
+{
+    // 0 and 1 are independent producers feeding 2. Node 1 opens
+    // the later group, so 2 fuses with it ("nearest candidate" =
+    // max fusion index).
+    dse::FusionGraph g;
+    for (int64_t i = 0; i < 3; ++i)
+        g.addNode();
+    g.addEdge(0, 2, rowTiles(), colTiles());
+    g.addEdge(1, 2, rowTiles(), colTiles());
+    auto plan = dse::exploreFusion(g, 1 << 30);
+    EXPECT_EQ(plan.fusion_index[2], plan.fusion_index[1]);
+    EXPECT_NE(plan.fusion_index[2], plan.fusion_index[0]);
+}
+
+TEST(Algorithm2, TopoOrderRejectsCycles)
+{
+    dse::FusionGraph g;
+    g.addNode();
+    g.addNode();
+    g.addEdge(0, 1, rowTiles(), rowTiles());
+    g.addEdge(1, 0, rowTiles(), rowTiles());
+    EXPECT_THROW(g.topoOrder(), FatalError);
+}
+
+TEST(Algorithm2, EdgeValidation)
+{
+    dse::FusionGraph g;
+    g.addNode();
+    g.addNode();
+    EXPECT_THROW(g.addEdge(0, 0, rowTiles(), rowTiles()),
+                 FatalError);
+    // Mismatched data spaces rejected at edge creation.
+    auto small = ir::makeTiledITensor(
+        TensorType(DataType::I8, {32, 32}), {16, 16});
+    EXPECT_THROW(g.addEdge(0, 1, rowTiles(), small), FatalError);
+}
+
+TEST(Algorithm2, InternalEdgesListsOnChipStreams)
+{
+    int64_t edge_cost =
+        dse::converterCostBytes(rowTiles(), colTiles());
+    auto g = chain(4);
+    auto plan = dse::exploreFusion(g, edge_cost); // 1 cvt/group
+    auto internal = plan.internalEdges(g);
+    // Edges inside groups plus external ones total the edge count.
+    EXPECT_LT(internal.size(), static_cast<size_t>(g.numEdges()));
+    for (int64_t e : internal)
+        EXPECT_TRUE(plan.sameGroup(g.edge(e).src, g.edge(e).dst));
+}

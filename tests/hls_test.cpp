@@ -1,0 +1,202 @@
+/** @file Unit tests for the vendor-tool substitute: platform,
+ *  profiling, resource estimation, RTL-time model, codegen. */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/fusion_apply.h"
+#include "dataflow/passes.h"
+#include "hls/codegen.h"
+#include "hls/platform.h"
+#include "hls/profiling.h"
+#include "hls/resource.h"
+#include "hls/rtl_time.h"
+#include "linalg/builders.h"
+
+using namespace streamtensor;
+using ir::DataType;
+using ir::TensorType;
+
+namespace {
+
+dataflow::AcceleratorDesign
+smallDesign()
+{
+    linalg::Graph g("small");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {32, 64}),
+                            "x", linalg::TensorRole::Input);
+    int64_t w = g.addTensor(TensorType(DataType::I4, {64, 32}),
+                            "w", linalg::TensorRole::Parameter);
+    int64_t h = linalg::matmul(g, x, w, DataType::I8, "mm");
+    int64_t y =
+        linalg::ewiseUnary(g, h, linalg::EwiseFn::Gelu, "gelu");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    auto configs = dse::exploreTiling(g, {});
+    return dataflow::buildAccelerator(g, configs, 1 << 30);
+}
+
+} // namespace
+
+TEST(Platform, U55cTable6Values)
+{
+    auto p = hls::u55c();
+    EXPECT_EQ(p.name, "AMD U55C");
+    EXPECT_DOUBLE_EQ(p.freq_mhz, 250.0);
+    EXPECT_DOUBLE_EQ(p.memory_bandwidth_gbps, 460.0);
+    EXPECT_DOUBLE_EQ(p.peakInt8Tops(), 24.5);
+    EXPECT_DOUBLE_EQ(p.tdp_watts, 150.0);
+    EXPECT_EQ(p.onChipBytes(), 41ll * 1024 * 1024);
+    EXPECT_GT(p.channelBytesPerCycle(), 0.0);
+}
+
+TEST(Platform, U280DiffersInMemoryAndPower)
+{
+    auto p = hls::u280();
+    EXPECT_DOUBLE_EQ(p.memory_capacity_gib, 8.0);
+    EXPECT_DOUBLE_EQ(p.tdp_watts, 225.0);
+}
+
+TEST(Profiling, FillsDeterministicTimings)
+{
+    auto design = smallDesign();
+    hls::profileComponents(design.components, hls::u55c());
+    for (int64_t i = 0; i < design.components.numComponents();
+         ++i) {
+        const auto &c = design.components.component(i);
+        EXPECT_GT(c.total_cycles, 0.0) << c.name;
+        EXPECT_GE(c.initial_delay, 0.0);
+        EXPECT_LE(c.initial_delay, c.total_cycles);
+    }
+    // Determinism (paper §5.3.1): a second run is identical.
+    auto again = smallDesign();
+    hls::profileComponents(again.components, hls::u55c());
+    for (int64_t i = 0; i < design.components.numComponents();
+         ++i) {
+        EXPECT_DOUBLE_EQ(
+            design.components.component(i).total_cycles,
+            again.components.component(i).total_cycles);
+    }
+}
+
+TEST(Profiling, KernelCyclesScaleWithUnroll)
+{
+    auto design = smallDesign();
+    hls::profileComponents(design.components, hls::u55c());
+    double base = 0;
+    for (int64_t i = 0; i < design.components.numComponents();
+         ++i) {
+        auto &c = design.components.component(i);
+        if (c.kind == dataflow::ComponentKind::Kernel &&
+            c.name == "mm") {
+            base = c.total_cycles;
+            c.unroll *= 4;
+        }
+    }
+    hls::profileComponents(design.components, hls::u55c());
+    for (int64_t i = 0; i < design.components.numComponents();
+         ++i) {
+        const auto &c = design.components.component(i);
+        if (c.kind == dataflow::ComponentKind::Kernel &&
+            c.name == "mm") {
+            EXPECT_LT(c.total_cycles, base);
+        }
+    }
+}
+
+TEST(Profiling, ConverterIngestShorterThanEmission)
+{
+    auto design = smallDesign();
+    hls::profileComponents(design.components, hls::u55c());
+    for (int64_t i = 0; i < design.components.numComponents();
+         ++i) {
+        const auto &c = design.components.component(i);
+        if (c.kind != dataflow::ComponentKind::Converter)
+            continue;
+        if (c.ingest_cycles > 0)
+            EXPECT_LE(c.ingest_cycles, c.total_cycles);
+    }
+}
+
+TEST(Resource, EstimatesArePositiveAndAdditive)
+{
+    auto design = smallDesign();
+    hls::ResourceUsage total;
+    for (int64_t i = 0; i < design.components.numComponents();
+         ++i) {
+        auto usage = hls::estimateComponent(
+            design.components.component(i));
+        EXPECT_GE(usage.luts, 0);
+        total += usage;
+    }
+    auto group = hls::estimateGroup(design.components, 0);
+    EXPECT_GE(group.memory_bytes, total.memory_bytes);
+    EXPECT_EQ(group.dsps, total.dsps);
+}
+
+TEST(Resource, FitsPlatformDetectsOverflow)
+{
+    auto design = smallDesign();
+    EXPECT_TRUE(
+        hls::fitsPlatform(design.components, hls::u55c()));
+    hls::FpgaPlatform tiny = hls::u55c();
+    tiny.dsp_count = 1;
+    EXPECT_FALSE(hls::fitsPlatform(design.components, tiny));
+}
+
+TEST(RtlTime, HlsDominatesBreakdown)
+{
+    auto design = smallDesign();
+    auto breakdown = hls::estimateRtlTime(design.components,
+                                          100 << 20, 12.0);
+    EXPECT_GT(breakdown.hls_seconds,
+              breakdown.profiling_seconds);
+    EXPECT_GT(breakdown.hls_seconds,
+              breakdown.param_packing_seconds);
+    EXPECT_DOUBLE_EQ(breakdown.compile_seconds, 12.0);
+    EXPECT_NEAR(breakdown.total(),
+                breakdown.hls_seconds +
+                    breakdown.profiling_seconds +
+                    breakdown.param_packing_seconds + 12.0,
+                1e-9);
+}
+
+TEST(RtlTime, MoreParallelJobsNeverSlower)
+{
+    auto design = smallDesign();
+    hls::RtlTimeModel few;
+    few.parallel_jobs = 1;
+    hls::RtlTimeModel many;
+    many.parallel_jobs = 16;
+    auto a = hls::estimateRtlTime(design.components, 0, 0.0, few);
+    auto b = hls::estimateRtlTime(design.components, 0, 0.0, many);
+    EXPECT_GE(a.hls_seconds, b.hls_seconds);
+}
+
+TEST(Codegen, HlsContainsDataflowStructure)
+{
+    auto design = smallDesign();
+    hls::profileComponents(design.components, hls::u55c());
+    auto code = hls::generateCode(design.components);
+    EXPECT_NE(code.hls_cpp.find("#pragma HLS dataflow"),
+              std::string::npos);
+    EXPECT_NE(code.hls_cpp.find("hls::stream<"),
+              std::string::npos);
+    EXPECT_NE(code.hls_cpp.find("group0_top"), std::string::npos);
+    EXPECT_NE(code.hls_cpp.find("depth="), std::string::npos);
+}
+
+TEST(Codegen, HostSequencesGroups)
+{
+    auto design = smallDesign();
+    auto host = hls::generateHost(design.components);
+    EXPECT_NE(host.find("xrt::kernel"), std::string::npos);
+    EXPECT_NE(host.find("run.wait()"), std::string::npos);
+}
+
+TEST(Codegen, ConnectivityBindsDmasToHbm)
+{
+    auto design = smallDesign();
+    auto cfg = hls::generateConnectivity(design.components);
+    EXPECT_NE(cfg.find("[connectivity]"), std::string::npos);
+    EXPECT_NE(cfg.find("HBM["), std::string::npos);
+    EXPECT_NE(cfg.find("SLR"), std::string::npos);
+}

@@ -1,0 +1,213 @@
+/** @file Unit tests for the linalg graph and its passes. */
+
+#include <gtest/gtest.h>
+
+#include "linalg/builders.h"
+#include "linalg/passes.h"
+#include "support/error.h"
+
+using namespace streamtensor;
+using ir::DataType;
+using ir::TensorType;
+using namespace streamtensor::linalg;
+
+namespace {
+
+Graph
+mlpGraph()
+{
+    Graph g("mlp");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {8, 16}), "x",
+                            TensorRole::Input);
+    int64_t w1 = g.addTensor(TensorType(DataType::I4, {16, 32}),
+                             "w1", TensorRole::Parameter);
+    int64_t h = matmul(g, x, w1, DataType::I8, "fc1");
+    int64_t a = ewiseUnary(g, h, EwiseFn::Gelu, "gelu");
+    int64_t w2 = g.addTensor(TensorType(DataType::I4, {32, 16}),
+                             "w2", TensorRole::Parameter);
+    int64_t y = matmul(g, a, w2, DataType::I8, "fc2");
+    g.tensor(y).role = TensorRole::Output;
+    return g;
+}
+
+} // namespace
+
+TEST(Graph, MatmulDomainAndIndexing)
+{
+    Graph g = mlpGraph();
+    const OpInfo &mm = g.op(0);
+    EXPECT_EQ(mm.kind, OpKind::MatMul);
+    EXPECT_EQ(mm.loop_extents, (std::vector<int64_t>{8, 32, 16}));
+    EXPECT_EQ(mm.iterators[2], IteratorKind::Reduction);
+    EXPECT_EQ(mm.input_indexing[0].dims,
+              (std::vector<int64_t>{0, 2}));
+    EXPECT_EQ(mm.input_indexing[1].dims,
+              (std::vector<int64_t>{2, 1}));
+    EXPECT_EQ(mm.output_indexing.dims,
+              (std::vector<int64_t>{0, 1}));
+    EXPECT_DOUBLE_EQ(mm.flops(), 2.0 * 8 * 32 * 16);
+}
+
+TEST(Graph, TopoOrderRespectsDeps)
+{
+    Graph g = mlpGraph();
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_LT(order[0], order[1]);
+    EXPECT_LT(order[1], order[2]);
+}
+
+TEST(Graph, ProducerConsumerWiring)
+{
+    Graph g = mlpGraph();
+    int64_t h = g.op(0).output;
+    EXPECT_EQ(g.tensor(h).producer, 0);
+    ASSERT_EQ(g.tensor(h).consumers.size(), 1u);
+    EXPECT_EQ(g.tensor(h).consumers[0], 1);
+}
+
+TEST(Graph, RejectsDoubleProducer)
+{
+    Graph g = mlpGraph();
+    OpInfo op;
+    op.kind = OpKind::Fill;
+    op.output = g.op(0).output; // already produced
+    op.loop_extents = {8, 32};
+    op.iterators.assign(2, IteratorKind::Parallel);
+    op.output_indexing.dims = {0, 1};
+    EXPECT_THROW(g.addOp(std::move(op)), FatalError);
+}
+
+TEST(Graph, IntermediateBytesCountsActivationsOnly)
+{
+    Graph g = mlpGraph();
+    // Only fc1 and gelu outputs are intermediate (block output and
+    // params excluded): 8x32 i8 twice.
+    EXPECT_EQ(g.intermediateBytes(), 2 * 8 * 32);
+}
+
+TEST(Passes, ElementwiseFusionMergesChains)
+{
+    Graph g("chain");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {4, 4}), "x",
+                            TensorRole::Input);
+    int64_t a = ewiseUnary(g, x, EwiseFn::Gelu, "a");
+    int64_t b = ewiseUnary(g, a, EwiseFn::Scale, "b");
+    int64_t c = ewiseUnary(g, b, EwiseFn::Add, "c");
+    g.tensor(c).role = TensorRole::Output;
+
+    EXPECT_EQ(fuseElementwiseOps(g), 2);
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 1u);
+    const OpInfo &fused = g.op(order[0]);
+    // Payloads applied in producer-to-consumer order.
+    ASSERT_EQ(fused.fused_payloads.size(), 2u);
+    EXPECT_EQ(fused.fused_payloads[0], EwiseFn::Gelu);
+    EXPECT_EQ(fused.fused_payloads[1], EwiseFn::Scale);
+    EXPECT_EQ(fused.ewise_fn, EwiseFn::Add);
+}
+
+TEST(Passes, ElementwiseFusionStopsAtFanOut)
+{
+    Graph g("fanout");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {4, 4}), "x",
+                            TensorRole::Input);
+    int64_t a = ewiseUnary(g, x, EwiseFn::Gelu, "a");
+    int64_t b = ewiseUnary(g, a, EwiseFn::Scale, "b");
+    int64_t c = ewiseUnary(g, a, EwiseFn::Exp, "c");
+    g.tensor(b).role = TensorRole::Output;
+    g.tensor(c).role = TensorRole::Output;
+    // `a` has two consumers; nothing can fuse.
+    EXPECT_EQ(fuseElementwiseOps(g), 0);
+}
+
+TEST(Passes, FoldUnitExtentDims)
+{
+    Graph g("unit");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {1, 16}), "x",
+                            TensorRole::Input);
+    int64_t y = ewiseUnary(g, x, EwiseFn::Gelu, "y");
+    g.tensor(y).role = TensorRole::Output;
+    EXPECT_EQ(foldUnitExtentDims(g), 1);
+    const OpInfo &op = g.op(0);
+    EXPECT_EQ(op.loop_extents, (std::vector<int64_t>{16}));
+    // The dim previously indexed by the dropped loop broadcasts.
+    EXPECT_EQ(op.input_indexing[0].dims,
+              (std::vector<int64_t>{-1, 0}));
+}
+
+TEST(Passes, FuseFillIntoMatmul)
+{
+    Graph g("fill");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {8, 16}), "x",
+                            TensorRole::Input);
+    int64_t w = g.addTensor(TensorType(DataType::I4, {16, 8}), "w",
+                            TensorRole::Parameter);
+    int64_t acc =
+        fill(g, TensorType(DataType::I8, {8, 8}), "acc");
+    int64_t y = matmul(g, x, w, DataType::I8, "mm", acc);
+    g.tensor(y).role = TensorRole::Output;
+
+    EXPECT_EQ(g.topoOrder().size(), 2u);
+    EXPECT_EQ(fuseFill(g), 1);
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(g.op(order[0]).inputs.size(), 2u); // init dropped
+}
+
+TEST(Builders, SoftmaxMarksInnerReduction)
+{
+    Graph g("sm");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {4, 32}), "x",
+                            TensorRole::Input);
+    int64_t y = softmax(g, x, "softmax");
+    g.tensor(y).role = TensorRole::Output;
+    const OpInfo &op = g.op(0);
+    EXPECT_EQ(op.kind, OpKind::Softmax);
+    EXPECT_EQ(op.iterators.back(), IteratorKind::Reduction);
+    EXPECT_EQ(op.numReductionLoops(), 1);
+}
+
+TEST(Builders, BroadcastVectorIndexing)
+{
+    Graph g("bv");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {4, 32}), "x",
+                            TensorRole::Input);
+    int64_t v = g.addTensor(TensorType(DataType::F32, {32}), "w",
+                            TensorRole::Parameter);
+    int64_t y = layerNorm(g, x, v, "ln");
+    g.tensor(y).role = TensorRole::Output;
+    const OpInfo &op = g.op(0);
+    ASSERT_EQ(op.input_indexing.size(), 2u);
+    EXPECT_EQ(op.input_indexing[1].dims,
+              (std::vector<int64_t>{1}));
+}
+
+TEST(Builders, TransposeShapes)
+{
+    Graph g("tr");
+    int64_t x = g.addTensor(TensorType(DataType::I8, {4, 8}), "x",
+                            TensorRole::Input);
+    int64_t y = transpose(g, x, {1, 0}, "t");
+    g.tensor(y).role = TensorRole::Output;
+    EXPECT_EQ(g.tensor(y).type.shape(),
+              (std::vector<int64_t>{8, 4}));
+}
+
+TEST(Builders, MatmulShapeChecks)
+{
+    Graph g("bad");
+    int64_t a = g.addTensor(TensorType(DataType::I8, {4, 8}), "a",
+                            TensorRole::Input);
+    int64_t b = g.addTensor(TensorType(DataType::I8, {9, 4}), "b",
+                            TensorRole::Input);
+    EXPECT_THROW(matmul(g, a, b, DataType::I8, "mm"), FatalError);
+}
+
+TEST(Graph, DumpContainsOpsAndPayloads)
+{
+    Graph g = mlpGraph();
+    std::string text = g.str();
+    EXPECT_NE(text.find("matmul"), std::string::npos);
+    EXPECT_NE(text.find("elementwise<gelu>"), std::string::npos);
+}

@@ -1,0 +1,167 @@
+/** @file Unit tests for the LLM model zoo (paper Table 7). */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "models/block_builder.h"
+#include "models/llm_config.h"
+
+using namespace streamtensor;
+using namespace streamtensor::models;
+
+TEST(Config, Table7Values)
+{
+    auto gpt2 = gpt2Config();
+    EXPECT_EQ(gpt2.layers, 24);
+    EXPECT_EQ(gpt2.hidden, 1024);
+    EXPECT_EQ(gpt2.ffn_hidden, 4096);
+    EXPECT_EQ(gpt2.heads, 16);
+    EXPECT_EQ(gpt2.kv_heads, 16);
+    EXPECT_EQ(gpt2.activation, Activation::Gelu);
+
+    auto qwen = qwenConfig();
+    EXPECT_EQ(qwen.layers, 24);
+    EXPECT_EQ(qwen.hidden, 896);
+    EXPECT_EQ(qwen.ffn_hidden, 4864);
+    EXPECT_EQ(qwen.heads, 14);
+    EXPECT_EQ(qwen.kv_heads, 2);
+    EXPECT_EQ(qwen.activation, Activation::Silu);
+
+    auto llama = llamaConfig();
+    EXPECT_EQ(llama.layers, 22);
+    EXPECT_EQ(llama.hidden, 2048);
+    EXPECT_EQ(llama.ffn_hidden, 5632);
+    EXPECT_EQ(llama.heads, 32);
+    EXPECT_EQ(llama.kv_heads, 4);
+
+    auto gemma = gemmaConfig();
+    EXPECT_EQ(gemma.layers, 26);
+    EXPECT_EQ(gemma.hidden, 1152);
+    EXPECT_EQ(gemma.ffn_hidden, 6912);
+    EXPECT_EQ(gemma.heads, 4);
+    EXPECT_EQ(gemma.kv_heads, 1);
+}
+
+TEST(Config, GroupSizes)
+{
+    EXPECT_EQ(gpt2Config().groupSize(), 1);
+    EXPECT_EQ(qwenConfig().groupSize(), 7);
+    EXPECT_EQ(llamaConfig().groupSize(), 8);
+    EXPECT_EQ(gemmaConfig().groupSize(), 4);
+}
+
+TEST(Config, BlockParamsGpt2)
+{
+    // GPT-2: attn 4*H^2, FFN 2*H*4H = 8H^2, norms 2H.
+    auto cfg = gpt2Config();
+    int64_t h = cfg.hidden;
+    EXPECT_EQ(cfg.blockParams(), 4 * h * h + 8 * h * h + 2 * h);
+    // W4: half a byte per param.
+    EXPECT_EQ(cfg.blockParamBytes(),
+              (cfg.blockParams() + 1) / 2);
+}
+
+TEST(Config, FlopsGrowWithContext)
+{
+    auto cfg = qwenConfig();
+    EXPECT_GT(cfg.blockFlops(1, 128), cfg.blockFlops(1, 64));
+    EXPECT_GT(cfg.blockFlops(32, 32), cfg.blockFlops(1, 32));
+}
+
+TEST(BlockBuilder, Gpt2DecodeGraphShape)
+{
+    auto g = buildTransformerBlock(gpt2Config(), decodeShapes(48));
+    // 14 ops: norm, qkv, qk, softmax, pv, o, res, norm, fc1,
+    // gelu, fc2, res (no rope for GPT-2).
+    EXPECT_EQ(g.topoOrder().size(), 14u);
+    EXPECT_EQ(g.inputTensors().size(), 1u);
+    // block_out + k_new + v_new.
+    EXPECT_EQ(g.outputTensors().size(), 3u);
+}
+
+TEST(BlockBuilder, RopeModelsAddTwoOps)
+{
+    auto gelu = buildTransformerBlock(gpt2Config(),
+                                      decodeShapes(48));
+    auto rope = buildTransformerBlock(qwenConfig(),
+                                      decodeShapes(48));
+    // SiLU FFN adds ops too (gate/up/mul): 14 + 2 (rope) + 2.
+    EXPECT_EQ(rope.topoOrder().size(),
+              gelu.topoOrder().size() + 4);
+}
+
+TEST(BlockBuilder, GqaShapesFactorHeads)
+{
+    auto cfg = qwenConfig();
+    auto g = buildTransformerBlock(cfg, decodeShapes(64));
+    // Find the q tensor: [kv_heads, group, S, hd].
+    bool found = false;
+    for (int64_t i = 0; i < g.numTensors(); ++i) {
+        if (g.tensor(i).name != "q_proj")
+            continue;
+        found = true;
+        EXPECT_EQ(g.tensor(i).type.shape(),
+                  (std::vector<int64_t>{cfg.kv_heads,
+                                        cfg.groupSize(), 1,
+                                        cfg.head_dim}));
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(BlockBuilder, KvCachesAreInputsAtContextLength)
+{
+    auto cfg = llamaConfig();
+    auto g = buildTransformerBlock(cfg, decodeShapes(96));
+    int64_t caches = 0;
+    for (int64_t i = 0; i < g.numTensors(); ++i) {
+        if (g.tensor(i).role != linalg::TensorRole::KvCache)
+            continue;
+        ++caches;
+        EXPECT_EQ(g.tensor(i).type.shape(),
+                  (std::vector<int64_t>{cfg.kv_heads, 96,
+                                        cfg.head_dim}));
+    }
+    EXPECT_EQ(caches, 2);
+}
+
+TEST(BlockBuilder, WeightsCarryParameterRole)
+{
+    auto g = buildTransformerBlock(gemmaConfig(),
+                                   prefillShapes(32));
+    int64_t params = 0;
+    for (int64_t i = 0; i < g.numTensors(); ++i)
+        if (g.tensor(i).role == linalg::TensorRole::Parameter)
+            ++params;
+    // 2 norms + wq/wk/wv/wo + fc1/fc2 = 8 parameters for GELU.
+    EXPECT_EQ(params, 8);
+}
+
+TEST(BlockBuilder, PrefillAndDecodeShareStructure)
+{
+    auto cfg = gpt2Config();
+    auto prefill =
+        buildTransformerBlock(cfg, prefillShapes(64));
+    auto decode = buildTransformerBlock(cfg, decodeShapes(64));
+    EXPECT_EQ(prefill.topoOrder().size(),
+              decode.topoOrder().size());
+}
+
+TEST(BlockBuilder, AllModelsBuildAcrossShapes)
+{
+    for (const auto &cfg : allConfigs()) {
+        for (int64_t seq : {1, 32, 128}) {
+            BlockShapes shapes{seq, std::max<int64_t>(seq, 48)};
+            auto g = buildTransformerBlock(cfg, shapes);
+            EXPECT_GT(g.numOps(), 10) << cfg.name;
+            EXPECT_NO_THROW(g.topoOrder()) << cfg.name;
+        }
+    }
+}
+
+TEST(BlockBuilder, RejectsBadShapes)
+{
+    EXPECT_THROW(
+        buildTransformerBlock(gpt2Config(), BlockShapes{0, 8}),
+        FatalError);
+}

@@ -1,0 +1,143 @@
+/** @file Unit tests for die partitioning (ILP) and memory
+ *  allocation (paper §5.3 items 2-3). */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/fusion_apply.h"
+#include "hls/profiling.h"
+#include "linalg/builders.h"
+#include "partition/die_partition.h"
+#include "partition/memory_alloc.h"
+
+using namespace streamtensor;
+using ir::DataType;
+using ir::TensorType;
+
+namespace {
+
+dataflow::AcceleratorDesign
+chainDesign(int64_t n)
+{
+    linalg::Graph g("chain");
+    int64_t t = g.addTensor(TensorType(DataType::I8, {32, 32}),
+                            "x", linalg::TensorRole::Input);
+    for (int64_t i = 0; i < n; ++i) {
+        t = linalg::ewiseUnary(g, t, linalg::EwiseFn::Gelu,
+                               "e" + std::to_string(i));
+    }
+    g.tensor(t).role = linalg::TensorRole::Output;
+    auto configs = dse::exploreTiling(g, {});
+    auto design = dataflow::buildAccelerator(g, configs, 1 << 30);
+    hls::profileComponents(design.components, hls::u55c());
+    return design;
+}
+
+} // namespace
+
+TEST(DiePartition, EveryComponentAssigned)
+{
+    auto design = chainDesign(6);
+    auto result = partition::partitionGroup(design.components, 0,
+                                            hls::u55c());
+    for (int64_t id : design.components.groupComponents(0)) {
+        int64_t die = design.components.component(id).die;
+        EXPECT_GE(die, 0);
+        EXPECT_LT(die, hls::u55c().num_dies);
+    }
+    EXPECT_GE(result.crossings, 0);
+}
+
+TEST(DiePartition, IlpKeepsChainsContiguousish)
+{
+    auto design = chainDesign(4);
+    partition::PartitionOptions opts;
+    opts.max_ilp_components = 64;
+    auto result = partition::partitionGroup(design.components, 0,
+                                            hls::u55c(), opts);
+    // A pipeline should not cross dies more than (dies - 1) times
+    // when balance pressure is mild.
+    EXPECT_LE(result.crossings, hls::u55c().num_dies + 2);
+}
+
+TEST(DiePartition, GreedyFallbackOnLargeGroups)
+{
+    auto design = chainDesign(10);
+    partition::PartitionOptions opts;
+    opts.max_ilp_components = 2; // force greedy
+    auto result = partition::partitionGroup(design.components, 0,
+                                            hls::u55c(), opts);
+    EXPECT_FALSE(result.used_ilp);
+}
+
+TEST(DiePartition, SingleDieTrivial)
+{
+    auto design = chainDesign(3);
+    hls::FpgaPlatform mono = hls::u55c();
+    mono.num_dies = 1;
+    auto result = partition::partitionGroup(design.components, 0,
+                                            mono);
+    EXPECT_EQ(result.crossings, 0);
+}
+
+TEST(MemoryAlloc, SmallBuffersPreferLutram)
+{
+    auto design = chainDesign(3);
+    auto alloc =
+        partition::allocateMemory(design.components, hls::u55c());
+    EXPECT_TRUE(alloc.feasible);
+    bool saw_lutram = false;
+    for (const auto &b : alloc.placements) {
+        if (b.bytes <= 1024)
+            saw_lutram |= b.kind == ir::MemoryKind::LUTRAM;
+        EXPECT_NE(b.kind, ir::MemoryKind::Auto);
+    }
+    EXPECT_TRUE(saw_lutram);
+}
+
+TEST(MemoryAlloc, LargeBuffersLandInUram)
+{
+    dataflow::ComponentGraph g;
+    dataflow::Component big;
+    big.kind = dataflow::ComponentKind::Kernel;
+    big.name = "big";
+    big.local_buffer_bytes = 1 << 20; // 1 MiB
+    g.addComponent(big);
+    auto alloc = partition::allocateMemory(g, hls::u55c());
+    ASSERT_EQ(alloc.placements.size(), 1u);
+    EXPECT_EQ(alloc.placements[0].kind, ir::MemoryKind::URAM);
+}
+
+TEST(MemoryAlloc, OverflowReportedInfeasible)
+{
+    dataflow::ComponentGraph g;
+    dataflow::Component huge;
+    huge.kind = dataflow::ComponentKind::Kernel;
+    huge.name = "huge";
+    huge.local_buffer_bytes = 1ll << 32; // 4 GiB
+    g.addComponent(huge);
+    auto alloc = partition::allocateMemory(g, hls::u55c());
+    EXPECT_FALSE(alloc.feasible);
+}
+
+TEST(MemoryAlloc, TotalsMatchPlacements)
+{
+    auto design = chainDesign(4);
+    auto alloc =
+        partition::allocateMemory(design.components, hls::u55c());
+    int64_t sum = 0;
+    for (const auto &b : alloc.placements)
+        if (b.kind != ir::MemoryKind::Auto)
+            sum += b.bytes;
+    EXPECT_EQ(sum, alloc.totalBytes());
+}
+
+TEST(MemoryAlloc, LargestFirstOrdering)
+{
+    auto design = chainDesign(4);
+    auto alloc =
+        partition::allocateMemory(design.components, hls::u55c());
+    for (size_t i = 1; i < alloc.placements.size(); ++i) {
+        EXPECT_GE(alloc.placements[i - 1].bytes,
+                  alloc.placements[i].bytes);
+    }
+}

@@ -1,0 +1,109 @@
+/** @file Unit tests for the host runtime executor. */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+#include "runtime/executor.h"
+
+using namespace streamtensor;
+
+namespace {
+
+runtime::LlmExecutor &
+gpt2Executor()
+{
+    static runtime::LlmExecutor executor(models::gpt2Config(),
+                                         hls::u55c());
+    return executor;
+}
+
+} // namespace
+
+TEST(Executor, RunProducesFiniteMetrics)
+{
+    auto r = gpt2Executor().run(32, 32);
+    EXPECT_GT(r.ttft_ms, 0.0);
+    EXPECT_GT(r.decode_ms_per_token, 0.0);
+    EXPECT_GT(r.tokens_per_s, 0.0);
+    EXPECT_GT(r.energy_j, 0.0);
+    EXPECT_GT(r.tokens_per_joule, 0.0);
+    EXPECT_FALSE(r.deadlock);
+}
+
+TEST(Executor, LatencyDecomposes)
+{
+    auto r = gpt2Executor().run(32, 64);
+    EXPECT_NEAR(r.total_latency_ms,
+                r.ttft_ms + 64 * r.decode_ms_per_token, 1e-6);
+    EXPECT_NEAR(r.tokens_per_s,
+                64.0 / (64 * r.decode_ms_per_token) * 1e3, 1e-6);
+}
+
+TEST(Executor, TtftScalesWithInputLength)
+{
+    auto r32 = gpt2Executor().run(32, 32);
+    auto r128 = gpt2Executor().run(128, 32);
+    // Roughly linear: 4x input within [2.5x, 6x].
+    double ratio = r128.ttft_ms / r32.ttft_ms;
+    EXPECT_GT(ratio, 2.5);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Executor, BlockCacheReusesCompiles)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    const auto &a = executor.block(models::decodeShapes(48));
+    const auto &b = executor.block(models::decodeShapes(48));
+    EXPECT_EQ(&a, &b);
+    const auto &c = executor.block(models::decodeShapes(96));
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Executor, PowerWithinPlatformEnvelope)
+{
+    auto r = gpt2Executor().run(64, 64);
+    EXPECT_GT(r.avg_power_w,
+              hls::u55c().tdp_watts *
+                  hls::u55c().idle_power_fraction * 0.99);
+    EXPECT_LE(r.avg_power_w, hls::u55c().tdp_watts);
+}
+
+TEST(Executor, AllModelsRunDecodeWithoutDeadlock)
+{
+    for (const auto &cfg : models::allConfigs()) {
+        runtime::LlmExecutor executor(cfg, hls::u55c());
+        auto r = executor.run(32, 32);
+        EXPECT_FALSE(r.deadlock) << cfg.name;
+        EXPECT_GT(r.tokens_per_s, 0.0) << cfg.name;
+    }
+}
+
+TEST(Executor, DeterministicAcrossRuns)
+{
+    runtime::LlmExecutor a(models::gpt2Config(), hls::u55c());
+    runtime::LlmExecutor b(models::gpt2Config(), hls::u55c());
+    auto ra = a.run(32, 32);
+    auto rb = b.run(32, 32);
+    EXPECT_DOUBLE_EQ(ra.total_latency_ms, rb.total_latency_ms);
+    EXPECT_DOUBLE_EQ(ra.ttft_ms, rb.ttft_ms);
+}
+
+TEST(Executor, RejectsBadRequests)
+{
+    EXPECT_THROW(gpt2Executor().run(0, 8), FatalError);
+    EXPECT_THROW(gpt2Executor().run(8, 0), FatalError);
+}
+
+TEST(CompiledBlock, AggregatesGroupCycles)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    const auto &blk = executor.block(models::decodeShapes(48));
+    EXPECT_GT(blk.totalCycles(), 0.0);
+    EXPECT_FALSE(blk.deadlocked());
+    EXPECT_EQ(blk.sims.size(),
+              static_cast<size_t>(
+                  blk.compile.design.components.numGroups()));
+}

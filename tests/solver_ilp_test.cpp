@@ -1,0 +1,116 @@
+/** @file Unit tests for the branch-and-bound ILP solver. */
+
+#include <gtest/gtest.h>
+
+#include "solver/ilp.h"
+
+using namespace streamtensor::solver;
+
+TEST(Ilp, FractionalRelaxationRounds)
+{
+    // min -x s.t. 2x <= 5, x integer: LP gives 2.5, ILP gives 2.
+    IlpProblem ilp(1);
+    ilp.lp().setObjective(0, -1.0);
+    ilp.lp().addConstraint({2.0}, Relation::LE, 5.0);
+    ilp.setInteger(0);
+    auto sol = solveIlp(ilp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_DOUBLE_EQ(sol.values[0], 2.0);
+    EXPECT_NEAR(sol.objective, -2.0, 1e-6);
+}
+
+TEST(Ilp, SmallKnapsack)
+{
+    // max 10a + 6b + 4c s.t. a+b+c <= 2, binaries.
+    IlpProblem ilp(3);
+    ilp.lp().setObjective(0, -10.0);
+    ilp.lp().setObjective(1, -6.0);
+    ilp.lp().setObjective(2, -4.0);
+    ilp.lp().addConstraint({1, 1, 1}, Relation::LE, 2.0);
+    for (int j = 0; j < 3; ++j)
+        ilp.setBinary(j);
+    auto sol = solveIlp(ilp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, -16.0, 1e-6);
+    EXPECT_DOUBLE_EQ(sol.values[0], 1.0);
+    EXPECT_DOUBLE_EQ(sol.values[1], 1.0);
+    EXPECT_DOUBLE_EQ(sol.values[2], 0.0);
+}
+
+TEST(Ilp, AssignmentOneHot)
+{
+    // 2 tasks x 2 dies; task t on die d costs c[t][d]; exactly one
+    // die per task.
+    double cost[2][2] = {{1.0, 5.0}, {4.0, 2.0}};
+    IlpProblem ilp(4);
+    for (int t = 0; t < 2; ++t) {
+        for (int d = 0; d < 2; ++d) {
+            ilp.setBinary(t * 2 + d);
+            ilp.lp().setObjective(t * 2 + d, cost[t][d]);
+        }
+        ilp.lp().addSparseConstraint({t * 2, t * 2 + 1},
+                                     {1.0, 1.0}, Relation::EQ,
+                                     1.0);
+    }
+    auto sol = solveIlp(ilp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 3.0, 1e-6);
+    EXPECT_DOUBLE_EQ(sol.values[0], 1.0); // task0 -> die0
+    EXPECT_DOUBLE_EQ(sol.values[3], 1.0); // task1 -> die1
+}
+
+TEST(Ilp, InfeasibleDetected)
+{
+    IlpProblem ilp(1);
+    ilp.lp().setObjective(0, 1.0);
+    ilp.lp().addConstraint({1.0}, Relation::GE, 2.0);
+    ilp.lp().addConstraint({1.0}, Relation::LE, 1.0);
+    ilp.setInteger(0);
+    auto sol = solveIlp(ilp);
+    EXPECT_FALSE(sol.optimal());
+}
+
+TEST(Ilp, IntegralityGapClosed)
+{
+    // min x+y s.t. 2x + 2y >= 3, integers: LP 1.5, ILP 2.
+    IlpProblem ilp(2);
+    ilp.lp().setObjective(0, 1.0);
+    ilp.lp().setObjective(1, 1.0);
+    ilp.lp().addConstraint({2.0, 2.0}, Relation::GE, 3.0);
+    ilp.setInteger(0);
+    ilp.setInteger(1);
+    auto sol = solveIlp(ilp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 2.0, 1e-6);
+}
+
+TEST(Ilp, ContinuousVarsStayContinuous)
+{
+    // x integer, y continuous: min 2x + y s.t. x + y >= 2.5.
+    IlpProblem ilp(2);
+    ilp.lp().setObjective(0, 2.0);
+    ilp.lp().setObjective(1, 1.0);
+    ilp.lp().addConstraint({1.0, 1.0}, Relation::GE, 2.5);
+    ilp.setInteger(0);
+    auto sol = solveIlp(ilp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 2.5, 1e-6); // x=0, y=2.5
+}
+
+TEST(Ilp, NodeBudgetStillReturnsIncumbent)
+{
+    IlpProblem ilp(6);
+    for (int j = 0; j < 6; ++j) {
+        ilp.setBinary(j);
+        ilp.lp().setObjective(j, -(1.0 + j));
+    }
+    std::vector<double> row(6, 1.0);
+    ilp.lp().addConstraint(row, Relation::LE, 3.0);
+    auto sol = solveIlp(ilp, /*max_nodes=*/16);
+    // Either optimal or a feasible incumbent — never values
+    // violating integrality.
+    if (sol.optimal()) {
+        for (double v : sol.values)
+            EXPECT_TRUE(v == 0.0 || v == 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+/** @file Unit + property tests for the simplex LP solver. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/lp.h"
+#include "support/error.h"
+
+using namespace streamtensor::solver;
+
+TEST(Lp, SimpleMinimization)
+{
+    // min x + y s.t. x + y >= 4, x >= 1.
+    LpProblem lp(2);
+    lp.setObjective(0, 1.0);
+    lp.setObjective(1, 1.0);
+    lp.addConstraint({1.0, 1.0}, Relation::GE, 4.0);
+    lp.addConstraint({1.0, 0.0}, Relation::GE, 1.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 4.0, 1e-6);
+}
+
+TEST(Lp, MaximizationViaNegation)
+{
+    // max 3x + 2y s.t. x + y <= 4, x <= 2  ==  min -3x - 2y.
+    LpProblem lp(2);
+    lp.setObjective(0, -3.0);
+    lp.setObjective(1, -2.0);
+    lp.addConstraint({1.0, 1.0}, Relation::LE, 4.0);
+    lp.addConstraint({1.0, 0.0}, Relation::LE, 2.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.values[0], 2.0, 1e-6);
+    EXPECT_NEAR(sol.values[1], 2.0, 1e-6);
+    EXPECT_NEAR(sol.objective, -10.0, 1e-6);
+}
+
+TEST(Lp, EqualityConstraints)
+{
+    // min x + 2y s.t. x + y == 5, y >= 2.
+    LpProblem lp(2);
+    lp.setObjective(0, 1.0);
+    lp.setObjective(1, 2.0);
+    lp.addConstraint({1.0, 1.0}, Relation::EQ, 5.0);
+    lp.addConstraint({0.0, 1.0}, Relation::GE, 2.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.values[0], 3.0, 1e-6);
+    EXPECT_NEAR(sol.values[1], 2.0, 1e-6);
+}
+
+TEST(Lp, DetectsInfeasible)
+{
+    // x <= 1 and x >= 2 cannot hold.
+    LpProblem lp(1);
+    lp.setObjective(0, 1.0);
+    lp.addConstraint({1.0}, Relation::LE, 1.0);
+    lp.addConstraint({1.0}, Relation::GE, 2.0);
+    auto sol = solveLp(lp);
+    EXPECT_EQ(sol.status, LpStatus::Infeasible);
+}
+
+TEST(Lp, DetectsUnbounded)
+{
+    // min -x with x unconstrained above.
+    LpProblem lp(1);
+    lp.setObjective(0, -1.0);
+    lp.addConstraint({1.0}, Relation::GE, 0.0);
+    auto sol = solveLp(lp);
+    EXPECT_EQ(sol.status, LpStatus::Unbounded);
+}
+
+TEST(Lp, NegativeRhsNormalised)
+{
+    // -x <= -3  ==  x >= 3.
+    LpProblem lp(1);
+    lp.setObjective(0, 1.0);
+    lp.addConstraint({-1.0}, Relation::LE, -3.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.values[0], 3.0, 1e-6);
+}
+
+TEST(Lp, SparseConstraintAccumulates)
+{
+    LpProblem lp(3);
+    lp.setObjective(0, 1.0);
+    lp.addSparseConstraint({0, 0}, {1.0, 1.0}, Relation::GE, 4.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.values[0], 2.0, 1e-6);
+}
+
+TEST(Lp, Fig8fFormulation)
+{
+    // Paper Fig. 8(f): minimise delay01+delay12+delay02 s.t.
+    // delay01 >= D0, delay12 >= D1, delay01+delay12 >= D0+D1,
+    // delay02 >= D0. D0=40, D1=120.
+    LpProblem lp(3);
+    for (int j = 0; j < 3; ++j)
+        lp.setObjective(j, 1.0);
+    lp.addConstraint({1, 0, 0}, Relation::GE, 40.0);
+    lp.addConstraint({0, 1, 0}, Relation::GE, 120.0);
+    lp.addConstraint({1, 1, 0}, Relation::GE, 160.0);
+    lp.addConstraint({0, 0, 1}, Relation::GE, 40.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 200.0, 1e-6);
+}
+
+TEST(Lp, DegenerateTiesTerminate)
+{
+    // Many identical constraints: Bland's rule must not cycle.
+    LpProblem lp(3);
+    for (int j = 0; j < 3; ++j)
+        lp.setObjective(j, 1.0);
+    for (int i = 0; i < 20; ++i)
+        lp.addConstraint({1.0, 1.0, 1.0}, Relation::GE, 10.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 10.0, 1e-6);
+}
+
+// ---- Property sweep: random feasible GE systems ----
+
+namespace {
+
+uint64_t rng_state = 0x1234abcd;
+
+uint64_t
+nextRandom()
+{
+    rng_state ^= rng_state >> 12;
+    rng_state ^= rng_state << 25;
+    rng_state ^= rng_state >> 27;
+    return rng_state * 0x2545f4914f6cdd1dull;
+}
+
+} // namespace
+
+class LpRandomFeasible : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LpRandomFeasible, OptimalAndFeasible)
+{
+    rng_state = 0xc0ffee + GetParam();
+    int n = 2 + nextRandom() % 12;
+    int m = 1 + nextRandom() % 18;
+    LpProblem lp(n);
+    for (int j = 0; j < n; ++j)
+        lp.setObjective(j, 1.0 + nextRandom() % 4);
+    for (int i = 0; i < m; ++i) {
+        std::vector<double> row(n, 0.0);
+        int k = 1 + nextRandom() % n;
+        for (int t = 0; t < k; ++t)
+            row[nextRandom() % n] = 1.0;
+        lp.addConstraint(row, Relation::GE,
+                         static_cast<double>(nextRandom() % 100000));
+    }
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    for (const auto &c : lp.constraints()) {
+        double lhs = 0.0;
+        for (int j = 0; j < n; ++j)
+            lhs += c.coeffs[j] * sol.values[j];
+        EXPECT_GE(lhs, c.rhs - 1e-5 * (1.0 + std::fabs(c.rhs)));
+    }
+    for (double v : sol.values)
+        EXPECT_GE(v, -1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomFeasible,
+                         ::testing::Range(0, 40));

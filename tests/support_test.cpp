@@ -1,0 +1,102 @@
+/** @file Unit tests for the support substrate. */
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/stopwatch.h"
+
+using namespace streamtensor;
+
+TEST(Error, FatalCarriesLocationAndMessage)
+{
+    try {
+        ST_FATAL("bad config");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad config"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("support_test"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, PanicIsLogicError)
+{
+    EXPECT_THROW(ST_PANIC("internal"), PanicError);
+    EXPECT_THROW(ST_PANIC("internal"), std::logic_error);
+}
+
+TEST(Error, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(ST_ASSERT(1 + 1 == 2, "math"));
+    EXPECT_THROW(ST_ASSERT(1 + 1 == 3, "math"), PanicError);
+}
+
+TEST(Error, CheckThrowsFatal)
+{
+    EXPECT_NO_THROW(ST_CHECK(true, "ok"));
+    EXPECT_THROW(ST_CHECK(false, "bad"), FatalError);
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+    EXPECT_EQ(ceilDiv(1, 1), 1);
+}
+
+TEST(MathUtil, AlignTo)
+{
+    EXPECT_EQ(alignTo(13, 8), 16);
+    EXPECT_EQ(alignTo(16, 8), 16);
+    EXPECT_EQ(alignTo(1, 64), 64);
+}
+
+TEST(MathUtil, IsPowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(6));
+    EXPECT_FALSE(isPowerOf2(-4));
+}
+
+TEST(MathUtil, Product)
+{
+    EXPECT_EQ(product({}), 1);
+    EXPECT_EQ(product({4}), 4);
+    EXPECT_EQ(product({2, 3, 4}), 24);
+}
+
+TEST(MathUtil, LargestDivisorUpTo)
+{
+    EXPECT_EQ(largestDivisorUpTo(64, 16), 16);
+    EXPECT_EQ(largestDivisorUpTo(48, 32), 24);
+    EXPECT_EQ(largestDivisorUpTo(7, 4), 1);
+    EXPECT_EQ(largestDivisorUpTo(5, 5), 5);
+}
+
+TEST(Logging, LevelFiltering)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    inform("not shown");
+    warn("not shown");
+    debug("not shown");
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(Stopwatch, MeasuresForwardTime)
+{
+    Stopwatch watch;
+    double t0 = watch.elapsedSeconds();
+    EXPECT_GE(t0, 0.0);
+    double t1 = watch.elapsedSeconds();
+    EXPECT_GE(t1, t0);
+    watch.restart();
+    EXPECT_LT(watch.elapsedSeconds(), 1.0);
+}

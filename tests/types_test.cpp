@@ -1,0 +1,272 @@
+/** @file Unit + property tests for the type system (paper §3.1). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ir/itensor_type.h"
+#include "ir/stream_type.h"
+#include "ir/tensor_type.h"
+#include "ir/type.h"
+#include "support/error.h"
+
+using namespace streamtensor;
+using ir::AffineExpr;
+using ir::AffineMap;
+using ir::DataType;
+using ir::ITensorType;
+using ir::TensorType;
+
+namespace {
+
+/** Fig. 5(a): 2x2 tiles of tensor<8x8xf32>, row-major. */
+ITensorType
+figure5a()
+{
+    return ITensorType(DataType::F32, {2, 2}, {4, 4}, {2, 2},
+                       AffineMap::identity(2));
+}
+
+/** Fig. 5(b): 4x2 tiles, transposed iteration. */
+ITensorType
+figure5b()
+{
+    return ITensorType(DataType::F32, {4, 2}, {4, 2}, {2, 4},
+                       AffineMap(2, {AffineExpr::dim(1),
+                                     AffineExpr::dim(0)}));
+}
+
+/** Fig. 5(c): 4x2 tiles with revisit dim d1. */
+ITensorType
+figure5c()
+{
+    return ITensorType(DataType::F32, {4, 2}, {4, 2, 2}, {2, 1, 4},
+                       AffineMap(3, {AffineExpr::dim(2),
+                                     AffineExpr::dim(0)}));
+}
+
+} // namespace
+
+TEST(TensorType, Basics)
+{
+    TensorType t(DataType::I8, {8, 8});
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.numElements(), 64);
+    EXPECT_EQ(t.sizeBytes(), 64);
+    EXPECT_EQ(t.str(), "tensor<8x8xi8>");
+}
+
+TEST(TensorType, SubByteRoundsUp)
+{
+    TensorType t(DataType::I4, {3});
+    EXPECT_EQ(t.sizeBytes(), 2); // 12 bits -> 2 bytes
+}
+
+TEST(TensorType, RejectsZeroDims)
+{
+    EXPECT_THROW(TensorType(DataType::F32, {0, 4}), FatalError);
+}
+
+TEST(ITensorType, Figure5aBasics)
+{
+    ITensorType a = figure5a();
+    EXPECT_EQ(a.numTokens(), 16);
+    EXPECT_EQ(a.elementCount(), 4);
+    EXPECT_EQ(a.revisitFactor(), 1);
+    EXPECT_EQ(a.dataShape(), (std::vector<int64_t>{8, 8}));
+}
+
+TEST(ITensorType, Figure5bStreamOrder)
+{
+    ITensorType b = figure5b();
+    EXPECT_EQ(b.numTokens(), 8);
+    auto offsets = b.streamOffsets();
+    ASSERT_EQ(offsets.size(), 8u);
+    // Paper: data access indices [0,0], [4,0], [0,2], [4,2], ...
+    EXPECT_EQ(offsets[0], (std::vector<int64_t>{0, 0}));
+    EXPECT_EQ(offsets[1], (std::vector<int64_t>{4, 0}));
+    EXPECT_EQ(offsets[2], (std::vector<int64_t>{0, 2}));
+    EXPECT_EQ(offsets[3], (std::vector<int64_t>{4, 2}));
+}
+
+TEST(ITensorType, Figure5cRevisit)
+{
+    ITensorType c = figure5c();
+    EXPECT_EQ(c.numTokens(), 16);
+    EXPECT_EQ(c.revisitFactor(), 2);
+    EXPECT_EQ(c.numUniqueTokens(), 8);
+    auto offsets = c.streamOffsets();
+    // Paper: [0,0], [4,0], [0,0], [4,0], [0,2], ...
+    EXPECT_EQ(offsets[0], (std::vector<int64_t>{0, 0}));
+    EXPECT_EQ(offsets[1], (std::vector<int64_t>{4, 0}));
+    EXPECT_EQ(offsets[2], (std::vector<int64_t>{0, 0}));
+    EXPECT_EQ(offsets[3], (std::vector<int64_t>{4, 0}));
+    EXPECT_EQ(offsets[4], (std::vector<int64_t>{0, 2}));
+}
+
+TEST(ITensorType, EqualityIsExact)
+{
+    EXPECT_EQ(figure5b(), figure5b());
+    EXPECT_NE(figure5a(), figure5b());
+    EXPECT_NE(figure5b(), figure5c());
+}
+
+TEST(ITensorType, SameDataSpace)
+{
+    EXPECT_TRUE(figure5a().sameDataSpace(figure5b()));
+    EXPECT_TRUE(figure5b().sameDataSpace(figure5c()));
+    ITensorType other(DataType::F32, {2, 2}, {2, 2}, {2, 2},
+                      AffineMap::identity(2));
+    EXPECT_FALSE(figure5a().sameDataSpace(other));
+}
+
+TEST(ITensorType, VerifyRejectsBadStep)
+{
+    // Mapped loop step must equal the element extent.
+    EXPECT_THROW(
+        ITensorType(DataType::F32, {2, 2}, {4, 4}, {3, 2},
+                    AffineMap::identity(2)),
+        FatalError);
+}
+
+TEST(ITensorType, VerifyRejectsDoubleBinding)
+{
+    // One loop cannot drive two data dims.
+    EXPECT_THROW(
+        ITensorType(DataType::F32, {2, 2}, {4}, {2},
+                    AffineMap(1, {AffineExpr::dim(0),
+                                  AffineExpr::dim(0)})),
+        FatalError);
+}
+
+TEST(ITensorType, VerifyRejectsRankMismatch)
+{
+    EXPECT_THROW(ITensorType(DataType::F32, {2, 2}, {4, 4}, {2},
+                             AffineMap::identity(2)),
+                 FatalError);
+}
+
+TEST(ITensorType, MakeTiledHelper)
+{
+    TensorType tensor(DataType::I8, {64, 32});
+    ITensorType it = ir::makeTiledITensor(tensor, {16, 8});
+    EXPECT_EQ(it.numTokens(), 16);
+    EXPECT_EQ(it.dataShape(), tensor.shape());
+    EXPECT_TRUE(it.iterMap().isIdentity());
+    EXPECT_THROW(ir::makeTiledITensor(tensor, {10, 8}), FatalError);
+}
+
+TEST(ITensorType, MakePermutedHelper)
+{
+    TensorType tensor(DataType::I8, {64, 32});
+    ITensorType it = ir::makePermutedITensor(tensor, {16, 8},
+                                             {1, 0});
+    EXPECT_EQ(it.numTokens(), 16);
+    EXPECT_EQ(it.dataShape(), tensor.shape());
+    // Loop 0 iterates data dim 1 (outer); the inner loop drives
+    // data dim 0, so the second token moves along rows.
+    auto offsets = it.streamOffsets();
+    EXPECT_EQ(offsets[0], (std::vector<int64_t>{0, 0}));
+    EXPECT_EQ(offsets[1], (std::vector<int64_t>{16, 0}));
+}
+
+TEST(StreamType, Basics)
+{
+    ir::StreamType s(DataType::I8, {4, 2}, 32);
+    EXPECT_EQ(s.lanes(), 8);
+    EXPECT_EQ(s.tokenBits(), 64);
+    EXPECT_EQ(s.storageBits(), 64 * 32);
+    EXPECT_EQ(s.str(), "stream<4x2xi8, depth:32>");
+}
+
+TEST(StreamType, FromITensorStripsLayout)
+{
+    ir::StreamType s = ir::streamTypeFor(figure5b(), 16);
+    EXPECT_EQ(s.vectorShape(), (std::vector<int64_t>{4, 2}));
+    EXPECT_EQ(s.depth(), 16);
+    EXPECT_EQ(s.dtype(), DataType::F32);
+}
+
+TEST(MemRefType, PingPongDoubles)
+{
+    ir::MemRefType m(DataType::I8, {16, 64}, true);
+    EXPECT_EQ(m.storageBytes(), 2 * 16 * 64);
+    ir::MemRefType single(DataType::I8, {16, 64}, false);
+    EXPECT_EQ(single.storageBytes(), 16 * 64);
+}
+
+TEST(TypeVariant, Dispatch)
+{
+    ir::Type t(TensorType(DataType::F32, {4}));
+    EXPECT_TRUE(t.isTensor());
+    EXPECT_FALSE(t.isITensor());
+    EXPECT_THROW(t.itensor(), PanicError);
+    ir::Type s(ir::StreamType(DataType::I8, {}, 2));
+    EXPECT_TRUE(s.isStream());
+    EXPECT_NE(t, s);
+}
+
+// ---- Property sweep: tiled itensors cover their data space ----
+
+struct TileCase
+{
+    int64_t rows, cols, tile_r, tile_c;
+};
+
+class TiledCoverage : public ::testing::TestWithParam<TileCase>
+{};
+
+TEST_P(TiledCoverage, EveryOffsetInBoundsAndAligned)
+{
+    auto p = GetParam();
+    TensorType tensor(DataType::I8, {p.rows, p.cols});
+    ITensorType it =
+        ir::makeTiledITensor(tensor, {p.tile_r, p.tile_c});
+    EXPECT_EQ(it.numTokens(),
+              (p.rows / p.tile_r) * (p.cols / p.tile_c));
+    std::set<std::pair<int64_t, int64_t>> seen;
+    for (const auto &off : it.streamOffsets()) {
+        ASSERT_EQ(off.size(), 2u);
+        EXPECT_GE(off[0], 0);
+        EXPECT_LE(off[0] + p.tile_r, p.rows);
+        EXPECT_EQ(off[0] % p.tile_r, 0);
+        EXPECT_EQ(off[1] % p.tile_c, 0);
+        seen.insert({off[0], off[1]});
+    }
+    // Unique tiles tile the space exactly.
+    EXPECT_EQ(static_cast<int64_t>(seen.size()),
+              it.numUniqueTokens());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledCoverage,
+    ::testing::Values(TileCase{8, 8, 2, 2}, TileCase{8, 8, 4, 2},
+                      TileCase{16, 8, 8, 8}, TileCase{32, 16, 4, 16},
+                      TileCase{6, 9, 3, 3}, TileCase{64, 64, 16, 16},
+                      TileCase{1, 16, 1, 4}, TileCase{16, 1, 4, 1}));
+
+// Permutation property: permuted stream visits the same tile set.
+class PermutedCoverage
+    : public ::testing::TestWithParam<std::vector<int64_t>>
+{};
+
+TEST_P(PermutedCoverage, SameTileSetAsRowMajor)
+{
+    auto perm = GetParam();
+    TensorType tensor(DataType::I8, {24, 12});
+    ITensorType row = ir::makeTiledITensor(tensor, {4, 3});
+    ITensorType per =
+        ir::makePermutedITensor(tensor, {4, 3}, perm);
+    auto a = row.streamOffsets();
+    auto b = per.streamOffsets();
+    std::set<std::vector<int64_t>> sa(a.begin(), a.end());
+    std::set<std::vector<int64_t>> sb(b.begin(), b.end());
+    EXPECT_EQ(sa, sb);
+    EXPECT_EQ(row.numTokens(), per.numTokens());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Perms, PermutedCoverage,
+    ::testing::Values(std::vector<int64_t>{0, 1},
+                      std::vector<int64_t>{1, 0}));
