@@ -8,34 +8,14 @@
 #include "dataflow/conversion.h"
 #include "linalg/builders.h"
 
+#include "testing/fixtures.h"
+
 using namespace streamtensor;
 using ir::DataType;
 using ir::TensorType;
 
-namespace {
-
-linalg::Graph
-singleMatmul(int64_t m = 32, int64_t k = 64, int64_t n = 128)
-{
-    linalg::Graph g("mm");
-    int64_t x = g.addTensor(TensorType(DataType::I8, {m, k}), "x",
-                            linalg::TensorRole::Input);
-    int64_t w = g.addTensor(TensorType(DataType::I4, {k, n}), "w",
-                            linalg::TensorRole::Parameter);
-    int64_t y = linalg::matmul(g, x, w, DataType::I8, "mm");
-    g.tensor(y).role = linalg::TensorRole::Output;
-    return g;
-}
-
-std::map<int64_t, dse::TileConfig>
-tile16(const linalg::Graph &g)
-{
-    dse::TilingOptions opts;
-    opts.default_tile_size = 16;
-    return dse::exploreTiling(g, opts);
-}
-
-} // namespace
+using fixtures::singleMatmul;
+using fixtures::tile16;
 
 TEST(Conversion, MatmulOutputType)
 {

@@ -174,8 +174,9 @@ TEST_P(ConverterProperty, BufferBoundedAndConsistent)
     // Reuse factor times per-dim reduction stays consistent with
     // the shared prefix.
     EXPECT_GE(spec.reuse_factor, 1);
-    if (spec.before_loop == 0)
+    if (spec.before_loop == 0) {
         EXPECT_EQ(spec.reuse_factor, 1);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConverterProperty,

@@ -161,8 +161,9 @@ TEST(Passes, FoldRemovesDmaKernelFifos)
     auto mlp_stats = dataflow::foldITensors(mlp.components);
     for (int64_t c = 0; c < mlp.components.numChannels(); ++c) {
         const auto &ch = mlp.components.channel(c);
-        if (ch.type.revisitFactor() > 1)
+        if (ch.type.revisitFactor() > 1) {
             EXPECT_FALSE(ch.folded);
+        }
     }
     (void)mlp_stats;
 }

@@ -140,6 +140,40 @@ TEST(FifoSizing, EmptyGraph)
     EXPECT_EQ(result.objective, 0.0);
 }
 
+TEST(FifoSizing, ZeroSkewChainClampsDepthAboveZero)
+{
+    // A perfectly rate-matched chain with zero initial delays: the
+    // LP optimum is all-zero delays (zero-depth channels), but the
+    // derived depths must stay >= 2 — a literal depth-0 FIFO would
+    // deadlock the handshake on the first token.
+    FifoSizingProblem p;
+    p.addNode({0.0, 100.0});
+    p.addNode({0.0, 100.0});
+    p.addNode({0.0, 100.0});
+    p.addEdge(0, 1, 16);
+    p.addEdge(1, 2, 16);
+    auto result = sizeFifos(p);
+    EXPECT_NEAR(result.objective, 0.0, 1e-9);
+    for (double d : result.delays)
+        EXPECT_NEAR(d, 0.0, 1e-9);
+    for (int64_t depth : result.depths)
+        EXPECT_GE(depth, 2);
+}
+
+TEST(FifoSizing, SingleTokenEdgeStillSized)
+{
+    // Degenerate single-token edge: depth derivation must not
+    // underflow to 0 when tokens == 1 and the skew is tiny.
+    FifoSizingProblem p;
+    p.addNode({1.0, 2.0});
+    p.addNode({1.0, 2.0});
+    p.addEdge(0, 1, 1);
+    auto result = sizeFifos(p);
+    ASSERT_EQ(result.depths.size(), 1u);
+    EXPECT_GE(result.depths[0], 2);
+    EXPECT_GE(result.delays[0] + 1e-9, 1.0);
+}
+
 // ---- Property sweep: random chains with skip edges ----
 
 class SizingProperty : public ::testing::TestWithParam<int>

@@ -111,8 +111,9 @@ TEST(Profiling, ConverterIngestShorterThanEmission)
         const auto &c = design.components.component(i);
         if (c.kind != dataflow::ComponentKind::Converter)
             continue;
-        if (c.ingest_cycles > 0)
+        if (c.ingest_cycles > 0) {
             EXPECT_LE(c.ingest_cycles, c.total_cycles);
+        }
     }
 }
 

@@ -7,24 +7,15 @@
 #include "ir/verifier.h"
 #include "support/error.h"
 
+#include "testing/fixtures.h"
+
 using namespace streamtensor;
-using ir::AffineMap;
 using ir::DataType;
 using ir::ITensorType;
 using ir::Module;
 using ir::OpBuilder;
 using ir::OpKind;
-
-namespace {
-
-ITensorType
-tileType()
-{
-    return ir::makeTiledITensor(
-        ir::TensorType(DataType::F32, {8, 8}), {2, 2});
-}
-
-} // namespace
+using fixtures::tileType;
 
 TEST(Builder, WriteReadRoundTrip)
 {

@@ -219,8 +219,9 @@ TEST_P(DepthMonotonicity, DeeperNeverSlower)
             addChannel(g, ids[i], ids[i + 1], 64, depth);
         auto r = sim::simulateGroup(g, 0);
         ASSERT_FALSE(r.deadlock);
-        if (prev_cycles >= 0.0)
+        if (prev_cycles >= 0.0) {
             EXPECT_LE(r.cycles, prev_cycles + 1e-6);
+        }
         prev_cycles = r.cycles;
     }
 }

@@ -97,6 +97,60 @@ TEST(Ilp, ContinuousVarsStayContinuous)
     EXPECT_NEAR(sol.objective, 2.5, 1e-6); // x=0, y=2.5
 }
 
+TEST(Ilp, InfeasibleFifoDepthBudget)
+{
+    // Integer FIFO depths with per-edge minimum depths (from the
+    // token model) and a total BRAM budget below their sum: the
+    // branch-and-bound must prove infeasibility, not hand back a
+    // depth vector that would deadlock at runtime.
+    IlpProblem ilp(3);
+    for (int j = 0; j < 3; ++j) {
+        ilp.lp().setObjective(j, 1.0);
+        ilp.setInteger(j);
+    }
+    ilp.lp().addConstraint({1.0, 0.0, 0.0}, Relation::GE, 4.0);
+    ilp.lp().addConstraint({0.0, 1.0, 0.0}, Relation::GE, 6.0);
+    ilp.lp().addConstraint({0.0, 0.0, 1.0}, Relation::GE, 3.0);
+    ilp.lp().addConstraint({1.0, 1.0, 1.0}, Relation::LE, 10.0);
+    auto sol = solveIlp(ilp);
+    EXPECT_EQ(sol.status, LpStatus::Infeasible);
+    EXPECT_FALSE(sol.optimal());
+}
+
+TEST(Ilp, ZeroDepthChannelStaysIntegral)
+{
+    // Rate-matched edges may legitimately get depth 0. The solver
+    // must return exact integral zeros (not 1e-9 noise that a
+    // later ceil() would inflate to depth 1) alongside a nonzero
+    // required depth.
+    IlpProblem ilp(2);
+    ilp.lp().setObjective(0, 1.0);
+    ilp.lp().setObjective(1, 1.0);
+    ilp.lp().addConstraint({1.0, 0.0}, Relation::GE, 0.0);
+    ilp.lp().addConstraint({0.0, 1.0}, Relation::GE, 5.0);
+    ilp.setInteger(0);
+    ilp.setInteger(1);
+    auto sol = solveIlp(ilp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_DOUBLE_EQ(sol.values[0], 0.0);
+    EXPECT_DOUBLE_EQ(sol.values[1], 5.0);
+    EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+}
+
+TEST(Ilp, FractionalMinDepthRoundsUp)
+{
+    // A fractional per-edge minimum (e.g. II-derived 2.5 tokens)
+    // must round *up* to depth 3 under integrality — rounding down
+    // undersizes the FIFO on the deadlock-critical path.
+    IlpProblem ilp(1);
+    ilp.lp().setObjective(0, 1.0);
+    ilp.lp().addConstraint({1.0}, Relation::GE, 2.5);
+    ilp.setInteger(0);
+    auto sol = solveIlp(ilp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_DOUBLE_EQ(sol.values[0], 3.0);
+}
+
 TEST(Ilp, NodeBudgetStillReturnsIncumbent)
 {
     IlpProblem ilp(6);

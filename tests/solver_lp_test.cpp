@@ -123,6 +123,81 @@ TEST(Lp, DegenerateTiesTerminate)
     EXPECT_NEAR(sol.objective, 10.0, 1e-6);
 }
 
+// ---- FIFO-sizing edge cases (paper §5.3.4, Eq. 3-5) ----
+
+TEST(Lp, InfeasibleFifoSizingReconvergence)
+{
+    // Reconvergent diamond: the short path's delay var must absorb
+    // the long path's skew (delay02 >= D0+D1 = 160), but a resource
+    // cap limits the same FIFO to 50 cycles of buffering. Eq. 4/5
+    // then contradict the cap, and sizing must report infeasible
+    // rather than emit an undersized (deadlock-prone) FIFO.
+    LpProblem lp(3);
+    for (int j = 0; j < 3; ++j)
+        lp.setObjective(j, 1.0);
+    lp.addConstraint({1.0, 0.0, 0.0}, Relation::GE, 40.0);
+    lp.addConstraint({0.0, 1.0, 0.0}, Relation::GE, 120.0);
+    lp.addConstraint({0.0, 0.0, 1.0}, Relation::GE, 160.0);
+    lp.addConstraint({0.0, 0.0, 1.0}, Relation::LE, 50.0);
+    auto sol = solveLp(lp);
+    EXPECT_EQ(sol.status, LpStatus::Infeasible);
+    EXPECT_FALSE(sol.optimal());
+}
+
+TEST(Lp, ZeroDepthChannelOptimal)
+{
+    // A perfectly rate-matched edge needs no skew buffering: the
+    // delay lower bound is 0 and the minimiser must settle at
+    // exactly 0 (a zero-depth channel), not report unbounded or
+    // drift negative.
+    LpProblem lp(2);
+    lp.setObjective(0, 1.0);
+    lp.setObjective(1, 1.0);
+    lp.addConstraint({1.0, 0.0}, Relation::GE, 0.0);
+    lp.addConstraint({0.0, 1.0}, Relation::GE, 25.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.values[0], 0.0, 1e-9);
+    EXPECT_NEAR(sol.values[1], 25.0, 1e-6);
+    EXPECT_NEAR(sol.objective, 25.0, 1e-6);
+}
+
+TEST(Lp, AllZeroSkewSystemOptimalAtOrigin)
+{
+    // Degenerate instance where every path is already balanced:
+    // all delay lower bounds are 0, so the optimum is the origin
+    // with objective 0 — every channel may be elided.
+    LpProblem lp(4);
+    for (int j = 0; j < 4; ++j)
+        lp.setObjective(j, 1.0);
+    for (int j = 0; j < 4; ++j) {
+        std::vector<double> row(4, 0.0);
+        row[j] = 1.0;
+        lp.addConstraint(row, Relation::GE, 0.0);
+    }
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+    for (double v : sol.values)
+        EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Lp, EqualityPinsChannelToZeroDepth)
+{
+    // A folded channel is pinned to zero delay via an equality while
+    // a sibling edge still needs buffering; the pinned var must not
+    // leak slack into the rest of the system.
+    LpProblem lp(2);
+    lp.setObjective(0, 1.0);
+    lp.setObjective(1, 1.0);
+    lp.addConstraint({1.0, 0.0}, Relation::EQ, 0.0);
+    lp.addConstraint({1.0, 1.0}, Relation::GE, 30.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.values[0], 0.0, 1e-9);
+    EXPECT_NEAR(sol.values[1], 30.0, 1e-6);
+}
+
 // ---- Property sweep: random feasible GE systems ----
 
 namespace {

@@ -1,0 +1,83 @@
+/** @file Shared test fixtures: tiny iTensor types and linalg graphs
+ *  used across multiple suites. Keep these small and deterministic —
+ *  every helper mirrors a figure or running example from the paper so
+ *  expected token counts are easy to derive by hand. */
+
+#ifndef STREAMTENSOR_TESTS_TESTING_FIXTURES_H
+#define STREAMTENSOR_TESTS_TESTING_FIXTURES_H
+
+#include <cstdint>
+#include <map>
+
+#include "dse/tiling_space.h"
+#include "ir/itensor_type.h"
+#include "linalg/builders.h"
+
+namespace streamtensor {
+namespace fixtures {
+
+/** 2x2 tiles of tensor<8x8xf32>, row-major iteration: the default
+ *  "small tiled tensor" used by builder/verifier tests. */
+inline ir::ITensorType
+tileType()
+{
+    return ir::makeTiledITensor(
+        ir::TensorType(ir::DataType::F32, {8, 8}), {2, 2});
+}
+
+/** Fig. 5(a): 2x2 tiles of tensor<8x8xf32>, row-major. */
+inline ir::ITensorType
+figure5a()
+{
+    return ir::ITensorType(ir::DataType::F32, {2, 2}, {4, 4}, {2, 2},
+                           ir::AffineMap::identity(2));
+}
+
+/** Fig. 5(b): 4x2 tiles, transposed iteration. */
+inline ir::ITensorType
+figure5b()
+{
+    return ir::ITensorType(
+        ir::DataType::F32, {4, 2}, {4, 2}, {2, 4},
+        ir::AffineMap(2, {ir::AffineExpr::dim(1),
+                          ir::AffineExpr::dim(0)}));
+}
+
+/** Fig. 5(c): 4x2 tiles with revisit dim d1. */
+inline ir::ITensorType
+figure5c()
+{
+    return ir::ITensorType(
+        ir::DataType::F32, {4, 2}, {4, 2, 2}, {2, 1, 4},
+        ir::AffineMap(3, {ir::AffineExpr::dim(2),
+                          ir::AffineExpr::dim(0)}));
+}
+
+/** One i8 x i4 matmul with an input, a parameter, and an output —
+ *  the smallest graph the linalg-to-dataflow conversion accepts. */
+inline linalg::Graph
+singleMatmul(int64_t m = 32, int64_t k = 64, int64_t n = 128)
+{
+    linalg::Graph g("mm");
+    int64_t x = g.addTensor(ir::TensorType(ir::DataType::I8, {m, k}),
+                            "x", linalg::TensorRole::Input);
+    int64_t w = g.addTensor(ir::TensorType(ir::DataType::I4, {k, n}),
+                            "w", linalg::TensorRole::Parameter);
+    int64_t y = linalg::matmul(g, x, w, ir::DataType::I8, "mm");
+    g.tensor(y).role = linalg::TensorRole::Output;
+    return g;
+}
+
+/** Uniform 16x16 tiling for every op in the graph. */
+inline std::map<int64_t, dse::TileConfig>
+tile16(const linalg::Graph &g)
+{
+    dse::TilingOptions opts;
+    opts.default_tile_size = 16;
+    return dse::exploreTiling(g, opts);
+}
+
+} // namespace fixtures
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_TESTS_TESTING_FIXTURES_H

@@ -11,6 +11,8 @@
 #include "ir/type.h"
 #include "support/error.h"
 
+#include "testing/fixtures.h"
+
 using namespace streamtensor;
 using ir::AffineExpr;
 using ir::AffineMap;
@@ -18,35 +20,9 @@ using ir::DataType;
 using ir::ITensorType;
 using ir::TensorType;
 
-namespace {
-
-/** Fig. 5(a): 2x2 tiles of tensor<8x8xf32>, row-major. */
-ITensorType
-figure5a()
-{
-    return ITensorType(DataType::F32, {2, 2}, {4, 4}, {2, 2},
-                       AffineMap::identity(2));
-}
-
-/** Fig. 5(b): 4x2 tiles, transposed iteration. */
-ITensorType
-figure5b()
-{
-    return ITensorType(DataType::F32, {4, 2}, {4, 2}, {2, 4},
-                       AffineMap(2, {AffineExpr::dim(1),
-                                     AffineExpr::dim(0)}));
-}
-
-/** Fig. 5(c): 4x2 tiles with revisit dim d1. */
-ITensorType
-figure5c()
-{
-    return ITensorType(DataType::F32, {4, 2}, {4, 2, 2}, {2, 1, 4},
-                       AffineMap(3, {AffineExpr::dim(2),
-                                     AffineExpr::dim(0)}));
-}
-
-} // namespace
+using fixtures::figure5a;
+using fixtures::figure5b;
+using fixtures::figure5c;
 
 TEST(TensorType, Basics)
 {
