@@ -41,7 +41,12 @@ BM_FifoSizingLp(benchmark::State &state)
         benchmark::DoNotOptimize(result.objective);
     }
 }
-BENCHMARK(BM_FifoSizingLp)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_FifoSizingLp)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(256);
 
 void
 BM_SimplexDense(benchmark::State &state)
@@ -62,13 +67,13 @@ BM_SimplexDense(benchmark::State &state)
         benchmark::DoNotOptimize(sol.objective);
     }
 }
-BENCHMARK(BM_SimplexDense)->Arg(16)->Arg(64);
+BENCHMARK(BM_SimplexDense)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 
-void
-BM_IlpDiePartition(benchmark::State &state)
+/** Tasks x 3 dies binary assignment with balance constraint. */
+solver::IlpProblem
+dieAssignmentIlp(int64_t tasks)
 {
-    // 6 tasks x 3 dies binary assignment with balance constraint.
-    int64_t tasks = state.range(0), dies = 3;
+    int64_t dies = 3;
     solver::IlpProblem ilp(tasks * dies);
     for (int64_t i = 0; i < tasks; ++i) {
         std::vector<int64_t> vars;
@@ -95,12 +100,34 @@ BM_IlpDiePartition(benchmark::State &state)
             ilp.lp().setObjective(i * dies + d,
                                   0.1 * d + 0.01 * i);
     }
+    return ilp;
+}
+
+void
+BM_IlpDiePartition(benchmark::State &state)
+{
+    auto ilp = dieAssignmentIlp(state.range(0));
     for (auto _ : state) {
         auto sol = solver::solveIlp(ilp);
         benchmark::DoNotOptimize(sol.objective);
     }
 }
-BENCHMARK(BM_IlpDiePartition)->Arg(6)->Arg(9);
+BENCHMARK(BM_IlpDiePartition)->Arg(6)->Arg(9)->Arg(12);
+
+/** Same branch-and-bound with parent-basis warm starts disabled:
+ *  the spread against BM_IlpDiePartition is the warm-start win. */
+void
+BM_IlpDiePartitionColdNodes(benchmark::State &state)
+{
+    auto ilp = dieAssignmentIlp(state.range(0));
+    solver::IlpOptions options;
+    options.warm_start = false;
+    for (auto _ : state) {
+        auto sol = solver::solveIlp(ilp, options);
+        benchmark::DoNotOptimize(sol.objective);
+    }
+}
+BENCHMARK(BM_IlpDiePartitionColdNodes)->Arg(6)->Arg(9)->Arg(12);
 
 void
 BM_ConverterInference(benchmark::State &state)

@@ -1,9 +1,9 @@
 #include "partition/die_partition.h"
 
 #include <algorithm>
-#include <map>
 
 #include "hls/resource.h"
+#include "support/flat_index.h"
 #include "solver/ilp.h"
 #include "support/error.h"
 
@@ -66,10 +66,13 @@ partitionGroup(dataflow::ComponentGraph &g, int64_t group,
     if (dies <= 1 || n > options.max_ilp_components)
         return greedyPartition(g, group, platform);
 
-    // Dense index of members and the group's internal channels.
-    std::map<int64_t, int64_t> idx;
+    // Dense index of members (sorted-vector lookup) and the
+    // group's internal channels.
+    support::FlatIndex idx;
+    idx.reserve(members.size());
     for (int64_t i = 0; i < n; ++i)
-        idx[members[i]] = i;
+        idx.add(members[i], i);
+    idx.seal();
     auto channels = g.groupChannels(group);
     int64_t m = static_cast<int64_t>(channels.size());
 

@@ -1,10 +1,11 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <map>
 #include <queue>
+#include <utility>
 
 #include "support/error.h"
+#include "support/flat_index.h"
 #include "support/math_util.h"
 
 namespace streamtensor {
@@ -35,6 +36,9 @@ struct ComponentState
     std::vector<int64_t> out_channels;
     std::vector<int64_t> consumed; ///< per in channel
     std::vector<int64_t> produced; ///< per out channel
+    /** Channels this component currently sits in a waiter list of;
+     *  keeps re-examinations from pushing duplicates. */
+    std::vector<int64_t> waiting_on;
 
     bool done() const { return fired >= firings_total; }
 };
@@ -57,10 +61,14 @@ simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
     auto member_ids = g.groupComponents(group);
     auto channel_ids = g.groupChannels(group);
 
-    // Dense indices.
-    std::map<int64_t, int64_t> comp_index;
+    // Dense indices: sorted-vector flat lookup instead of a
+    // node-per-entry tree map (the simulator resolves every
+    // channel endpoint through this).
+    support::FlatIndex comp_index;
+    comp_index.reserve(member_ids.size());
     for (size_t i = 0; i < member_ids.size(); ++i)
-        comp_index[member_ids[i]] = static_cast<int64_t>(i);
+        comp_index.add(member_ids[i], static_cast<int64_t>(i));
+    comp_index.seal();
 
     std::vector<ChannelState> channels(channel_ids.size());
     for (size_t c = 0; c < channel_ids.size(); ++c) {
@@ -142,6 +150,29 @@ simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
         s.in_queue = true;
     };
 
+    // A component blocked across several channels registers once
+    // per channel, not once per re-examination: waiting_on tracks
+    // live registrations and draining a list clears them.
+    auto registerWaiter = [&](std::vector<std::vector<int64_t>> &lists,
+                              int64_t c, int64_t i) {
+        auto &on = comps[i].waiting_on;
+        if (std::find(on.begin(), on.end(), c) == on.end()) {
+            on.push_back(c);
+            lists[c].push_back(i);
+        }
+    };
+    auto drainWaiters = [&](std::vector<std::vector<int64_t>> &lists,
+                            int64_t c, double t) {
+        auto waiters = std::move(lists[c]);
+        lists[c].clear();
+        for (int64_t w : waiters) {
+            auto &on = comps[w].waiting_on;
+            on.erase(std::remove(on.begin(), on.end(), c),
+                     on.end());
+            wake(w, t);
+        }
+    };
+
     while (!queue.empty()) {
         auto [t, i] = queue.top();
         queue.pop();
@@ -165,7 +196,7 @@ simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
                 cumulativeTokens(k, s.firings_total, tokens) -
                 s.consumed[ci];
             if (channels[c].occupancy < need) {
-                data_waiters[c].push_back(i);
+                registerWaiter(data_waiters, c, i);
                 blocked = true;
             }
         }
@@ -177,7 +208,7 @@ simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
                 s.produced[ci];
             if (channels[c].occupancy + put >
                 channels[c].capacity) {
-                space_waiters[c].push_back(i);
+                registerWaiter(space_waiters, c, i);
                 blocked = true;
             }
         }
@@ -199,10 +230,7 @@ simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
             channels[c].occupancy -= need;
             s.consumed[ci] += need;
             channels[c].stats.pops += need;
-            auto waiters = std::move(space_waiters[c]);
-            space_waiters[c].clear();
-            for (int64_t w : waiters)
-                wake(w, t);
+            drainWaiters(space_waiters, c, t);
         }
         for (size_t ci = 0; ci < s.out_channels.size(); ++ci) {
             int64_t c = s.out_channels[ci];
@@ -218,10 +246,7 @@ simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
             channels[c].stats.max_occupancy =
                 std::max(channels[c].stats.max_occupancy,
                          channels[c].occupancy);
-            auto waiters = std::move(data_waiters[c]);
-            data_waiters[c].clear();
-            for (int64_t w : waiters)
-                wake(w, t);
+            drainWaiters(data_waiters, c, t);
         }
 
         // First token reaching a store DMA marks group TTFT.

@@ -1,0 +1,280 @@
+#include "solver/dense_reference.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace solver {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau. Columns: structural vars, slack vars,
+ * artificial vars, RHS. Runs Bland's rule pivoting to guarantee
+ * termination. This is the pre-sparse-rewrite implementation kept
+ * as a correctness oracle.
+ */
+class DenseTableau
+{
+  public:
+    DenseTableau(const LpProblem &problem)
+        : n_(problem.numVars()), m_(problem.numConstraints())
+    {
+        // Count slacks (one per inequality) and artificials.
+        num_slack_ = 0;
+        for (const auto &c : problem.constraints())
+            if (c.rel != Relation::EQ)
+                ++num_slack_;
+
+        // Normalize rows to b >= 0, then decide artificials: a row
+        // needs an artificial unless its slack can serve as the
+        // initial basic variable (slack coefficient +1).
+        rows_.assign(m_, {});
+        rhs_.assign(m_, 0.0);
+        basis_.assign(m_, -1);
+
+        std::vector<double> slack_sign(m_, 0.0);
+        std::vector<int64_t> slack_col(m_, -1);
+        int64_t next_slack = 0;
+        num_art_ = 0;
+        for (int64_t i = 0; i < m_; ++i) {
+            const SparseRow &c = problem.constraint(i);
+            double sign = c.rhs < 0 ? -1.0 : 1.0;
+            rows_[i].assign(n_, 0.0);
+            for (int64_t k = 0; k < c.nnz(); ++k)
+                rows_[i][c.index[k]] += sign * c.value[k];
+            rhs_[i] = c.rhs * sign;
+            Relation rel = c.rel;
+            if (sign < 0) {
+                if (rel == Relation::LE)
+                    rel = Relation::GE;
+                else if (rel == Relation::GE)
+                    rel = Relation::LE;
+            }
+            if (rel != Relation::EQ) {
+                slack_col[i] = n_ + next_slack++;
+                slack_sign[i] = rel == Relation::LE ? 1.0 : -1.0;
+            }
+            if (rel == Relation::EQ || slack_sign[i] < 0)
+                ++num_art_;
+        }
+
+        total_ = n_ + num_slack_ + num_art_;
+        for (int64_t i = 0; i < m_; ++i)
+            rows_[i].resize(total_, 0.0);
+
+        int64_t next_art = 0;
+        for (int64_t i = 0; i < m_; ++i) {
+            if (slack_col[i] >= 0)
+                rows_[i][slack_col[i]] = slack_sign[i];
+            if (slack_col[i] >= 0 && slack_sign[i] > 0) {
+                basis_[i] = slack_col[i];
+            } else {
+                int64_t art = n_ + num_slack_ + next_art++;
+                rows_[i][art] = 1.0;
+                basis_[i] = art;
+            }
+        }
+    }
+
+    /** Minimise sum of artificial variables. */
+    bool
+    phase1()
+    {
+        if (num_art_ == 0)
+            return true;
+        // cost row: sum of artificial columns.
+        cost_.assign(total_, 0.0);
+        cost_rhs_ = 0.0;
+        for (int64_t a = n_ + num_slack_; a < total_; ++a)
+            cost_[a] = 1.0;
+        priceOut();
+        iterate();
+        // Scale-aware feasibility test: long pivot chains on
+        // large right-hand sides accumulate rounding error.
+        double scale = 1.0;
+        for (int64_t i = 0; i < m_; ++i)
+            scale = std::max(scale, std::fabs(rhs_[i]));
+        if (cost_rhs_ < -1e-7 * scale)
+            return false; // sum of artificials > 0 -> infeasible.
+        // Pivot remaining artificial basics out where possible.
+        for (int64_t i = 0; i < m_; ++i) {
+            if (basis_[i] < n_ + num_slack_)
+                continue;
+            int64_t col = -1;
+            for (int64_t j = 0; j < n_ + num_slack_; ++j) {
+                if (std::fabs(rows_[i][j]) > kEps) {
+                    col = j;
+                    break;
+                }
+            }
+            if (col >= 0)
+                pivot(i, col);
+            // Else the row is redundant; the artificial stays basic
+            // at value 0, which is harmless.
+        }
+        return true;
+    }
+
+    /** Minimise the real objective. Returns false when unbounded. */
+    bool
+    phase2(const std::vector<double> &objective)
+    {
+        cost_.assign(total_, 0.0);
+        cost_rhs_ = 0.0;
+        for (int64_t j = 0; j < n_; ++j)
+            cost_[j] = objective[j];
+        // Forbid re-entry of artificials.
+        for (int64_t a = n_ + num_slack_; a < total_; ++a)
+            cost_[a] = std::numeric_limits<double>::quiet_NaN();
+        blocked_from_ = n_ + num_slack_;
+        priceOut();
+        return iterate();
+    }
+
+    /** Extract structural variable values. */
+    std::vector<double>
+    solution() const
+    {
+        std::vector<double> x(n_, 0.0);
+        for (int64_t i = 0; i < m_; ++i)
+            if (basis_[i] < n_)
+                x[basis_[i]] = rhs_[i];
+        return x;
+    }
+
+  private:
+    /** Make the cost row consistent with the current basis. */
+    void
+    priceOut()
+    {
+        for (int64_t i = 0; i < m_; ++i) {
+            int64_t b = basis_[i];
+            double c = columnCost(b);
+            if (std::fabs(c) < kEps)
+                continue;
+            for (int64_t j = 0; j < total_; ++j)
+                cost_[j] = columnCost(j) - c * rows_[i][j];
+            cost_rhs_ -= c * rhs_[i];
+        }
+        // Clean NaN markers introduced by blocked columns.
+        for (int64_t j = 0; j < total_; ++j)
+            if (std::isnan(cost_[j]))
+                cost_[j] = 0.0;
+    }
+
+    double
+    columnCost(int64_t j) const
+    {
+        double c = cost_[j];
+        return std::isnan(c) ? 0.0 : c;
+    }
+
+    /** Bland's-rule simplex loop. Returns false when unbounded. */
+    bool
+    iterate()
+    {
+        while (true) {
+            // Entering: lowest-index column with negative cost.
+            int64_t enter = -1;
+            for (int64_t j = 0; j < total_; ++j) {
+                if (j >= blocked_from_)
+                    break;
+                if (cost_[j] < -kEps) {
+                    enter = j;
+                    break;
+                }
+            }
+            if (enter < 0)
+                return true;
+            // Leaving: min ratio, ties by lowest basis index.
+            int64_t leave = -1;
+            double best = 0.0;
+            for (int64_t i = 0; i < m_; ++i) {
+                if (rows_[i][enter] <= kEps)
+                    continue;
+                double ratio = rhs_[i] / rows_[i][enter];
+                if (leave < 0 || ratio < best - kEps ||
+                    (ratio < best + kEps &&
+                     basis_[i] < basis_[leave])) {
+                    leave = i;
+                    best = ratio;
+                }
+            }
+            if (leave < 0)
+                return false; // unbounded
+            pivot(leave, enter);
+        }
+    }
+
+    void
+    pivot(int64_t row, int64_t col)
+    {
+        double p = rows_[row][col];
+        ST_ASSERT(std::fabs(p) > kEps, "zero pivot");
+        for (int64_t j = 0; j < total_; ++j)
+            rows_[row][j] /= p;
+        rhs_[row] /= p;
+        for (int64_t i = 0; i < m_; ++i) {
+            if (i == row)
+                continue;
+            double f = rows_[i][col];
+            if (std::fabs(f) < kEps)
+                continue;
+            for (int64_t j = 0; j < total_; ++j)
+                rows_[i][j] -= f * rows_[row][j];
+            rhs_[i] -= f * rhs_[row];
+            if (rhs_[i] < 0 && rhs_[i] > -kEps)
+                rhs_[i] = 0;
+        }
+        double f = cost_[col];
+        if (!std::isnan(f) && std::fabs(f) > kEps) {
+            for (int64_t j = 0; j < total_; ++j) {
+                if (!std::isnan(cost_[j]))
+                    cost_[j] -= f * rows_[row][j];
+            }
+            cost_rhs_ -= f * rhs_[row];
+        }
+        basis_[row] = col;
+    }
+
+    int64_t n_, m_;
+    int64_t num_slack_ = 0, num_art_ = 0, total_ = 0;
+    int64_t blocked_from_ = std::numeric_limits<int64_t>::max();
+    std::vector<std::vector<double>> rows_;
+    std::vector<double> rhs_;
+    std::vector<double> cost_;
+    double cost_rhs_ = 0.0;
+    std::vector<int64_t> basis_;
+};
+
+} // namespace
+
+LpSolution
+solveLpDenseReference(const LpProblem &problem)
+{
+    LpSolution solution;
+    DenseTableau tab(problem);
+    if (!tab.phase1()) {
+        solution.status = LpStatus::Infeasible;
+        return solution;
+    }
+    if (!tab.phase2(problem.objective())) {
+        solution.status = LpStatus::Unbounded;
+        return solution;
+    }
+    solution.status = LpStatus::Optimal;
+    solution.values = tab.solution();
+    solution.objective = 0.0;
+    for (int64_t j = 0; j < problem.numVars(); ++j)
+        solution.objective += problem.objective()[j] *
+                              solution.values[j];
+    return solution;
+}
+
+} // namespace solver
+} // namespace streamtensor

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The original dense two-phase tableau simplex, retained verbatim
+ * as a differential-testing oracle for the sparse solver in
+ * solver/lp.h. Bland's rule throughout, vector-of-vectors tableau,
+ * no warm starts — slow but simple enough to trust. Not used on
+ * any compile path.
+ */
+
+#ifndef STREAMTENSOR_SOLVER_DENSE_REFERENCE_H
+#define STREAMTENSOR_SOLVER_DENSE_REFERENCE_H
+
+#include "solver/lp.h"
+
+namespace streamtensor {
+namespace solver {
+
+/** Solve @p problem with the dense reference simplex. The returned
+ *  solution carries no basis (warm starts are unsupported). */
+LpSolution solveLpDenseReference(const LpProblem &problem);
+
+} // namespace solver
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SOLVER_DENSE_REFERENCE_H

@@ -19,6 +19,8 @@ struct SearchState
     std::vector<double> best_values;
     int64_t nodes = 0;
     int64_t max_nodes = 0;
+    int64_t pivots = 0;
+    bool warm_start = true;
 };
 
 /** Index of the most fractional integer variable, or -1. */
@@ -42,12 +44,29 @@ pickBranchVar(const IlpProblem &problem,
     return best;
 }
 
+/**
+ * Depth-first search over a shared relaxation: branching bounds
+ * are pushed before recursing and popped after, and each node
+ * hands its optimal basis to both children so their solves start
+ * as dual repairs of one appended bound row.
+ */
 void
-branchAndBound(SearchState &state, LpProblem relaxation)
+branchAndBound(SearchState &state, LpProblem &relaxation,
+               const SimplexBasis *parent_basis)
 {
     if (state.nodes++ >= state.max_nodes)
         return;
-    LpSolution sol = solveLp(relaxation);
+    LpOptions lp_options;
+    if (state.warm_start && parent_basis && !parent_basis->empty())
+        lp_options.warm_start = parent_basis;
+    LpSolution sol = solveLp(relaxation, lp_options);
+    state.pivots += sol.pivots;
+    if (lp_options.warm_start && !sol.optimal()) {
+        // Never prune a subtree on a warm-started non-optimal
+        // verdict alone; confirm with a cold solve.
+        sol = solveLp(relaxation);
+        state.pivots += sol.pivots;
+    }
     if (!sol.optimal())
         return;
     if (sol.objective >= state.best_obj - 1e-9)
@@ -60,22 +79,15 @@ branchAndBound(SearchState &state, LpProblem relaxation)
         return;
     }
     double v = sol.values[var];
+    SimplexBasis basis = std::move(sol.basis);
     // Down branch: x <= floor(v).
-    {
-        LpProblem down = relaxation;
-        std::vector<double> row(down.numVars(), 0.0);
-        row[var] = 1.0;
-        down.addConstraint(row, Relation::LE, std::floor(v));
-        branchAndBound(state, std::move(down));
-    }
+    relaxation.addBound(var, Relation::LE, std::floor(v));
+    branchAndBound(state, relaxation, &basis);
+    relaxation.popConstraint();
     // Up branch: x >= ceil(v).
-    {
-        LpProblem up = relaxation;
-        std::vector<double> row(up.numVars(), 0.0);
-        row[var] = 1.0;
-        up.addConstraint(row, Relation::GE, std::ceil(v));
-        branchAndBound(state, std::move(up));
-    }
+    relaxation.addBound(var, Relation::GE, std::ceil(v));
+    branchAndBound(state, relaxation, &basis);
+    relaxation.popConstraint();
 }
 
 } // namespace
@@ -101,21 +113,22 @@ IlpProblem::setBinary(int64_t var)
 void
 IlpProblem::setUpperBound(int64_t var, double bound)
 {
-    std::vector<double> row(numVars(), 0.0);
-    row[var] = 1.0;
-    lp_.addConstraint(std::move(row), Relation::LE, bound);
+    lp_.addBound(var, Relation::LE, bound);
 }
 
 IlpSolution
-solveIlp(const IlpProblem &problem, int64_t max_nodes)
+solveIlp(const IlpProblem &problem, const IlpOptions &options)
 {
     SearchState state;
     state.problem = &problem;
-    state.max_nodes = max_nodes;
-    branchAndBound(state, problem.lp());
+    state.max_nodes = options.max_nodes;
+    state.warm_start = options.warm_start;
+    LpProblem relaxation = problem.lp();
+    branchAndBound(state, relaxation, nullptr);
 
     IlpSolution out;
     out.nodes_explored = state.nodes;
+    out.lp_pivots = state.pivots;
     if (!state.best_values.empty()) {
         out.status = LpStatus::Optimal;
         out.objective = state.best_obj;
@@ -127,6 +140,14 @@ solveIlp(const IlpProblem &problem, int64_t max_nodes)
                 out.values[j] = std::round(out.values[j]);
     }
     return out;
+}
+
+IlpSolution
+solveIlp(const IlpProblem &problem, int64_t max_nodes)
+{
+    IlpOptions options;
+    options.max_nodes = max_nodes;
+    return solveIlp(problem, options);
 }
 
 } // namespace solver

@@ -3,7 +3,15 @@
  * Integer linear programming via branch-and-bound on the simplex
  * relaxation. Used by the multi-die graph-partitioning problem
  * (paper §5.3, "Graph partitioning ... formulated and solved using
- * Integer Linear Programming").
+ * Integer Linear Programming") and the ILP unroll allocator in the
+ * DSE layer.
+ *
+ * Node solves are warm-started: each branch-and-bound node threads
+ * its parent's optimal basis into the child LP, so most node
+ * solves reduce to a handful of dual repair pivots instead of a
+ * cold two-phase solve. Branching bounds are pushed and popped on
+ * a single shared relaxation instead of copying the problem per
+ * node.
  */
 
 #ifndef STREAMTENSOR_SOLVER_ILP_H
@@ -51,15 +59,35 @@ struct IlpSolution
     std::vector<double> values;
     int64_t nodes_explored = 0;
 
+    /** Total simplex pivots across all node solves (diagnostics;
+     *  warm starts shrink this dramatically). */
+    int64_t lp_pivots = 0;
+
     bool optimal() const { return status == LpStatus::Optimal; }
+};
+
+/** Branch-and-bound knobs. */
+struct IlpOptions
+{
+    /** Node cap; when hit, the best incumbent found so far is
+     *  returned (still marked Optimal if one exists, since
+     *  partitioning only needs a good feasible point). */
+    int64_t max_nodes = 200000;
+
+    /** Thread each parent node's optimal basis into its children
+     *  (dual-repair warm starts). Disable to benchmark or debug
+     *  against cold node solves. */
+    bool warm_start = true;
 };
 
 /**
  * Solve with depth-first branch-and-bound (most-fractional
- * branching). @p max_nodes caps the search; when hit, the best
- * incumbent found so far is returned (still marked Optimal if one
- * exists, since partitioning only needs a good feasible point).
+ * branching) over a shared push/pop relaxation.
  */
+IlpSolution solveIlp(const IlpProblem &problem,
+                     const IlpOptions &options);
+
+/** Convenience overload: default options with @p max_nodes. */
 IlpSolution solveIlp(const IlpProblem &problem,
                      int64_t max_nodes = 200000);
 

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A sorted-vector flat map from sparse int64 ids to dense indices.
+ * Replaces node-per-entry tree maps on lookup-heavy paths (the
+ * simulator resolves every channel endpoint through one; die
+ * partitioning indexes group members).
+ */
+
+#ifndef STREAMTENSOR_SUPPORT_FLAT_INDEX_H
+#define STREAMTENSOR_SUPPORT_FLAT_INDEX_H
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace support {
+
+/** Build-then-query flat map: add() all pairs, seal() once, at(). */
+class FlatIndex
+{
+  public:
+    void reserve(size_t n) { entries_.reserve(n); }
+
+    void
+    add(int64_t key, int64_t value)
+    {
+        entries_.emplace_back(key, value);
+    }
+
+    void seal() { std::sort(entries_.begin(), entries_.end()); }
+
+    /** Dense index of @p key; fatal when absent (callers only look
+     *  up ids they indexed). */
+    int64_t
+    at(int64_t key) const
+    {
+        auto it = std::lower_bound(
+            entries_.begin(), entries_.end(),
+            std::make_pair(key,
+                           std::numeric_limits<int64_t>::min()));
+        ST_ASSERT(it != entries_.end() && it->first == key,
+                  "FlatIndex: unknown key");
+        return it->second;
+    }
+
+  private:
+    std::vector<std::pair<int64_t, int64_t>> entries_;
+};
+
+} // namespace support
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SUPPORT_FLAT_INDEX_H

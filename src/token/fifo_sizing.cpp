@@ -214,10 +214,13 @@ sizeFifos(const FifoSizingProblem &problem,
         solver::LpProblem lp(m);
         for (int64_t e = 0; e < m; ++e)
             lp.setObjective(e, 1.0);
+        // Path rows go straight into the solver's sparse storage;
+        // nothing is densified even when m is large.
+        std::vector<double> ones;
         for (const auto &path : paths) {
             int64_t u = edges[path.front()].src;
             int64_t v = edges[path.back()].dst;
-            std::vector<double> ones(path.size(), 1.0);
+            ones.assign(path.size(), 1.0);
             lp.addSparseConstraint(path, ones, solver::Relation::GE,
                                    threshold[u][v]);
         }

@@ -93,6 +93,175 @@ TEST(Lp, SparseConstraintAccumulates)
     EXPECT_NEAR(sol.values[0], 2.0, 1e-6);
 }
 
+TEST(Lp, SparseDuplicateIndicesAccumulateInRow)
+{
+    // Repeated vars[i] must accumulate into one stored entry, not
+    // keep duplicate (last-wins or first-wins) mentions: the row
+    // {v:1.0, v:1.0, w:-0.5, v:0.5} is exactly 2.5*v - 0.5*w.
+    LpProblem lp(3);
+    lp.addSparseConstraint({1, 1, 2, 1}, {1.0, 1.0, -0.5, 0.5},
+                           Relation::LE, 9.0);
+    const SparseRow &row = lp.constraint(0);
+    EXPECT_EQ(row.nnz(), 2);
+    EXPECT_DOUBLE_EQ(row.coeff(1), 2.5);
+    EXPECT_DOUBLE_EQ(row.coeff(2), -0.5);
+    EXPECT_DOUBLE_EQ(row.coeff(0), 0.0);
+    // Indices come out sorted.
+    ASSERT_EQ(row.index.size(), 2u);
+    EXPECT_EQ(row.index[0], 1);
+    EXPECT_EQ(row.index[1], 2);
+}
+
+TEST(Lp, SparseDuplicatesMatchDenseAdapter)
+{
+    // The accumulated sparse row must solve identically to the
+    // densely summed equivalent.
+    LpProblem sparse(2);
+    sparse.setObjective(0, 1.0);
+    sparse.setObjective(1, 1.0);
+    sparse.addSparseConstraint({0, 0, 1}, {1.5, 1.5, 1.0},
+                               Relation::GE, 6.0);
+
+    LpProblem dense(2);
+    dense.setObjective(0, 1.0);
+    dense.setObjective(1, 1.0);
+    dense.addConstraint({3.0, 1.0}, Relation::GE, 6.0);
+
+    auto a = solveLp(sparse);
+    auto b = solveLp(dense);
+    ASSERT_TRUE(a.optimal());
+    ASSERT_TRUE(b.optimal());
+    EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(Lp, DuplicatesCancellingToZeroAreInert)
+{
+    // +1 and -1 mentions of the same var cancel; the row reduces
+    // to x1 >= 2 and must not constrain x0.
+    LpProblem lp(2);
+    lp.setObjective(0, 1.0);
+    lp.setObjective(1, 1.0);
+    lp.addSparseConstraint({0, 1, 0}, {1.0, 1.0, -1.0},
+                           Relation::GE, 2.0);
+    EXPECT_DOUBLE_EQ(lp.constraint(0).coeff(0), 0.0);
+    auto sol = solveLp(lp);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.values[0], 0.0, 1e-9);
+    EXPECT_NEAR(sol.values[1], 2.0, 1e-6);
+}
+
+TEST(Lp, PopConstraintRestoresProblem)
+{
+    LpProblem lp(1);
+    lp.setObjective(0, 1.0);
+    lp.addBound(0, Relation::GE, 3.0);
+    lp.addBound(0, Relation::GE, 10.0);
+    auto tight = solveLp(lp);
+    ASSERT_TRUE(tight.optimal());
+    EXPECT_NEAR(tight.objective, 10.0, 1e-6);
+    lp.popConstraint();
+    auto loose = solveLp(lp);
+    ASSERT_TRUE(loose.optimal());
+    EXPECT_NEAR(loose.objective, 3.0, 1e-6);
+}
+
+// ---- Warm starts ----
+
+TEST(Lp, WarmStartMatchesColdAfterAddedBound)
+{
+    // Solve, append a bound that cuts off the optimum, re-solve
+    // warm from the previous basis: the warm result must equal a
+    // cold solve of the extended problem.
+    LpProblem lp(3);
+    for (int j = 0; j < 3; ++j)
+        lp.setObjective(j, 1.0 + j);
+    lp.addConstraint({1.0, 1.0, 1.0}, Relation::GE, 9.0);
+    lp.addConstraint({1.0, 0.0, 0.0}, Relation::LE, 5.0);
+    auto first = solveLp(lp);
+    ASSERT_TRUE(first.optimal());
+    // Cheapest var first: x0=5, x1=4 -> 1*5 + 2*4 = 13.
+    EXPECT_NEAR(first.objective, 13.0, 1e-6);
+    ASSERT_FALSE(first.basis.empty());
+
+    lp.addBound(0, Relation::LE, 2.0);
+    LpOptions warm;
+    warm.warm_start = &first.basis;
+    auto warmed = solveLp(lp, warm);
+    auto cold = solveLp(lp);
+    ASSERT_TRUE(warmed.optimal());
+    ASSERT_TRUE(cold.optimal());
+    EXPECT_NEAR(warmed.objective, cold.objective, 1e-6);
+    for (int j = 0; j < 3; ++j)
+        EXPECT_NEAR(warmed.values[j], cold.values[j], 1e-6);
+}
+
+TEST(Lp, WarmStartDetectsInfeasibleChild)
+{
+    LpProblem lp(2);
+    lp.setObjective(0, 1.0);
+    lp.setObjective(1, 1.0);
+    lp.addConstraint({1.0, 1.0}, Relation::GE, 4.0);
+    lp.addConstraint({1.0, 0.0}, Relation::LE, 3.0);
+    lp.addConstraint({0.0, 1.0}, Relation::LE, 3.0);
+    auto first = solveLp(lp);
+    ASSERT_TRUE(first.optimal());
+
+    // x0 <= 0 and x1 <= 3 cannot reach x0 + x1 >= 4.
+    lp.addBound(0, Relation::LE, 0.0);
+    lp.addBound(1, Relation::LE, 3.5);
+    LpOptions warm;
+    warm.warm_start = &first.basis;
+    auto warmed = solveLp(lp, warm);
+    EXPECT_EQ(warmed.status, solveLp(lp).status);
+}
+
+TEST(Lp, WarmStartArtificialRowCannotLeakInfeasibility)
+{
+    // Regression: a crafted warm basis that leaves an artificial
+    // basic in a row with live real coefficients (x1 - x0 >= 0
+    // here) must not let phase 2 drive the artificial positive and
+    // report an infeasible point as Optimal. Cold optimum: x0 = 3
+    // forces x1 = 3, objective 3.
+    LpProblem lp(2);
+    lp.setObjective(1, 1.0);
+    lp.addSparseConstraint({1, 0}, {1.0, -1.0}, Relation::GE, 0.0);
+    lp.addBound(0, Relation::GE, 3.0);
+
+    SimplexBasis crafted;
+    crafted.basic = {-1, 3}; // row 1's slack; row 0 uninformed.
+    LpOptions warm;
+    warm.warm_start = &crafted;
+    auto warmed = solveLp(lp, warm);
+    ASSERT_TRUE(warmed.optimal());
+    EXPECT_NEAR(warmed.objective, 3.0, 1e-6);
+    EXPECT_GE(warmed.values[1] - warmed.values[0], -1e-7);
+}
+
+TEST(Lp, WarmStartFromStaleBasisStillOptimal)
+{
+    // A basis from an unrelated (smaller) problem must not corrupt
+    // the solve: install what fits, fall back where it does not.
+    LpProblem small(2);
+    small.setObjective(0, 1.0);
+    small.setObjective(1, 1.0);
+    small.addConstraint({1.0, 1.0}, Relation::GE, 2.0);
+    auto sol_small = solveLp(small);
+    ASSERT_TRUE(sol_small.optimal());
+
+    LpProblem big(4);
+    for (int j = 0; j < 4; ++j)
+        big.setObjective(j, 1.0);
+    big.addConstraint({1.0, 1.0, 0.0, 0.0}, Relation::GE, 2.0);
+    big.addConstraint({0.0, 0.0, 1.0, 1.0}, Relation::GE, 6.0);
+    big.addConstraint({0.0, 0.0, 1.0, 0.0}, Relation::EQ, 1.0);
+    LpOptions warm;
+    warm.warm_start = &sol_small.basis;
+    auto warmed = solveLp(big, warm);
+    auto cold = solveLp(big);
+    ASSERT_TRUE(warmed.optimal());
+    EXPECT_NEAR(warmed.objective, cold.objective, 1e-6);
+}
+
 TEST(Lp, Fig8fFormulation)
 {
     // Paper Fig. 8(f): minimise delay01+delay12+delay02 s.t.
@@ -237,9 +406,7 @@ TEST_P(LpRandomFeasible, OptimalAndFeasible)
     auto sol = solveLp(lp);
     ASSERT_TRUE(sol.optimal());
     for (const auto &c : lp.constraints()) {
-        double lhs = 0.0;
-        for (int j = 0; j < n; ++j)
-            lhs += c.coeffs[j] * sol.values[j];
+        double lhs = c.dot(sol.values);
         EXPECT_GE(lhs, c.rhs - 1e-5 * (1.0 + std::fabs(c.rhs)));
     }
     for (double v : sol.values)
