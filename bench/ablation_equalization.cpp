@@ -31,9 +31,11 @@ runOne(const models::LlmConfig &cfg, token::Equalization eq)
     auto sims = sim::simulateAll(result.design.components);
     double cycles = 0.0;
     bool deadlock = false;
+    bool timed_out = false;
     for (const auto &s : sims) {
         cycles += s.cycles;
         deadlock |= s.deadlock;
+        timed_out |= s.timed_out;
     }
     int64_t fifo_kb =
         ceilDiv(result.design.components.totalFifoBits(), 8) /
@@ -46,7 +48,9 @@ runOne(const models::LlmConfig &cfg, token::Equalization eq)
                 token::equalizationName(eq).c_str(),
                 static_cast<long long>(total_depth),
                 static_cast<long long>(fifo_kb), cycles,
-                deadlock ? "DEADLOCK" : "ok");
+                deadlock    ? "DEADLOCK"
+                : timed_out ? "TIMEOUT (cycles truncated)"
+                            : "ok");
 }
 
 } // namespace

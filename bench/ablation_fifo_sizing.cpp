@@ -72,7 +72,9 @@ main()
         auto r = sim::simulateGroup(g, 0, opts);
         std::printf("direct-edge depth %3lld: %s (%.0f cycles)\n",
                     static_cast<long long>(depth),
-                    r.deadlock ? "DEADLOCK" : "completes",
+                    r.deadlock    ? "DEADLOCK"
+                    : r.timed_out ? "TIMEOUT"
+                                  : "completes",
                     r.cycles);
     }
     std::printf("(the sink needs a 16-token burst while the slow "
@@ -102,9 +104,11 @@ main()
             sim::simulateAll(result.design.components, opts);
         double cycles = 0.0;
         bool deadlock = false;
+        bool timed_out = false;
         for (const auto &s : sims) {
             cycles += s.cycles;
             deadlock |= s.deadlock;
+            timed_out |= s.timed_out;
         }
         char label[64];
         if (uniform > 0)
@@ -117,7 +121,10 @@ main()
                     static_cast<long long>(
                         result.design.components.totalFifoBits() /
                         8 / 1024),
-                    cycles, deadlock ? "DEADLOCK" : "ok");
+                    cycles,
+                    deadlock    ? "DEADLOCK"
+                    : timed_out ? "TIMEOUT (cycles truncated)"
+                                : "ok");
     }
     std::printf("\nExpected: uniform shallow FIFOs deadlock on "
                 "the residual fork/join (back-pressure\ncascade, "

@@ -47,6 +47,25 @@ BENCHMARK(BM_CompilePrefillBlock)
     ->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
+/** Attach simulator throughput counters: simulated cycles per wall
+ *  second (the headline metric of the leap-ahead rewrite) and heap
+ *  events per simulation. */
+void
+addSimCounters(benchmark::State &state,
+               const std::vector<sim::SimResult> &sims)
+{
+    double cycles = 0.0;
+    double events = 0.0;
+    for (const auto &s : sims) {
+        cycles += s.cycles;
+        events += static_cast<double>(s.events);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        cycles * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.counters["sim_events"] = events;
+}
+
 void
 BM_SimulateDecodeBlock(benchmark::State &state)
 {
@@ -54,10 +73,12 @@ BM_SimulateDecodeBlock(benchmark::State &state)
         models::gpt2Config(), models::decodeShapes(192));
     auto result =
         compiler::compile(std::move(graph), hls::u55c(), {});
+    std::vector<sim::SimResult> sims;
     for (auto _ : state) {
-        auto sims = sim::simulateAll(result.design.components);
+        sims = sim::simulateAll(result.design.components);
         benchmark::DoNotOptimize(sims[0].cycles);
     }
+    addSimCounters(state, sims);
 }
 BENCHMARK(BM_SimulateDecodeBlock)->Unit(benchmark::kMillisecond);
 
@@ -69,14 +90,17 @@ BM_SimulatePrefillBlock(benchmark::State &state)
         models::prefillShapes(state.range(0)));
     auto result =
         compiler::compile(std::move(graph), hls::u55c(), {});
+    std::vector<sim::SimResult> sims;
     for (auto _ : state) {
-        auto sims = sim::simulateAll(result.design.components);
+        sims = sim::simulateAll(result.design.components);
         benchmark::DoNotOptimize(sims[0].cycles);
     }
+    addSimCounters(state, sims);
 }
 BENCHMARK(BM_SimulatePrefillBlock)
     ->Arg(32)
     ->Arg(128)
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -3,8 +3,10 @@
  * FIFO sizing lab: builds the paper's Fig. 8(f) three-kernel
  * example, solves the LP, shows the resulting delays and depths
  * under both equalization strategies, and demonstrates with the
- * simulator that undersized FIFOs on the reconvergent pair
- * deadlock while LP-sized ones do not.
+ * simulator what sizing buys: LP depths stream stall-free, shallow
+ * depths back-pressure the producers (watch the stall cycles and
+ * TTFT), and a FIFO smaller than its consumer's burst deadlocks
+ * outright.
  */
 
 #include <cstdio>
@@ -104,13 +106,68 @@ main()
     tight.max_cycles = 1e7;
     auto bad_result = sim::simulateGroup(bad, 0, tight);
 
-    std::printf("LP-sized run : %s, %.0f cycles\n",
-                good_result.deadlock ? "DEADLOCK" : "ok",
-                good_result.cycles);
-    std::printf("depth-2 run  : %s, %.0f cycles\n",
-                bad_result.deadlock ? "DEADLOCK (as expected: "
-                                      "reconvergent back-pressure)"
+    auto stalls = [](const sim::SimResult &r) {
+        double s = 0.0;
+        for (const auto &c : r.components)
+            s += c.stall_cycles;
+        return s;
+    };
+    auto report_run = [&](const char *tag,
+                          const sim::SimResult &r) {
+        const char *status = r.deadlock    ? "DEADLOCK"
+                             : r.timed_out ? "TIMED OUT"
+                                           : "ok";
+        std::printf("%s: %s, %.0f cycles, TTFT %.0f cycles, "
+                    "%.0f stall cycles\n",
+                    tag, status, r.cycles, r.first_output_cycle,
+                    stalls(r));
+    };
+    report_run("LP-sized run ", good_result);
+    report_run("depth-2 run  ", bad_result);
+
+    // A FIFO smaller than its consumer's burst can never satisfy a
+    // single firing: the consumer wedges and the wedge propagates
+    // upstream -- the failure mode LP sizing exists to rule out.
+    // kernel2's out edge carries 4 tokens, so it fires 4 times and
+    // ingests 16 kernel0/kernel1 tokens per firing; depth 8 < 16.
+    {
+        dataflow::ComponentGraph g;
+        ir::ITensorType tok(ir::DataType::I8, {1}, {64}, {1},
+                            ir::AffineMap::identity(1));
+        ir::ITensorType out_tok(ir::DataType::I8, {1}, {4}, {1},
+                                ir::AffineMap::identity(1));
+        dataflow::Component k;
+        k.kind = dataflow::ComponentKind::Kernel;
+        k.name = "k0";
+        k.initial_delay = 40.0;
+        k.total_cycles = 103.0;
+        int64_t k0 = g.addComponent(k);
+        k.name = "k2";
+        k.initial_delay = 20.0;
+        k.total_cycles = 146.0;
+        int64_t k2 = g.addComponent(k);
+        k.name = "sink";
+        k.initial_delay = 1.0;
+        k.total_cycles = 9.0;
+        int64_t snk = g.addComponent(k);
+        dataflow::Channel c;
+        c.src = k0;
+        c.dst = k2;
+        c.type = tok;
+        c.tokens = 64;
+        c.depth = 8; // burst is 16
+        g.addChannel(c);
+        c.src = k2;
+        c.dst = snk;
+        c.type = out_tok;
+        c.tokens = 4;
+        c.depth = 2;
+        g.addChannel(c);
+        auto wedged = sim::simulateGroup(g, 0, tight);
+        std::printf("burst>depth run: %s (%zu components wedged)\n",
+                    wedged.deadlock ? "DEADLOCK (as expected)"
                                     : "ok",
-                bad_result.cycles);
+                    wedged.blocked_components.size());
+    }
     return 0;
 }

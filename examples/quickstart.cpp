@@ -71,10 +71,14 @@ main()
     // ---- 3. Simulate the accelerator. ----
     auto sims = sim::simulateAll(result.design.components);
     for (size_t g = 0; g < sims.size(); ++g) {
-        std::printf("group %zu: %s in %.0f cycles "
-                    "(first output @ %.0f)\n",
-                    g, sims[g].deadlock ? "DEADLOCK" : "completed",
-                    sims[g].cycles, sims[g].first_output_cycle);
+        const sim::SimResult &s = sims[g];
+        const char *status = s.deadlock    ? "DEADLOCK"
+                             : s.timed_out ? "TIMED OUT"
+                                           : "completed";
+        std::printf("group %zu: %s in %.0f cycles, "
+                    "TTFT %.0f cycles (%lld sim events)\n",
+                    g, status, s.cycles, s.first_output_cycle,
+                    static_cast<long long>(s.events));
     }
 
     // ---- 4. Peek at the generated HLS C++. ----

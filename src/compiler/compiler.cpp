@@ -5,6 +5,7 @@
 #include "ir/verifier.h"
 #include "linalg/passes.h"
 #include "support/error.h"
+#include "support/flat_index.h"
 #include "support/logging.h"
 #include "support/stopwatch.h"
 
@@ -92,13 +93,17 @@ compile(linalg::Graph graph, const hls::FpgaPlatform &platform,
     for (int64_t group = 0; group < cg.numGroups(); ++group) {
         token::FifoSizingProblem problem;
         auto members = cg.groupComponents(group);
-        std::map<int64_t, int64_t> dense;
+        // Sparse component id -> LP node: sorted-vector flat map,
+        // same migration die_partition and sim already got.
+        support::FlatIndex dense;
+        dense.reserve(members.size());
         for (int64_t id : members) {
             const dataflow::Component &c = cg.component(id);
-            dense[id] = problem.addNode(
-                {c.initial_delay, c.total_cycles,
-                 c.ingest_cycles});
+            dense.add(id, problem.addNode({c.initial_delay,
+                                           c.total_cycles,
+                                           c.ingest_cycles}));
         }
+        dense.seal();
         std::vector<int64_t> edge_channels;
         for (int64_t ch_id : cg.groupChannels(group)) {
             const dataflow::Channel &ch = cg.channel(ch_id);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace streamtensor {
 namespace runtime {
@@ -21,7 +22,7 @@ bool
 CompiledBlock::deadlocked() const
 {
     for (const auto &s : sims)
-        if (s.deadlock)
+        if (s.deadlock || s.timed_out)
             return true;
     return false;
 }
@@ -37,10 +38,15 @@ const CompiledBlock &
 LlmExecutor::block(const models::BlockShapes &shapes)
 {
     auto key = std::make_pair(shapes.seq_len, shapes.kv_len);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return *it->second;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return *it->second;
+    }
 
+    // Compile + simulate outside the lock so concurrent shapes
+    // overlap (run() warms prefill and decode together).
     auto compiled = std::make_unique<CompiledBlock>();
     linalg::Graph graph =
         models::buildTransformerBlock(config_, shapes);
@@ -48,8 +54,13 @@ LlmExecutor::block(const models::BlockShapes &shapes)
         compiler::compile(std::move(graph), platform_, options_);
     compiled->sims =
         sim::simulateAll(compiled->compile.design.components);
+
+    // Two threads may race on the same shapes; compilation is
+    // deterministic, so the first insert wins and the loser's
+    // result is discarded.
+    std::lock_guard<std::mutex> lock(cache_mutex_);
     auto [pos, inserted] = cache_.emplace(key, std::move(compiled));
-    ST_ASSERT(inserted, "cache insertion failed");
+    (void)inserted;
     return *pos->second;
 }
 
@@ -60,6 +71,18 @@ LlmExecutor::run(int64_t input_len, int64_t output_len)
              "request lengths must be positive");
     LlmRunResult result;
     double freq_hz = platform_.freq_mhz * 1e6;
+    int64_t mid_kv = input_len + std::max<int64_t>(output_len / 2,
+                                                   1);
+
+    // Warm the two block shapes of this request concurrently on
+    // the pool shared with the simulator's per-group parallelism
+    // (each block() below is then a cache hit).
+    const models::BlockShapes request_shapes[2] = {
+        models::prefillShapes(input_len),
+        models::decodeShapes(mid_kv)};
+    support::ThreadPool::shared().run(2, [&](int64_t i) {
+        (void)block(request_shapes[i]);
+    });
 
     // --- Prefill: one trigger per layer at seq = input length.
     const CompiledBlock &prefill =
@@ -79,8 +102,6 @@ LlmExecutor::run(int64_t input_len, int64_t output_len)
         (result.block_prefill_ms + overhead_ms(1));
 
     // --- Decode: simulate at the run's mean context length.
-    int64_t mid_kv = input_len + std::max<int64_t>(output_len / 2,
-                                                   1);
     const CompiledBlock &decode =
         block(models::decodeShapes(mid_kv));
     result.block_decode_ms = decode.totalCycles() / freq_hz * 1e3;

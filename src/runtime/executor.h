@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "compiler/compiler.h"
 #include "models/block_builder.h"
@@ -58,6 +59,8 @@ struct CompiledBlock
     /** Sequential-group makespan in cycles. */
     double totalCycles() const;
 
+    /** True when any group deadlocked or timed out (either way the
+     *  simulated cycles are not a completed run). */
     bool deadlocked() const;
 };
 
@@ -72,7 +75,10 @@ class LlmExecutor
     const models::LlmConfig &config() const { return config_; }
     const hls::FpgaPlatform &platform() const { return platform_; }
 
-    /** Compile (or fetch) the block at the given shapes. */
+    /** Compile (or fetch) the block at the given shapes.
+     *  Thread-safe: run() warms the prefill and decode entries
+     *  concurrently on the pool shared with the simulator
+     *  (support::ThreadPool::shared()). */
     const CompiledBlock &block(const models::BlockShapes &shapes);
 
     /** Run one request end to end. */
@@ -82,6 +88,7 @@ class LlmExecutor
     models::LlmConfig config_;
     hls::FpgaPlatform platform_;
     compiler::CompileOptions options_;
+    std::mutex cache_mutex_;
     std::map<std::pair<int64_t, int64_t>,
              std::unique_ptr<CompiledBlock>>
         cache_;

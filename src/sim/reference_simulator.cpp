@@ -1,0 +1,248 @@
+#include "sim/reference_simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "sim/sim_internal.h"
+#include "support/error.h"
+
+namespace streamtensor {
+namespace sim {
+
+namespace {
+
+using detail::ChannelSpec;
+using detail::ComponentSpec;
+using detail::cumulativeTokens;
+using detail::fireTimeAt;
+using detail::GroupSpec;
+
+/** Simulation state of one FIFO channel. */
+struct ChannelState
+{
+    int64_t occupancy = 0;
+    ChannelStats stats;
+};
+
+/** Simulation state of one component process. */
+struct ComponentState
+{
+    int64_t fired = 0;
+    /** Window anchor: firing j >= anchor_fired is paced at
+     *  fireTimeAt(anchor, anchor_fired, j, ii); re-anchored when a
+     *  firing lands off its predicted time (i.e. after a stall). */
+    double anchor = 0.0;
+    int64_t anchor_fired = 0;
+    double ready_time = 0.0; ///< own pipeline availability
+    double blocked_since = -1.0;
+    bool in_queue = false;
+    std::vector<int64_t> consumed; ///< per in channel
+    std::vector<int64_t> produced; ///< per out channel
+    /** Channels this component currently sits in a waiter list of;
+     *  keeps re-examinations from pushing duplicates. */
+    std::vector<int64_t> waiting_on;
+};
+
+} // namespace
+
+SimResult
+simulateGroupReference(const dataflow::ComponentGraph &g,
+                       int64_t group, const SimOptions &options)
+{
+    GroupSpec spec = detail::buildGroupSpec(g, group);
+
+    std::vector<ChannelState> channels(spec.chans.size());
+    std::vector<ComponentState> comps(spec.comps.size());
+    for (size_t i = 0; i < comps.size(); ++i) {
+        const ComponentSpec &cs = spec.comps[i];
+        ComponentState &s = comps[i];
+        s.anchor = cs.initial_delay;
+        s.ready_time = cs.initial_delay;
+        s.consumed.assign(cs.in_channels.size(), 0);
+        s.produced.assign(cs.out_channels.size(), 0);
+    }
+
+    // Waiters: components blocked on a channel (for data or for
+    // space).
+    std::vector<std::vector<int64_t>> data_waiters(channels.size());
+    std::vector<std::vector<int64_t>> space_waiters(channels.size());
+
+    using Event = std::pair<double, int64_t>; // time, comp index
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        queue;
+    for (size_t i = 0; i < comps.size(); ++i) {
+        queue.push({comps[i].ready_time, static_cast<int64_t>(i)});
+        comps[i].in_queue = true;
+    }
+
+    SimResult result;
+    result.components.resize(comps.size());
+    result.channels.resize(channels.size());
+    double now = 0.0;
+    int64_t live = static_cast<int64_t>(comps.size());
+    bool first_output_seen = false;
+
+    auto done = [&](int64_t i) {
+        return comps[i].fired >= spec.comps[i].firings;
+    };
+
+    auto wake = [&](int64_t i, double t) {
+        ComponentState &s = comps[i];
+        if (s.in_queue || done(i))
+            return;
+        if (s.blocked_since >= 0.0) {
+            result.components[i].stall_cycles +=
+                std::max(t, s.blocked_since) - s.blocked_since;
+            s.blocked_since = -1.0;
+        }
+        queue.push({std::max(t, s.ready_time), i});
+        s.in_queue = true;
+    };
+
+    // A component blocked across several channels registers once
+    // per channel, not once per re-examination: waiting_on tracks
+    // live registrations and draining a list clears them.
+    auto registerWaiter = [&](std::vector<std::vector<int64_t>> &lists,
+                              int64_t c, int64_t i) {
+        auto &on = comps[i].waiting_on;
+        if (std::find(on.begin(), on.end(), c) == on.end()) {
+            on.push_back(c);
+            lists[c].push_back(i);
+        }
+    };
+    auto drainWaiters = [&](std::vector<std::vector<int64_t>> &lists,
+                            int64_t c, double t) {
+        auto waiters = std::move(lists[c]);
+        lists[c].clear();
+        for (int64_t w : waiters) {
+            auto &on = comps[w].waiting_on;
+            on.erase(std::remove(on.begin(), on.end(), c),
+                     on.end());
+            wake(w, t);
+        }
+    };
+
+    while (!queue.empty()) {
+        auto [t, i] = queue.top();
+        queue.pop();
+        ComponentState &s = comps[i];
+        const ComponentSpec &cs = spec.comps[i];
+        s.in_queue = false;
+        now = std::max(now, t);
+        if (now > options.max_cycles) {
+            result.timed_out = true;
+            break;
+        }
+        if (done(i))
+            continue;
+        ++result.events;
+
+        // Check input availability and output space for firing k.
+        int64_t k = s.fired;
+        bool blocked = false;
+        for (size_t ci = 0; ci < cs.in_channels.size(); ++ci) {
+            int64_t c = cs.in_channels[ci];
+            int64_t need =
+                cumulativeTokens(k, cs.firings,
+                                 spec.chans[c].tokens) -
+                s.consumed[ci];
+            if (channels[c].occupancy < need) {
+                registerWaiter(data_waiters, c, i);
+                blocked = true;
+            }
+        }
+        for (size_t ci = 0; ci < cs.out_channels.size(); ++ci) {
+            int64_t c = cs.out_channels[ci];
+            int64_t put =
+                cumulativeTokens(k, cs.firings,
+                                 spec.chans[c].tokens) -
+                s.produced[ci];
+            if (channels[c].occupancy + put >
+                spec.chans[c].capacity) {
+                registerWaiter(space_waiters, c, i);
+                blocked = true;
+            }
+        }
+        if (blocked) {
+            if (s.blocked_since < 0.0)
+                s.blocked_since = t;
+            continue;
+        }
+
+        // Fire: consume, produce, advance.
+        for (size_t ci = 0; ci < cs.in_channels.size(); ++ci) {
+            int64_t c = cs.in_channels[ci];
+            int64_t need =
+                cumulativeTokens(k, cs.firings,
+                                 spec.chans[c].tokens) -
+                s.consumed[ci];
+            if (need <= 0)
+                continue;
+            channels[c].occupancy -= need;
+            s.consumed[ci] += need;
+            channels[c].stats.pops += need;
+            drainWaiters(space_waiters, c, t);
+        }
+        for (size_t ci = 0; ci < cs.out_channels.size(); ++ci) {
+            int64_t c = cs.out_channels[ci];
+            int64_t put =
+                cumulativeTokens(k, cs.firings,
+                                 spec.chans[c].tokens) -
+                s.produced[ci];
+            if (put <= 0)
+                continue;
+            channels[c].occupancy += put;
+            s.produced[ci] += put;
+            channels[c].stats.pushes += put;
+            channels[c].stats.max_occupancy =
+                std::max(channels[c].stats.max_occupancy,
+                         channels[c].occupancy);
+            drainWaiters(data_waiters, c, t);
+        }
+
+        // First token reaching a store DMA marks group TTFT.
+        if (!first_output_seen && cs.is_store) {
+            result.first_output_cycle = t;
+            first_output_seen = true;
+        }
+
+        // A firing at its predicted pace extends the current
+        // window; a delayed (stalled) firing re-anchors it.
+        if (t != fireTimeAt(s.anchor, s.anchor_fired, s.fired,
+                            cs.ii)) {
+            s.anchor = t;
+            s.anchor_fired = s.fired;
+        }
+        s.fired += 1;
+        result.components[i].firings = s.fired;
+        result.components[i].finish_time = t;
+        if (done(i)) {
+            --live;
+            continue;
+        }
+        s.ready_time =
+            fireTimeAt(s.anchor, s.anchor_fired, s.fired, cs.ii);
+        queue.push({s.ready_time, i});
+        s.in_queue = true;
+    }
+
+    if (live > 0 && !result.timed_out) {
+        result.deadlock = true;
+        for (size_t i = 0; i < comps.size(); ++i)
+            if (!done(static_cast<int64_t>(i)))
+                result.blocked_components.push_back(
+                    spec.comps[i].id);
+    }
+    for (size_t c = 0; c < channels.size(); ++c)
+        result.channels[c] = channels[c].stats;
+    for (const auto &cstat : result.components)
+        result.cycles = std::max(result.cycles, cstat.finish_time);
+    if (!first_output_seen)
+        result.first_output_cycle = result.cycles;
+    return result;
+}
+
+} // namespace sim
+} // namespace streamtensor

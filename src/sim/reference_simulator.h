@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The original per-firing discrete-event simulator, retained as a
+ * differential-testing oracle for the leap-ahead implementation in
+ * sim/simulator.h. One heap event per firing per component, waiter
+ * lists drained on every push/pop -- slow but simple enough to
+ * trust. Not used on any compile or runtime path.
+ *
+ * The only deviations from the retired production loop are shared
+ * with the new simulator so the two stay bit-comparable: firing
+ * times come from the window-anchored expression in
+ * sim/sim_internal.h (fireTimeAt), exceeding max_cycles reports
+ * timed_out instead of deadlock, and processed events are counted.
+ */
+
+#ifndef STREAMTENSOR_SIM_REFERENCE_SIMULATOR_H
+#define STREAMTENSOR_SIM_REFERENCE_SIMULATOR_H
+
+#include "sim/simulator.h"
+
+namespace streamtensor {
+namespace sim {
+
+/** Simulate one fused group of @p g, one event per firing. */
+SimResult
+simulateGroupReference(const dataflow::ComponentGraph &g,
+                       int64_t group,
+                       const SimOptions &options = {});
+
+} // namespace sim
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SIM_REFERENCE_SIMULATOR_H

@@ -1,55 +1,519 @@
+/**
+ * @file
+ * Leap-ahead batched discrete-event simulator.
+ *
+ * The classic loop (kept as sim/reference_simulator.cpp) pops one
+ * heap event per firing per component: prefill-scale graphs pay
+ * O(total tokens * log n). This implementation advances by *batch
+ * commitment* instead. When a component is processed at time t it
+ * commits the longest run of k consecutive firings that are
+ * provably feasible at its own pace t, t+II, ..., t+(k-1)*II, then
+ * reschedules itself at t + k*II. Feasibility of the whole run is
+ * established in closed form from the cumulativeTokens inverses:
+ * with counterpart channel state frozen at the run's start, both
+ * the input-occupancy and output-headroom conditions become integer
+ * stair inequalities whose crossing points are computed directly,
+ * so a segment of thousands of firings costs O(channels) work.
+ *
+ * Exactness rests on the commitment discipline: a batch may rely
+ * only on channel pushes/pops *already committed* (by earlier
+ * events) with firing times derived from the shared window-anchored
+ * expression (sim_internal.h). Commitments are unconditional, so a
+ * blocked component's wake-up time — the time its counterpart's
+ * n-th committed firing satisfies its need — is exact, and a
+ * component whose need outruns every commitment registers as the
+ * channel's (unique) waiting endpoint and is re-examined when the
+ * counterpart commits again. The general epoch-stamped registration
+ * degenerates to one boolean per channel side because every channel
+ * has exactly one producer and one consumer. Firing times therefore
+ * reproduce the reference event order bit-for-bit, which the
+ * differential suite (tests/sim_differential_test.cpp) asserts.
+ */
+
 #include "sim/simulator.h"
 
 #include <algorithm>
 #include <queue>
 #include <utility>
 
+#include "sim/sim_internal.h"
 #include "support/error.h"
-#include "support/flat_index.h"
-#include "support/math_util.h"
+#include "support/thread_pool.h"
 
 namespace streamtensor {
 namespace sim {
 
 namespace {
 
-/** Simulation state of one FIFO channel. */
-struct ChannelState
+using detail::ChannelSpec;
+using detail::ComponentSpec;
+using detail::cumulativeTokens;
+using detail::firstFiringReaching;
+using detail::fireTimeAt;
+using detail::GroupSpec;
+using detail::lastFiringWithin;
+
+/** Mutable per-component state. */
+struct CompRt
 {
-    int64_t occupancy = 0;
-    int64_t capacity = 2;
+    int64_t fired = 0; ///< committed firings
+    /** Current pace window: committed firing j >= anchor_fired ran
+     *  at fireTimeAt(anchor, anchor_fired, j, ii); firings before
+     *  anchor_fired all ran at times <= anchor. */
+    double anchor = 0.0;
+    int64_t anchor_fired = 0;
+    double finish_time = 0.0;
+    double blocked_since = -1.0;
+    bool in_queue = false;
+};
+
+/** Mutable per-channel state: committed cumulative token counts
+ *  plus the (unique) blocked endpoints. */
+struct ChanRt
+{
+    int64_t pushed = 0;
+    int64_t popped = 0;
+    bool cons_waiting = false; ///< consumer blocked for data
+    bool prod_waiting = false; ///< producer blocked for space
     ChannelStats stats;
 };
 
-/** Simulation state of one component process. */
-struct ComponentState
+class LeapSim
 {
-    int64_t id = -1;
-    int64_t firings_total = 0;
-    int64_t fired = 0;
-    double ii = 1.0;
-    double initial_delay = 0.0;
-    double ready_time = 0.0;  ///< own pipeline availability
-    double blocked_since = -1.0;
-    bool in_queue = false;
-    std::vector<int64_t> in_channels;   ///< dense channel indices
-    std::vector<int64_t> out_channels;
-    std::vector<int64_t> consumed; ///< per in channel
-    std::vector<int64_t> produced; ///< per out channel
-    /** Channels this component currently sits in a waiter list of;
-     *  keeps re-examinations from pushing duplicates. */
-    std::vector<int64_t> waiting_on;
+  public:
+    LeapSim(const GroupSpec &spec, const SimOptions &options)
+        : spec_(spec), options_(options), comps_(spec.comps.size()),
+          chans_(spec.chans.size())
+    {}
 
-    bool done() const { return fired >= firings_total; }
+    SimResult run();
+
+  private:
+    using Event = std::pair<double, int64_t>; // time, comp index
+
+    bool
+    done(int64_t i) const
+    {
+        return comps_[i].fired >= spec_.comps[i].firings;
+    }
+
+    /** Committed firings of component @p i with fire time <= tau
+     *  (tau >= the current event time). */
+    int64_t
+    committedCountAt(int64_t i, double tau) const
+    {
+        const CompRt &s = comps_[i];
+        int64_t w = s.fired - s.anchor_fired;
+        if (w <= 0)
+            return s.fired; // whole history predates the window
+        double ii = spec_.comps[i].ii;
+        // Estimate the last in-window firing at or before tau, then
+        // fix up against the canonical time expression so the count
+        // agrees exactly with event-time comparisons.
+        double rel = (tau - s.anchor) / ii;
+        int64_t m;
+        if (!(rel < static_cast<double>(w - 1)))
+            m = w - 1;
+        else if (rel < 0.0)
+            m = -1;
+        else
+            m = static_cast<int64_t>(rel);
+        while (m + 1 <= w - 1 &&
+               fireTimeAt(s.anchor, 0, m + 1, ii) <= tau)
+            ++m;
+        while (m >= 0 && fireTimeAt(s.anchor, 0, m, ii) > tau)
+            --m;
+        return s.anchor_fired + m + 1;
+    }
+
+    /** Channel tokens pushed by firings committed at or before
+     *  @p tau. */
+    int64_t
+    pushedAt(int64_t c, double tau) const
+    {
+        const ChannelSpec &ch = spec_.chans[c];
+        int64_t n = committedCountAt(ch.src, tau);
+        return cumulativeTokens(n - 1, spec_.comps[ch.src].firings,
+                                ch.tokens);
+    }
+
+    /** Channel tokens popped by firings committed at or before
+     *  @p tau. */
+    int64_t
+    poppedAt(int64_t c, double tau) const
+    {
+        const ChannelSpec &ch = spec_.chans[c];
+        int64_t n = committedCountAt(ch.dst, tau);
+        return cumulativeTokens(n - 1, spec_.comps[ch.dst].firings,
+                                ch.tokens);
+    }
+
+    /** Exact feasibility of firing @p j of component @p i at time
+     *  @p tau against all committed counterpart schedules. */
+    bool
+    feasibleAt(int64_t i, int64_t j, double tau) const
+    {
+        const ComponentSpec &cs = spec_.comps[i];
+        for (int64_t c : cs.in_channels) {
+            if (pushedAt(c, tau) <
+                cumulativeTokens(j, cs.firings,
+                                 spec_.chans[c].tokens))
+                return false;
+        }
+        for (int64_t c : cs.out_channels) {
+            if (cumulativeTokens(j, cs.firings,
+                                 spec_.chans[c].tokens) >
+                spec_.chans[c].capacity + poppedAt(c, tau))
+                return false;
+        }
+        return true;
+    }
+
+    /** Largest firing of @p i whose pace time stays within
+     *  max_cycles (the reference stops at the first event beyond
+     *  the cap, so batches must not leap across it). */
+    int64_t
+    timeCapFiring(int64_t i) const
+    {
+        const CompRt &s = comps_[i];
+        const ComponentSpec &cs = spec_.comps[i];
+        int64_t last = cs.firings - 1;
+        if (fireTimeAt(s.anchor, s.anchor_fired, last, cs.ii) <=
+            options_.max_cycles)
+            return last;
+        int64_t lo = s.fired, hi = last;
+        while (lo < hi) {
+            int64_t mid = lo + (hi - lo + 1) / 2;
+            if (fireTimeAt(s.anchor, s.anchor_fired, mid, cs.ii) <=
+                options_.max_cycles)
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+        return lo;
+    }
+
+    void
+    schedule(int64_t i, double when)
+    {
+        if (comps_[i].in_queue)
+            return;
+        queue_.push({when, i});
+        comps_[i].in_queue = true;
+    }
+
+    /** Component @p i cannot fire at @p t: compute its exact
+     *  wake-up from committed counterpart schedules, or register it
+     *  as a channel waiter when its need outruns every
+     *  commitment. */
+    void
+    block(int64_t i, double t)
+    {
+        CompRt &s = comps_[i];
+        const ComponentSpec &cs = spec_.comps[i];
+        if (s.blocked_since < 0.0)
+            s.blocked_since = t;
+        int64_t f0 = s.fired;
+        double wake_t = t;
+        bool covered = true;
+        for (int64_t c : cs.in_channels) {
+            const ChannelSpec &ch = spec_.chans[c];
+            int64_t need =
+                cumulativeTokens(f0, cs.firings, ch.tokens);
+            if (pushedAt(c, t) >= need)
+                continue; // not a blocking channel
+            const CompRt &p = comps_[ch.src];
+            int64_t pf = spec_.comps[ch.src].firings;
+            int64_t n = firstFiringReaching(need, pf, ch.tokens);
+            if (n < p.fired) {
+                double avail =
+                    n >= p.anchor_fired
+                        ? fireTimeAt(p.anchor, p.anchor_fired, n,
+                                     spec_.comps[ch.src].ii)
+                        : t;
+                wake_t = std::max(wake_t, avail);
+            } else {
+                chans_[c].cons_waiting = true;
+                covered = false;
+            }
+        }
+        for (int64_t c : cs.out_channels) {
+            const ChannelSpec &ch = spec_.chans[c];
+            int64_t need_pops =
+                cumulativeTokens(f0, cs.firings, ch.tokens) -
+                ch.capacity;
+            if (need_pops <= 0 || poppedAt(c, t) >= need_pops)
+                continue;
+            const CompRt &x = comps_[ch.dst];
+            int64_t xf = spec_.comps[ch.dst].firings;
+            int64_t n =
+                firstFiringReaching(need_pops, xf, ch.tokens);
+            if (n < x.fired) {
+                double avail =
+                    n >= x.anchor_fired
+                        ? fireTimeAt(x.anchor, x.anchor_fired, n,
+                                     spec_.comps[ch.dst].ii)
+                        : t;
+                wake_t = std::max(wake_t, avail);
+            } else {
+                chans_[c].prod_waiting = true;
+                covered = false;
+            }
+        }
+        if (covered) {
+            ST_ASSERT(wake_t > t,
+                      "sim: blocked component has no future wake");
+            schedule(i, wake_t);
+        }
+    }
+
+    /** After the producer of @p c committed more firings: wake the
+     *  waiting consumer at the exact time its need is met, or keep
+     *  it registered when still uncovered. */
+    void
+    wakeConsumer(int64_t c, double now)
+    {
+        const ChannelSpec &ch = spec_.chans[c];
+        int64_t x = ch.dst;
+        int64_t need = cumulativeTokens(
+            comps_[x].fired, spec_.comps[x].firings, ch.tokens);
+        const CompRt &p = comps_[ch.src];
+        int64_t n = firstFiringReaching(
+            need, spec_.comps[ch.src].firings, ch.tokens);
+        if (n >= p.fired)
+            return; // still uncovered: stay registered
+        chans_[c].cons_waiting = false;
+        double avail = n >= p.anchor_fired
+                           ? fireTimeAt(p.anchor, p.anchor_fired,
+                                        n, spec_.comps[ch.src].ii)
+                           : now;
+        schedule(x, std::max(avail, now));
+    }
+
+    /** After the consumer of @p c committed more firings: wake the
+     *  space-waiting producer symmetrically. */
+    void
+    wakeProducer(int64_t c, double now)
+    {
+        const ChannelSpec &ch = spec_.chans[c];
+        int64_t p = ch.src;
+        int64_t need_pops =
+            cumulativeTokens(comps_[p].fired,
+                             spec_.comps[p].firings, ch.tokens) -
+            ch.capacity;
+        if (need_pops <= 0)
+            need_pops = 1;
+        const CompRt &x = comps_[ch.dst];
+        int64_t n = firstFiringReaching(
+            need_pops, spec_.comps[ch.dst].firings, ch.tokens);
+        if (n >= x.fired)
+            return; // still uncovered: stay registered
+        chans_[c].prod_waiting = false;
+        double avail = n >= x.anchor_fired
+                           ? fireTimeAt(x.anchor, x.anchor_fired,
+                                        n, spec_.comps[ch.dst].ii)
+                           : now;
+        schedule(p, std::max(avail, now));
+    }
+
+    void process(double t, int64_t i);
+
+    const GroupSpec &spec_;
+    const SimOptions &options_;
+    std::vector<CompRt> comps_;
+    std::vector<ChanRt> chans_;
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        queue_;
+    SimResult result_;
+    double now_ = 0.0;
+    int64_t live_ = 0;
+    bool first_output_seen_ = false;
+
+    /** Scratch (per process() call, capacity reused). */
+    std::vector<int64_t> frozen_pops_;
+    std::vector<int64_t> occ_bound_;
 };
 
-/** Target cumulative tokens on a channel after firing k of n. */
-int64_t
-cumulativeTokens(int64_t k, int64_t firings, int64_t tokens)
+void
+LeapSim::process(double t, int64_t i)
 {
-    // ceil((k+1) * tokens / firings): uniform interleave of the
-    // channel's tokens across the component's firings.
-    return ceilDiv((k + 1) * tokens, firings);
+    CompRt &s = comps_[i];
+    const ComponentSpec &cs = spec_.comps[i];
+
+    // A firing at its predicted pace extends the current window; an
+    // off-pace event (a wake after a stall) re-anchors it. Either
+    // way firing fired happens at exactly t if it happens now.
+    if (t != fireTimeAt(s.anchor, s.anchor_fired, s.fired, cs.ii)) {
+        s.anchor = t;
+        s.anchor_fired = s.fired;
+    }
+
+    int64_t f0 = s.fired;
+    if (!feasibleAt(i, f0, t)) {
+        block(i, t);
+        return;
+    }
+    if (s.blocked_since >= 0.0) {
+        result_.components[i].stall_cycles += t - s.blocked_since;
+        s.blocked_since = -1.0;
+    }
+
+    // ---- Find the batch [f0, j_end]: the longest on-pace run
+    // whose every firing is feasible. Each loop turn either jumps
+    // a whole segment (counterpart state frozen at tau: both stair
+    // conditions invert in closed form, and with frozen state they
+    // are monotone in j, so the segment needs no per-firing checks)
+    // or extends by one exactly-verified firing that picks up
+    // counterpart progress committed inside the window.
+    int64_t jcap = timeCapFiring(i);
+    size_t n_out = cs.out_channels.size();
+    frozen_pops_.assign(n_out, 0);
+    occ_bound_.assign(n_out, 0);
+    int64_t j = f0;
+    for (;;) {
+        double tau = fireTimeAt(s.anchor, s.anchor_fired, j, cs.ii);
+        int64_t lim = jcap;
+        for (int64_t c : cs.in_channels) {
+            lim = std::min(
+                lim, lastFiringWithin(pushedAt(c, tau), cs.firings,
+                                      spec_.chans[c].tokens));
+        }
+        for (size_t oi = 0; oi < n_out; ++oi) {
+            int64_t c = cs.out_channels[oi];
+            int64_t pops = poppedAt(c, tau);
+            frozen_pops_[oi] = pops;
+            lim = std::min(
+                lim, lastFiringWithin(spec_.chans[c].capacity + pops,
+                                      cs.firings,
+                                      spec_.chans[c].tokens));
+        }
+        ST_ASSERT(lim >= j, "sim: frozen limit below feasible j");
+        // Peak-occupancy bound for the segment: pushes grow through
+        // lim while pops stay frozen, so the segment peak is at its
+        // end; feasibility keeps it within capacity.
+        for (size_t oi = 0; oi < n_out; ++oi) {
+            int64_t c = cs.out_channels[oi];
+            int64_t occ = cumulativeTokens(lim, cs.firings,
+                                           spec_.chans[c].tokens) -
+                          frozen_pops_[oi];
+            occ_bound_[oi] = std::max(occ_bound_[oi], occ);
+        }
+        if (lim >= jcap) {
+            j = jcap;
+            break;
+        }
+        if (lim > j) {
+            j = lim;
+            continue;
+        }
+        double tau_next =
+            fireTimeAt(s.anchor, s.anchor_fired, j + 1, cs.ii);
+        if (!feasibleAt(i, j + 1, tau_next))
+            break;
+        j = j + 1;
+        if (j >= jcap) {
+            for (size_t oi = 0; oi < n_out; ++oi) {
+                int64_t c = cs.out_channels[oi];
+                int64_t occ =
+                    cumulativeTokens(j, cs.firings,
+                                     spec_.chans[c].tokens) -
+                    poppedAt(c, tau_next);
+                occ_bound_[oi] = std::max(occ_bound_[oi], occ);
+            }
+            break;
+        }
+    }
+    int64_t j_end = j;
+    double tau_end =
+        fireTimeAt(s.anchor, s.anchor_fired, j_end, cs.ii);
+
+    // ---- Commit the batch: advance the window *first* (the wake
+    // computations below read this component's committed schedule),
+    // then bulk-update channel state and wake the unique waiting
+    // endpoints at their exact enabling times.
+    s.fired = j_end + 1;
+    s.finish_time = tau_end;
+    result_.components[i].firings = s.fired;
+    result_.components[i].finish_time = tau_end;
+    for (size_t ci = 0; ci < cs.in_channels.size(); ++ci) {
+        int64_t c = cs.in_channels[ci];
+        ChanRt &cr = chans_[c];
+        int64_t target = cumulativeTokens(j_end, cs.firings,
+                                          spec_.chans[c].tokens);
+        cr.stats.pops += target - cr.popped;
+        cr.popped = target;
+        if (cr.prod_waiting)
+            wakeProducer(c, t);
+    }
+    for (size_t oi = 0; oi < n_out; ++oi) {
+        int64_t c = cs.out_channels[oi];
+        ChanRt &cr = chans_[c];
+        int64_t target = cumulativeTokens(j_end, cs.firings,
+                                          spec_.chans[c].tokens);
+        cr.stats.pushes += target - cr.pushed;
+        cr.pushed = target;
+        cr.stats.max_occupancy =
+            std::max(cr.stats.max_occupancy, occ_bound_[oi]);
+        if (cr.cons_waiting)
+            wakeConsumer(c, t);
+    }
+
+    // First token reaching a store DMA marks group TTFT.
+    if (cs.is_store && !first_output_seen_ && f0 == 0) {
+        result_.first_output_cycle = t;
+        first_output_seen_ = true;
+    }
+
+    if (done(i)) {
+        --live_;
+        return;
+    }
+    schedule(i, fireTimeAt(s.anchor, s.anchor_fired, s.fired,
+                           cs.ii));
+}
+
+SimResult
+LeapSim::run()
+{
+    result_.components.resize(comps_.size());
+    result_.channels.resize(chans_.size());
+    live_ = static_cast<int64_t>(comps_.size());
+    for (size_t i = 0; i < comps_.size(); ++i) {
+        comps_[i].anchor = spec_.comps[i].initial_delay;
+        schedule(static_cast<int64_t>(i),
+                 spec_.comps[i].initial_delay);
+    }
+
+    while (!queue_.empty()) {
+        auto [t, i] = queue_.top();
+        queue_.pop();
+        comps_[i].in_queue = false;
+        now_ = std::max(now_, t);
+        if (now_ > options_.max_cycles) {
+            result_.timed_out = true;
+            break;
+        }
+        if (done(i))
+            continue;
+        ++result_.events;
+        process(t, i);
+    }
+
+    if (live_ > 0 && !result_.timed_out) {
+        result_.deadlock = true;
+        for (size_t i = 0; i < comps_.size(); ++i)
+            if (!done(static_cast<int64_t>(i)))
+                result_.blocked_components.push_back(
+                    spec_.comps[i].id);
+    }
+    for (size_t c = 0; c < chans_.size(); ++c)
+        result_.channels[c] = chans_[c].stats;
+    for (const auto &cstat : result_.components)
+        result_.cycles = std::max(result_.cycles, cstat.finish_time);
+    if (!first_output_seen_)
+        result_.first_output_cycle = result_.cycles;
+    return std::move(result_);
 }
 
 } // namespace
@@ -58,241 +522,29 @@ SimResult
 simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
               const SimOptions &options)
 {
-    auto member_ids = g.groupComponents(group);
-    auto channel_ids = g.groupChannels(group);
-
-    // Dense indices: sorted-vector flat lookup instead of a
-    // node-per-entry tree map (the simulator resolves every
-    // channel endpoint through this).
-    support::FlatIndex comp_index;
-    comp_index.reserve(member_ids.size());
-    for (size_t i = 0; i < member_ids.size(); ++i)
-        comp_index.add(member_ids[i], static_cast<int64_t>(i));
-    comp_index.seal();
-
-    std::vector<ChannelState> channels(channel_ids.size());
-    for (size_t c = 0; c < channel_ids.size(); ++c) {
-        const dataflow::Channel &ch = g.channel(channel_ids[c]);
-        // A folded channel is the merged producer/consumer buffer:
-        // it holds exactly one consumer burst (the shared tile).
-        channels[c].capacity =
-            ch.folded ? g.channelBurst(channel_ids[c]) : ch.depth;
-    }
-
-    std::vector<ComponentState> comps(member_ids.size());
-    for (size_t i = 0; i < member_ids.size(); ++i) {
-        const dataflow::Component &c = g.component(member_ids[i]);
-        ComponentState &s = comps[i];
-        s.id = member_ids[i];
-        s.initial_delay = c.initial_delay;
-        s.ready_time = c.initial_delay;
-    }
-    for (size_t c = 0; c < channel_ids.size(); ++c) {
-        const dataflow::Channel &ch = g.channel(channel_ids[c]);
-        comps[comp_index.at(ch.src)].out_channels.push_back(
-            static_cast<int64_t>(c));
-        comps[comp_index.at(ch.dst)].in_channels.push_back(
-            static_cast<int64_t>(c));
-    }
-    for (auto &s : comps) {
-        // Firings: one per token on the widest out channel; sinks
-        // fire per input token.
-        int64_t t = 0;
-        for (int64_t c : s.out_channels)
-            t = std::max(t, g.channel(channel_ids[c]).tokens);
-        if (t == 0) {
-            for (int64_t c : s.in_channels)
-                t = std::max(t, g.channel(channel_ids[c]).tokens);
-        }
-        s.firings_total = std::max<int64_t>(t, 1);
-        const dataflow::Component &c = g.component(s.id);
-        double span =
-            std::max(c.total_cycles - c.initial_delay, 0.0);
-        s.ii = s.firings_total > 1
-                   ? span / static_cast<double>(s.firings_total - 1)
-                   : span;
-        s.ii = std::max(s.ii, 1e-9);
-        s.consumed.assign(s.in_channels.size(), 0);
-        s.produced.assign(s.out_channels.size(), 0);
-    }
-
-    // Waiters: components blocked on a channel (for data or for
-    // space).
-    std::vector<std::vector<int64_t>> data_waiters(channels.size());
-    std::vector<std::vector<int64_t>> space_waiters(channels.size());
-
-    using Event = std::pair<double, int64_t>; // time, comp index
-    std::priority_queue<Event, std::vector<Event>,
-                        std::greater<Event>>
-        queue;
-    for (size_t i = 0; i < comps.size(); ++i) {
-        queue.push({comps[i].ready_time, static_cast<int64_t>(i)});
-        comps[i].in_queue = true;
-    }
-
-    SimResult result;
-    result.components.resize(comps.size());
-    result.channels.resize(channels.size());
-    double now = 0.0;
-    int64_t live = static_cast<int64_t>(comps.size());
-    bool first_output_seen = false;
-
-    auto wake = [&](int64_t i, double t) {
-        ComponentState &s = comps[i];
-        if (s.in_queue || s.done())
-            return;
-        if (s.blocked_since >= 0.0) {
-            result.components[i].stall_cycles +=
-                std::max(t, s.blocked_since) - s.blocked_since;
-            s.blocked_since = -1.0;
-        }
-        queue.push({std::max(t, s.ready_time), i});
-        s.in_queue = true;
-    };
-
-    // A component blocked across several channels registers once
-    // per channel, not once per re-examination: waiting_on tracks
-    // live registrations and draining a list clears them.
-    auto registerWaiter = [&](std::vector<std::vector<int64_t>> &lists,
-                              int64_t c, int64_t i) {
-        auto &on = comps[i].waiting_on;
-        if (std::find(on.begin(), on.end(), c) == on.end()) {
-            on.push_back(c);
-            lists[c].push_back(i);
-        }
-    };
-    auto drainWaiters = [&](std::vector<std::vector<int64_t>> &lists,
-                            int64_t c, double t) {
-        auto waiters = std::move(lists[c]);
-        lists[c].clear();
-        for (int64_t w : waiters) {
-            auto &on = comps[w].waiting_on;
-            on.erase(std::remove(on.begin(), on.end(), c),
-                     on.end());
-            wake(w, t);
-        }
-    };
-
-    while (!queue.empty()) {
-        auto [t, i] = queue.top();
-        queue.pop();
-        ComponentState &s = comps[i];
-        s.in_queue = false;
-        now = std::max(now, t);
-        if (now > options.max_cycles) {
-            result.deadlock = true;
-            break;
-        }
-        if (s.done())
-            continue;
-
-        // Check input availability and output space for firing k.
-        int64_t k = s.fired;
-        bool blocked = false;
-        for (size_t ci = 0; ci < s.in_channels.size(); ++ci) {
-            int64_t c = s.in_channels[ci];
-            int64_t tokens = g.channel(channel_ids[c]).tokens;
-            int64_t need =
-                cumulativeTokens(k, s.firings_total, tokens) -
-                s.consumed[ci];
-            if (channels[c].occupancy < need) {
-                registerWaiter(data_waiters, c, i);
-                blocked = true;
-            }
-        }
-        for (size_t ci = 0; ci < s.out_channels.size(); ++ci) {
-            int64_t c = s.out_channels[ci];
-            int64_t tokens = g.channel(channel_ids[c]).tokens;
-            int64_t put =
-                cumulativeTokens(k, s.firings_total, tokens) -
-                s.produced[ci];
-            if (channels[c].occupancy + put >
-                channels[c].capacity) {
-                registerWaiter(space_waiters, c, i);
-                blocked = true;
-            }
-        }
-        if (blocked) {
-            if (s.blocked_since < 0.0)
-                s.blocked_since = t;
-            continue;
-        }
-
-        // Fire: consume, produce, advance.
-        for (size_t ci = 0; ci < s.in_channels.size(); ++ci) {
-            int64_t c = s.in_channels[ci];
-            int64_t tokens = g.channel(channel_ids[c]).tokens;
-            int64_t need =
-                cumulativeTokens(k, s.firings_total, tokens) -
-                s.consumed[ci];
-            if (need <= 0)
-                continue;
-            channels[c].occupancy -= need;
-            s.consumed[ci] += need;
-            channels[c].stats.pops += need;
-            drainWaiters(space_waiters, c, t);
-        }
-        for (size_t ci = 0; ci < s.out_channels.size(); ++ci) {
-            int64_t c = s.out_channels[ci];
-            int64_t tokens = g.channel(channel_ids[c]).tokens;
-            int64_t put =
-                cumulativeTokens(k, s.firings_total, tokens) -
-                s.produced[ci];
-            if (put <= 0)
-                continue;
-            channels[c].occupancy += put;
-            s.produced[ci] += put;
-            channels[c].stats.pushes += put;
-            channels[c].stats.max_occupancy =
-                std::max(channels[c].stats.max_occupancy,
-                         channels[c].occupancy);
-            drainWaiters(data_waiters, c, t);
-        }
-
-        // First token reaching a store DMA marks group TTFT.
-        if (!first_output_seen &&
-            g.component(s.id).kind ==
-                dataflow::ComponentKind::StoreDma) {
-            result.first_output_cycle = t;
-            first_output_seen = true;
-        }
-
-        s.fired += 1;
-        result.components[i].firings = s.fired;
-        result.components[i].finish_time = t;
-        if (s.done()) {
-            --live;
-            continue;
-        }
-        s.ready_time = t + s.ii;
-        queue.push({s.ready_time, i});
-        s.in_queue = true;
-    }
-
-    if (live > 0 && !result.deadlock) {
-        result.deadlock = true;
-    }
-    if (result.deadlock) {
-        for (size_t i = 0; i < comps.size(); ++i)
-            if (!comps[i].done())
-                result.blocked_components.push_back(comps[i].id);
-    }
-    for (size_t c = 0; c < channels.size(); ++c)
-        result.channels[c] = channels[c].stats;
-    for (const auto &cs : result.components)
-        result.cycles = std::max(result.cycles, cs.finish_time);
-    if (!first_output_seen)
-        result.first_output_cycle = result.cycles;
-    return result;
+    GroupSpec spec = detail::buildGroupSpec(g, group);
+    LeapSim sim(spec, options);
+    return sim.run();
 }
 
 std::vector<SimResult>
 simulateAll(const dataflow::ComponentGraph &g,
             const SimOptions &options)
 {
-    std::vector<SimResult> results;
-    for (int64_t group = 0; group < g.numGroups(); ++group)
-        results.push_back(simulateGroup(g, group, options));
+    int64_t groups = g.numGroups();
+    std::vector<SimResult> results(groups);
+    auto simulate_one = [&](int64_t group) {
+        results[group] = simulateGroup(g, group, options);
+    };
+    if (groups <= 1 || options.threads == 1) {
+        for (int64_t group = 0; group < groups; ++group)
+            simulate_one(group);
+    } else if (options.threads <= 0) {
+        support::ThreadPool::shared().run(groups, simulate_one);
+    } else {
+        support::ThreadPool pool(options.threads);
+        pool.run(groups, simulate_one);
+    }
     return results;
 }
 

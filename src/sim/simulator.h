@@ -12,6 +12,21 @@
  * undersized FIFOs on reconvergent paths, and reports per-FIFO
  * peak occupancy so LP sizing can be validated against observed
  * behaviour.
+ *
+ * The production simulator (this header) advances by *leap-ahead
+ * batched firing*: whenever a component's input occupancies and
+ * output headroom admit k consecutive firings at its own pace --
+ * computable in closed form from cumulativeTokens inverses, channel
+ * capacities, and the committed firing schedules of its channel
+ * counterparts -- it commits all k in one heap event and reschedules
+ * itself at t + k*II. Steady-state streaming (the paper's dominant
+ * regime) therefore costs events proportional to the number of
+ * *blocking episodes*, not the number of firings. The retired
+ * per-firing implementation is kept verbatim as
+ * sim/reference_simulator.h and pitted against this one in a
+ * randomized differential suite; both derive firing times from the
+ * same window-anchored expression, so cycles, finish times, firings
+ * and channel push/pop counts agree bit-for-bit.
  */
 
 #ifndef STREAMTENSOR_SIM_SIMULATOR_H
@@ -36,6 +51,10 @@ struct ComponentStats
 /** Per-channel simulation stats. */
 struct ChannelStats
 {
+    /** Peak occupancy. The leap-ahead simulator reports a tight
+     *  upper bound (pops committed after a producer's batch can
+     *  retroactively lower the true interleaved peak); the bound
+     *  never exceeds the channel capacity. */
     int64_t max_occupancy = 0;
     int64_t pushes = 0;
     int64_t pops = 0;
@@ -44,32 +63,56 @@ struct ChannelStats
 /** Result of simulating one group. */
 struct SimResult
 {
+    /** True deadlock: no component can ever make progress again
+     *  (undersized FIFOs on reconvergent paths). */
     bool deadlock = false;
+
+    /** The simulation was cut off at SimOptions::max_cycles while
+     *  components could still make progress. Distinct from
+     *  deadlock: a timed-out group is merely slow (or max_cycles is
+     *  merely tight), not wedged. */
+    bool timed_out = false;
+
     double cycles = 0.0;
 
     /** Cycle at which the group produced its first output token
      *  into a store DMA (time-to-first-token inside the group). */
     double first_output_cycle = 0.0;
 
+    /** Heap events processed. The leap-ahead simulator completes an
+     *  unblocked pipeline in O(components) events; the per-firing
+     *  reference pays O(total firings). */
+    int64_t events = 0;
+
     std::vector<ComponentStats> components;
     std::vector<ChannelStats> channels;
 
-    /** Components still blocked when a deadlock was declared. */
+    /** Components still blocked when a deadlock was declared.
+     *  Populated only for real deadlocks, never on timeout. */
     std::vector<int64_t> blocked_components;
 };
 
 /** Simulation controls. */
 struct SimOptions
 {
-    /** Abort (as deadlock) beyond this many cycles. */
+    /** Abort (as timed_out) beyond this many cycles. */
     double max_cycles = 4.0e12;
+
+    /** Worker threads for simulateAll's per-group parallelism:
+     *  0 = the process-wide pool shared with the runtime executor,
+     *  1 = sequential, n > 1 = a dedicated pool of n threads.
+     *  Groups are independent, so results are identical (bitwise)
+     *  for every setting. */
+    int64_t threads = 0;
 };
 
 /** Simulate one fused group of @p g. */
 SimResult simulateGroup(const dataflow::ComponentGraph &g,
                         int64_t group, const SimOptions &options = {});
 
-/** Simulate every group sequentially; returns per-group results. */
+/** Simulate every group; returns per-group results. Independent
+ *  groups run in parallel on the shared thread pool (see
+ *  SimOptions::threads). */
 std::vector<SimResult>
 simulateAll(const dataflow::ComponentGraph &g,
             const SimOptions &options = {});

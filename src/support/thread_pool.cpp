@@ -1,0 +1,144 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace streamtensor {
+namespace support {
+
+namespace {
+
+/** Set while a thread runs job items — pool workers permanently,
+ *  the submitting caller while it participates in its own job.
+ *  Nested run() calls from either execute inline instead of
+ *  re-entering the pool (the single-job design would self-lock
+ *  submit_mutex_ otherwise). */
+thread_local bool t_in_worker = false;
+
+/** Scope guard: marks the calling thread as in-job. */
+struct InWorkerScope
+{
+    bool prev;
+    InWorkerScope() : prev(t_in_worker) { t_in_worker = true; }
+    ~InWorkerScope() { t_in_worker = prev; }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(int64_t threads)
+{
+    if (threads <= 0) {
+        int64_t hw = static_cast<int64_t>(
+            std::thread::hardware_concurrency());
+        threads = std::min<int64_t>(std::max<int64_t>(hw, 1), 8);
+    }
+    for (int64_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_in_worker = true;
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [&] {
+            return stop_ || job_generation_ != seen;
+        });
+        if (stop_)
+            return;
+        seen = job_generation_;
+        const std::function<void(int64_t)> *fn = job_fn_;
+        if (!fn)
+            continue; // job already fully claimed and retired
+        int64_t n = job_n_;
+        ++job_running_;
+        lock.unlock();
+        for (;;) {
+            int64_t idx = job_next_.fetch_add(1);
+            if (idx >= n)
+                break;
+            try {
+                (*fn)(idx);
+            } catch (...) {
+                std::lock_guard<std::mutex> elock(mutex_);
+                if (!job_error_)
+                    job_error_ = std::current_exception();
+                job_next_.store(n); // skip remaining items
+            }
+        }
+        lock.lock();
+        if (--job_running_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::run(int64_t n, const std::function<void(int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (n == 1 || workers_.empty() || t_in_worker) {
+        for (int64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_fn_ = &fn;
+        job_n_ = n;
+        job_next_.store(0);
+        job_error_ = nullptr;
+        ++job_generation_;
+    }
+    work_cv_.notify_all();
+    // The caller participates in its own job; items it claims may
+    // themselves call run(), which must execute inline (see
+    // InWorkerScope).
+    {
+        InWorkerScope in_job;
+        for (;;) {
+            int64_t idx = job_next_.fetch_add(1);
+            if (idx >= n)
+                break;
+            try {
+                fn(idx);
+            } catch (...) {
+                std::lock_guard<std::mutex> elock(mutex_);
+                if (!job_error_)
+                    job_error_ = std::current_exception();
+                job_next_.store(n);
+            }
+        }
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job_running_ == 0; });
+    job_fn_ = nullptr;
+    if (job_error_) {
+        std::exception_ptr err = job_error_;
+        job_error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+} // namespace support
+} // namespace streamtensor

@@ -20,6 +20,7 @@ TEST(EndToEnd, AllModelsCompileAndSimulateDecode)
         auto sims = sim::simulateAll(result.design.components);
         for (const auto &s : sims) {
             EXPECT_FALSE(s.deadlock) << cfg.name;
+            EXPECT_FALSE(s.timed_out) << cfg.name;
             EXPECT_GT(s.cycles, 0.0) << cfg.name;
         }
     }

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Randomized differential tests: the leap-ahead batched simulator
+ * (sim/simulator.h) against the retained per-firing reference
+ * (sim/reference_simulator.h).
+ *
+ * Both simulators derive firing times from the shared
+ * window-anchored expression, so the suite asserts *exact* (bitwise
+ * double) equality on cycles, first_output_cycle, per-component
+ * firings and finish times, and per-channel push/pop counts — over
+ * randomized layered DAGs (mixed rates, non-divisible token
+ * interleaves, folded channels, shallow and deep FIFOs), known
+ * deadlock fixtures, and timeout fixtures. Peak occupancy is
+ * asserted within capacity on both paths (the leap simulator
+ * reports an upper bound, so exact equality is not required).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/reference_simulator.h"
+#include "sim/simulator.h"
+
+using namespace streamtensor;
+using dataflow::Channel;
+using dataflow::Component;
+using dataflow::ComponentGraph;
+using dataflow::ComponentKind;
+
+namespace {
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 1) {}
+
+    uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, bound). */
+    int64_t pick(int64_t bound) { return next() % bound; }
+
+  private:
+    uint64_t state_;
+};
+
+ir::ITensorType
+tokenType(int64_t n)
+{
+    return ir::ITensorType(ir::DataType::I8, {1}, {n}, {1},
+                           ir::AffineMap::identity(1));
+}
+
+int64_t
+addComponent(ComponentGraph &g, ComponentKind kind, double delay,
+             double total)
+{
+    Component c;
+    c.kind = kind;
+    c.name = "c";
+    c.initial_delay = delay;
+    c.total_cycles = total;
+    return g.addComponent(c);
+}
+
+void
+addChannel(ComponentGraph &g, int64_t src, int64_t dst,
+           int64_t tokens, int64_t depth, bool folded = false)
+{
+    Channel ch;
+    ch.src = src;
+    ch.dst = dst;
+    ch.type = tokenType(tokens);
+    ch.tokens = tokens;
+    ch.depth = depth;
+    ch.folded = folded;
+    g.addChannel(ch);
+}
+
+/** Assert the leap-ahead and reference results agree exactly for
+ *  one group (see file comment for what is and is not compared).
+ *  Channel stats are indexed group-locally, so capacities are
+ *  resolved through the group's channel ids. */
+void
+expectIdenticalGroup(const ComponentGraph &g, int64_t group,
+                     const sim::SimResult &leap,
+                     const sim::SimResult &ref)
+{
+    auto channel_ids = g.groupChannels(group);
+    EXPECT_EQ(leap.deadlock, ref.deadlock);
+    EXPECT_EQ(leap.timed_out, ref.timed_out);
+    EXPECT_EQ(leap.cycles, ref.cycles);
+    EXPECT_EQ(leap.first_output_cycle, ref.first_output_cycle);
+    ASSERT_EQ(leap.components.size(), ref.components.size());
+    for (size_t i = 0; i < leap.components.size(); ++i) {
+        EXPECT_EQ(leap.components[i].firings,
+                  ref.components[i].firings)
+            << "component " << i;
+        EXPECT_EQ(leap.components[i].finish_time,
+                  ref.components[i].finish_time)
+            << "component " << i;
+    }
+    ASSERT_EQ(leap.channels.size(), ref.channels.size());
+    ASSERT_EQ(leap.channels.size(), channel_ids.size());
+    for (size_t c = 0; c < leap.channels.size(); ++c) {
+        EXPECT_EQ(leap.channels[c].pushes, ref.channels[c].pushes)
+            << "channel " << c;
+        EXPECT_EQ(leap.channels[c].pops, ref.channels[c].pops)
+            << "channel " << c;
+        const Channel &ch = g.channel(channel_ids[c]);
+        int64_t capacity = ch.folded
+                               ? g.channelBurst(channel_ids[c])
+                               : ch.depth;
+        EXPECT_LE(leap.channels[c].max_occupancy, capacity)
+            << "channel " << c;
+        EXPECT_LE(ref.channels[c].max_occupancy, capacity)
+            << "channel " << c;
+    }
+    EXPECT_EQ(leap.blocked_components, ref.blocked_components);
+}
+
+void
+runBoth(const ComponentGraph &g, const sim::SimOptions &options = {})
+{
+    for (int64_t group = 0; group < g.numGroups(); ++group) {
+        auto leap = sim::simulateGroup(g, group, options);
+        auto ref = sim::simulateGroupReference(g, group, options);
+        expectIdenticalGroup(g, group, leap, ref);
+    }
+}
+
+/** Random layered DAG: every component gets at least one input from
+ *  an earlier layer, plus extra reconvergent edges; tokens mix
+ *  divisible and jittery interleaves; depths span deadlock-prone
+ *  shallow to ample; some channels are folded. */
+ComponentGraph
+randomGraph(Rng &rng)
+{
+    ComponentGraph g;
+    int64_t n = 3 + rng.pick(8);
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < n; ++i) {
+        double delay = 1.0 + static_cast<double>(rng.pick(200));
+        double span = static_cast<double>(16 + rng.pick(2048));
+        ComponentKind kind = ComponentKind::Kernel;
+        if (i == 0 && rng.pick(3) == 0)
+            kind = ComponentKind::LoadDma;
+        if (i == n - 1 && rng.pick(2) == 0)
+            kind = ComponentKind::StoreDma;
+        ids.push_back(addComponent(g, kind, delay, delay + span));
+    }
+    const int64_t token_choices[] = {1,  2,  3,  5,  7,  8, 12,
+                                     16, 24, 31, 48, 64, 96, 128};
+    const int64_t depth_choices[] = {1, 2, 2, 3, 4, 8, 16, 64, 256};
+    auto channel = [&](int64_t src, int64_t dst) {
+        int64_t tokens = token_choices[rng.pick(14)];
+        int64_t depth = depth_choices[rng.pick(9)];
+        bool folded = rng.pick(8) == 0;
+        addChannel(g, src, dst, tokens, depth, folded);
+    };
+    for (int64_t i = 1; i < n; ++i)
+        channel(ids[rng.pick(i)], ids[i]);
+    int64_t extra = rng.pick(n);
+    for (int64_t e = 0; e < extra; ++e) {
+        int64_t dst = 1 + rng.pick(n - 1);
+        channel(ids[rng.pick(dst)], ids[dst]);
+    }
+    return g;
+}
+
+} // namespace
+
+// ---- Randomized graphs (completing, deadlocking, or timing out;
+// ---- whichever way they go, the two simulators must agree) ----
+
+class Differential : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(Differential, LeapMatchesReference)
+{
+    Rng rng(0x5eed0000 + GetParam());
+    ComponentGraph g = randomGraph(rng);
+    sim::SimOptions options;
+    options.max_cycles = 2.0e6;
+    runBoth(g, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range(0, 100));
+
+// ---- Known-deadlock fixtures ----
+
+TEST(SimDifferential, BurstLargerThanCapacityDeadlocks)
+{
+    ComponentGraph g;
+    int64_t a = addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+    int64_t b = addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+    int64_t s = addComponent(g, ComponentKind::Kernel, 1.0, 9.0);
+    // b needs 16 of a's tokens per firing but capacity is 8.
+    addChannel(g, a, b, 64, 8);
+    addChannel(g, b, s, 4, 2);
+    sim::SimOptions options;
+    options.max_cycles = 1e6;
+    auto leap = sim::simulateGroup(g, 0, options);
+    EXPECT_TRUE(leap.deadlock);
+    EXPECT_FALSE(leap.timed_out);
+    runBoth(g, options);
+}
+
+TEST(SimDifferential, ReconvergentBackpressureDeadlocks)
+{
+    // Reconvergent pair where the join's burst on the direct edge
+    // exceeds that FIFO's depth: the join can never fire, the
+    // upstream chain wedges behind it.
+    ComponentGraph g;
+    int64_t src = addComponent(g, ComponentKind::Kernel, 5.0, 69.0);
+    int64_t a = addComponent(g, ComponentKind::Kernel, 2.0, 66.0);
+    int64_t join = addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+    int64_t sink = addComponent(g, ComponentKind::Kernel, 1.0, 9.0);
+    addChannel(g, src, a, 64, 64);
+    addChannel(g, src, join, 64, 8); // join burst is 16 > 8
+    addChannel(g, a, join, 64, 64);
+    addChannel(g, join, sink, 4, 2);
+    sim::SimOptions options;
+    options.max_cycles = 1e7;
+    auto leap = sim::simulateGroup(g, 0, options);
+    EXPECT_TRUE(leap.deadlock);
+    EXPECT_FALSE(leap.timed_out);
+    EXPECT_FALSE(leap.blocked_components.empty());
+    runBoth(g, options);
+}
+
+TEST(SimDifferential, FoldedBurstChainCompletes)
+{
+    ComponentGraph g;
+    int64_t a = addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+    int64_t b = addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+    int64_t s = addComponent(g, ComponentKind::StoreDma, 1.0, 9.0);
+    addChannel(g, a, b, 64, 2, /*folded=*/true);
+    addChannel(g, b, s, 4, 2);
+    auto leap = sim::simulateGroup(g, 0);
+    EXPECT_FALSE(leap.deadlock);
+    runBoth(g);
+}
+
+// ---- Timeout fixtures: both report timed_out, not deadlock, and
+// ---- agree on everything committed before the cap ----
+
+TEST(SimDifferential, TimeoutAgreesWithReference)
+{
+    ComponentGraph g;
+    int64_t a = addComponent(g, ComponentKind::Kernel, 1.0,
+                             1.0 + 4095.0 * 50.0);
+    int64_t b = addComponent(g, ComponentKind::Kernel, 2.0,
+                             2.0 + 4095.0 * 50.0);
+    addChannel(g, a, b, 4096, 16);
+    sim::SimOptions options;
+    options.max_cycles = 20000.0;
+    auto leap = sim::simulateGroup(g, 0, options);
+    EXPECT_TRUE(leap.timed_out);
+    EXPECT_FALSE(leap.deadlock);
+    EXPECT_TRUE(leap.blocked_components.empty());
+    runBoth(g, options);
+}
+
+// ---- Leap efficiency: a single unblocked pipeline costs
+// ---- O(components) heap events, not O(firings) ----
+
+TEST(SimDifferential, UnblockedPipelineEventsLinearInComponents)
+{
+    constexpr int64_t kComponents = 8;
+    constexpr int64_t kTokens = 20000;
+    ComponentGraph g;
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < kComponents; ++i) {
+        // Equal rates (II = 1), staggered starts, ample depths: a
+        // pure steady-state stream.
+        double delay = 1.0 + 100.0 * static_cast<double>(i);
+        ids.push_back(addComponent(
+            g, i + 1 == kComponents ? ComponentKind::StoreDma
+                                    : ComponentKind::Kernel,
+            delay, delay + static_cast<double>(kTokens - 1)));
+    }
+    for (int64_t i = 0; i + 1 < kComponents; ++i)
+        addChannel(g, ids[i], ids[i + 1], kTokens, kTokens);
+    auto leap = sim::simulateGroup(g, 0);
+    ASSERT_FALSE(leap.deadlock);
+    EXPECT_EQ(leap.components.back().firings, kTokens);
+    // One initial event plus at most a few wakes per component.
+    EXPECT_LE(leap.events, 4 * kComponents);
+    // The reference pays one event per firing.
+    auto ref = sim::simulateGroupReference(g, 0);
+    EXPECT_GE(ref.events, kComponents * kTokens);
+    expectIdenticalGroup(g, 0, leap, ref);
+}

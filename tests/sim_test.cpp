@@ -111,7 +111,65 @@ TEST(Sim, BurstLargerThanCapacityDeadlocks)
     opts.max_cycles = 1e6;
     auto r = sim::simulateGroup(g, 0, opts);
     EXPECT_TRUE(r.deadlock);
+    EXPECT_FALSE(r.timed_out);
     EXPECT_FALSE(r.blocked_components.empty());
+}
+
+TEST(Sim, TimeoutIsNotDeadlock)
+{
+    // A healthy two-kernel pipeline cut off mid-flight: the result
+    // reports timed_out, not deadlock, and names no blocked
+    // components (nothing is wedged, max_cycles is merely tight).
+    ComponentGraph g;
+    int64_t a = addKernel(g, "a", 1.0, 1.0 + 1023.0 * 10.0);
+    int64_t b = addKernel(g, "b", 2.0, 2.0 + 1023.0 * 10.0);
+    addChannel(g, a, b, 1024, 8);
+    sim::SimOptions opts;
+    opts.max_cycles = 500.0;
+    auto r = sim::simulateGroup(g, 0, opts);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_FALSE(r.deadlock);
+    EXPECT_TRUE(r.blocked_components.empty());
+    // Progress up to the cap is still reported.
+    EXPECT_GT(r.components[0].firings, 0);
+    EXPECT_LE(r.cycles, 500.0);
+}
+
+TEST(Sim, SimulateAllThreadedMatchesSequential)
+{
+    // Three independent single-group pipelines; per-group
+    // simulation is pure, so the threaded fan-out must be bitwise
+    // identical to the sequential path.
+    ComponentGraph g;
+    for (int64_t grp = 0; grp < 3; ++grp) {
+        Component a;
+        a.kind = ComponentKind::Kernel;
+        a.name = "a";
+        a.group = grp;
+        a.initial_delay = 1.0 + grp;
+        a.total_cycles = a.initial_delay + 63.0 * (1.0 + grp);
+        int64_t ia = g.addComponent(a);
+        Component b = a;
+        b.name = "b";
+        b.initial_delay = 2.0 + grp;
+        b.total_cycles = b.initial_delay + 63.0;
+        int64_t ib = g.addComponent(b);
+        addChannel(g, ia, ib, 64, 4);
+    }
+    sim::SimOptions sequential;
+    sequential.threads = 1;
+    sim::SimOptions threaded;
+    threaded.threads = 3;
+    auto seq = sim::simulateAll(g, sequential);
+    auto par = sim::simulateAll(g, threaded);
+    ASSERT_EQ(seq.size(), par.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].deadlock, par[i].deadlock);
+        EXPECT_EQ(seq[i].cycles, par[i].cycles);
+        EXPECT_EQ(seq[i].first_output_cycle,
+                  par[i].first_output_cycle);
+        EXPECT_EQ(seq[i].events, par[i].events);
+    }
 }
 
 TEST(Sim, FoldedChannelCarriesBurst)

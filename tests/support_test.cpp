@@ -100,3 +100,61 @@ TEST(Stopwatch, MeasuresForwardTime)
     watch.restart();
     EXPECT_LT(watch.elapsedSeconds(), 1.0);
 }
+
+// ---- Thread pool ----
+
+#include <atomic>
+
+#include "support/thread_pool.h"
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce)
+{
+    support::ThreadPool pool(4);
+    constexpr int64_t kItems = 1000;
+    std::vector<std::atomic<int>> hits(kItems);
+    for (auto &h : hits)
+        h.store(0);
+    pool.run(kItems, [&](int64_t i) { hits[i].fetch_add(1); });
+    for (int64_t i = 0; i < kItems; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedRunFromJobItemsExecutesInline)
+{
+    // A job item — whether claimed by a worker or by the
+    // participating caller thread — may itself submit a run();
+    // the nested call must execute inline rather than re-enter
+    // the single-job pool (which would self-lock). Regression:
+    // the caller-claimed-item case used to wedge the process.
+    support::ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    pool.run(8, [&](int64_t) {
+        pool.run(16, [&](int64_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    support::ThreadPool pool(3);
+    EXPECT_THROW(pool.run(64,
+                          [&](int64_t i) {
+                              if (i == 20)
+                                  ST_FATAL("boom");
+                          }),
+                 FatalError);
+    // The pool survives a failed job.
+    std::atomic<int64_t> count{0};
+    pool.run(10, [&](int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SharedPoolIsUsableAndSmall)
+{
+    auto &pool = support::ThreadPool::shared();
+    EXPECT_GE(pool.parallelism(), 1);
+    EXPECT_LE(pool.parallelism(), 8);
+    std::atomic<int64_t> count{0};
+    pool.run(5, [&](int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 5);
+}
