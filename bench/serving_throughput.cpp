@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Serving-layer micro-benchmarks (google-benchmark): the
+ * continuous-batching scheduler driven by executor-backed step
+ * costs over Poisson and bursty arrival traces. Counters report
+ * the *simulated* serving quality — completed requests/s and p99
+ * request latency — while the benchmark time measures how fast
+ * the discrete-event serving simulator itself runs (the compile
+ * cache is warmed by the first iteration; steady-state iterations
+ * are pure scheduling).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "serving/cost_model.h"
+#include "serving/scheduler.h"
+#include "serving/trace.h"
+
+using namespace streamtensor;
+
+namespace {
+
+runtime::LlmExecutor &
+gpt2Executor()
+{
+    static runtime::LlmExecutor executor(models::gpt2Config(),
+                                         hls::u55c());
+    return executor;
+}
+
+serving::TraceOptions
+trafficOptions()
+{
+    serving::TraceOptions options;
+    options.num_requests = 96;
+    options.seed = 17;
+    options.mean_interarrival_ms = 20.0;
+    options.min_input_len = 8;
+    options.max_input_len = 192;
+    options.min_output_len = 4;
+    options.max_output_len = 32;
+    return options;
+}
+
+void
+serveTrace(benchmark::State &state,
+           const std::vector<serving::Request> &trace)
+{
+    serving::SchedulerOptions options;
+    options.max_batch = state.range(0);
+    options.kv_budget_tokens = 4096;
+
+    serving::ServingMetrics metrics;
+    for (auto _ : state) {
+        serving::ExecutorCostModel cost(gpt2Executor());
+        serving::Scheduler scheduler(options, cost);
+        auto result = scheduler.run(trace);
+        metrics = std::move(result.metrics);
+        benchmark::DoNotOptimize(metrics.makespan_ms);
+    }
+    state.counters["served_req_per_s"] =
+        metrics.requestsPerSecond();
+    state.counters["p99_latency_ms"] =
+        metrics.latencyPercentileMs(99.0);
+    state.counters["ttft_p95_ms"] = metrics.ttftP95Ms();
+    state.counters["mean_batch"] = metrics.meanBatchSize();
+    state.counters["accel_util"] = metrics.utilization();
+}
+
+void
+BM_ServePoissonTrace(benchmark::State &state)
+{
+    auto trace = serving::poissonTrace(trafficOptions());
+    serveTrace(state, trace);
+}
+BENCHMARK(BM_ServePoissonTrace)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeBurstyTrace(benchmark::State &state)
+{
+    auto options = trafficOptions();
+    options.burst_factor = 10.0;
+    options.burst_period_ms = 1000.0;
+    auto trace = serving::burstyTrace(options);
+    serveTrace(state, trace);
+}
+BENCHMARK(BM_ServeBurstyTrace)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Serving lab: sweep offered traffic through the
+ * continuous-batching scheduler with real compiled + simulated
+ * GPT-2 block costs, and watch throughput saturate while tail
+ * latency grows — the classic open-loop serving curve, produced
+ * entirely in simulated time.
+ *
+ *   ./build/examples/serving_lab [num_requests] [max_batch]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "serving/cost_model.h"
+#include "serving/scheduler.h"
+#include "serving/trace.h"
+
+using namespace streamtensor;
+
+int
+main(int argc, char **argv)
+{
+    int64_t num_requests = argc > 1 ? std::atoll(argv[1]) : 48;
+    int64_t max_batch = argc > 2 ? std::atoll(argv[2]) : 6;
+
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    std::printf("Serving lab: GPT-2 on %s, max batch %lld, "
+                "%lld requests per sweep point\n\n",
+                executor.platform().name.c_str(),
+                static_cast<long long>(max_batch),
+                static_cast<long long>(num_requests));
+    std::printf("%-12s %9s %9s %9s %10s %10s %7s %6s\n",
+                "trace", "offered", "served", "mean", "TTFT p95",
+                "p99 lat", "util", "shapes");
+    std::printf("%-12s %9s %9s %9s %10s %10s %7s %6s\n", "",
+                "req/s", "req/s", "batch", "ms", "ms", "", "");
+
+    auto sweepPoint = [&](const char *name, bool bursty,
+                          double mean_interarrival_ms) {
+        serving::TraceOptions trace_options;
+        trace_options.num_requests = num_requests;
+        trace_options.seed = 29;
+        trace_options.mean_interarrival_ms =
+            mean_interarrival_ms;
+        trace_options.min_input_len = 8;
+        trace_options.max_input_len = 160;
+        trace_options.min_output_len = 4;
+        trace_options.max_output_len = 24;
+        auto trace = bursty ? serving::burstyTrace(trace_options)
+                            : serving::poissonTrace(trace_options);
+
+        serving::SchedulerOptions options;
+        options.max_batch = max_batch;
+        options.kv_budget_tokens = 4096;
+        serving::ExecutorCostModel cost(executor);
+        serving::Scheduler scheduler(options, cost);
+        auto result = scheduler.run(trace);
+        const auto &m = result.metrics;
+
+        double offered = 1e3 / mean_interarrival_ms;
+        std::printf("%-12s %9.2f %9.2f %9.2f %10.1f %10.1f "
+                    "%6.0f%% %6lld\n",
+                    name, offered, m.requestsPerSecond(),
+                    m.meanBatchSize(), m.ttftP95Ms(),
+                    m.latencyPercentileMs(99.0),
+                    100.0 * m.utilization(),
+                    static_cast<long long>(
+                        executor.compileCount()));
+        if (cost.sawDeadlock())
+            std::printf("  WARNING: a costed block deadlocked\n");
+    };
+
+    sweepPoint("poisson/300", false, 300.0);
+    sweepPoint("poisson/80", false, 80.0);
+    sweepPoint("poisson/40", false, 40.0);
+    sweepPoint("poisson/10", false, 10.0);
+    sweepPoint("bursty/40", true, 40.0);
+    sweepPoint("bursty/20", true, 20.0);
+
+    std::printf("\nBucketed shapes compiled once and reused "
+                "across the sweep: %lld compiles total.\n",
+                static_cast<long long>(executor.compileCount()));
+    return 0;
+}

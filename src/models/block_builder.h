@@ -15,6 +15,7 @@
 #define STREAMTENSOR_MODELS_BLOCK_BUILDER_H
 
 #include <cstdint>
+#include <tuple>
 
 #include "linalg/graph.h"
 #include "models/llm_config.h"
@@ -25,7 +26,8 @@ namespace models {
 /** Which inference phase the block graph represents. */
 enum class Phase { Prefill, Decode };
 
-/** Shapes for one block instantiation. */
+/** Shapes for one block instantiation. Totally ordered so shapes
+ *  can key compile caches and deterministic batch-group maps. */
 struct BlockShapes
 {
     /** Query tokens processed per execution (input length for
@@ -35,6 +37,25 @@ struct BlockShapes
     /** Attention context length (cache + current tokens). */
     int64_t kv_len = 32;
 };
+
+inline bool
+operator<(const BlockShapes &a, const BlockShapes &b)
+{
+    return std::tie(a.seq_len, a.kv_len) <
+           std::tie(b.seq_len, b.kv_len);
+}
+
+inline bool
+operator==(const BlockShapes &a, const BlockShapes &b)
+{
+    return a.seq_len == b.seq_len && a.kv_len == b.kv_len;
+}
+
+inline bool
+operator!=(const BlockShapes &a, const BlockShapes &b)
+{
+    return !(a == b);
+}
 
 /**
  * Build the linalg graph of one transformer block of @p config at

@@ -1,0 +1,81 @@
+#include "models/bucketing.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace streamtensor {
+namespace models {
+
+namespace {
+
+void
+checkPolicy(const BucketPolicy &policy)
+{
+    ST_CHECK(policy.min_len >= 1 && policy.align >= 1 &&
+                 policy.growth_num > policy.growth_den &&
+                 policy.growth_den >= 1 &&
+                 policy.max_len >= policy.min_len,
+             "malformed bucket policy");
+}
+
+int64_t
+firstBoundary(const BucketPolicy &policy)
+{
+    return std::min(alignTo(policy.min_len, policy.align),
+                    policy.max_len);
+}
+
+/** The ladder boundary after @p b: grow by the policy ratio (at
+ *  least one step), align up, clamp at max_len. */
+int64_t
+nextBoundary(int64_t b, const BucketPolicy &policy)
+{
+    int64_t grown = b * policy.growth_num / policy.growth_den;
+    return std::min(
+        alignTo(std::max(grown, b + 1), policy.align),
+        policy.max_len);
+}
+
+} // namespace
+
+std::vector<int64_t>
+bucketBoundaries(const BucketPolicy &policy)
+{
+    checkPolicy(policy);
+    std::vector<int64_t> boundaries;
+    for (int64_t b = firstBoundary(policy); b < policy.max_len;
+         b = nextBoundary(b, policy))
+        boundaries.push_back(b);
+    boundaries.push_back(policy.max_len);
+    return boundaries;
+}
+
+int64_t
+bucketLen(int64_t len, const BucketPolicy &policy)
+{
+    checkPolicy(policy);
+    ST_CHECK(len >= 1, "length must be positive");
+    ST_CHECK(len <= policy.max_len,
+             "length exceeds the largest bucket");
+    int64_t b = firstBoundary(policy);
+    while (b < len)
+        b = nextBoundary(b, policy);
+    return b;
+}
+
+BlockShapes
+bucketedPrefillShapes(int64_t input_len, const BucketPolicy &policy)
+{
+    return prefillShapes(bucketLen(input_len, policy));
+}
+
+BlockShapes
+bucketedDecodeShapes(int64_t kv_len, const BucketPolicy &policy)
+{
+    return decodeShapes(bucketLen(kv_len, policy));
+}
+
+} // namespace models
+} // namespace streamtensor

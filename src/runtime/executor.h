@@ -14,10 +14,12 @@
 #ifndef STREAMTENSOR_RUNTIME_EXECUTOR_H
 #define STREAMTENSOR_RUNTIME_EXECUTOR_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "compiler/compiler.h"
 #include "models/block_builder.h"
@@ -59,9 +61,29 @@ struct CompiledBlock
     /** Sequential-group makespan in cycles. */
     double totalCycles() const;
 
+    /** Makespan of @p batch back-to-back triggers of this block
+     *  with weights resident (sim::batchedCycles per group). */
+    double batchedCycles(int64_t batch) const;
+
     /** True when any group deadlocked or timed out (either way the
      *  simulated cycles are not a completed run). */
     bool deadlocked() const;
+};
+
+/** One shape group of a serving step: @p count sequences whose
+ *  (bucketed) shapes share a compiled block this step. */
+struct StepGroup
+{
+    models::BlockShapes shapes;
+    int64_t count = 1;
+};
+
+/** Cost of one serving engine step (one full model pass over a
+ *  batch of sequences). */
+struct StepResult
+{
+    double step_ms = 0.0;
+    bool deadlock = false;
 };
 
 /** Compiles transformer blocks on demand and executes requests. */
@@ -84,14 +106,28 @@ class LlmExecutor
     /** Run one request end to end. */
     LlmRunResult run(int64_t input_len, int64_t output_len);
 
+    /** One serving step: execute every shape group's batch through
+     *  all layers. Per layer, each group is one accelerator
+     *  trigger whose batch members stream back-to-back with
+     *  weights resident (CompiledBlock::batchedCycles), so the
+     *  weight-streaming cost that dominates decode amortises over
+     *  the batch. Warms all distinct shapes concurrently on the
+     *  shared pool before costing. */
+    StepResult step(const std::vector<StepGroup> &groups);
+
+    /** Compiles performed so far (cache misses). Serving-bucket
+     *  regression hook: requests sharing a bucket must not grow
+     *  this. */
+    int64_t compileCount() const { return compile_count_; }
+
   private:
     models::LlmConfig config_;
     hls::FpgaPlatform platform_;
     compiler::CompileOptions options_;
     std::mutex cache_mutex_;
-    std::map<std::pair<int64_t, int64_t>,
-             std::unique_ptr<CompiledBlock>>
+    std::map<models::BlockShapes, std::unique_ptr<CompiledBlock>>
         cache_;
+    std::atomic<int64_t> compile_count_{0};
 };
 
 } // namespace runtime

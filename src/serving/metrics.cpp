@@ -1,0 +1,98 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace serving {
+
+double
+percentile(std::vector<double> values, double p)
+{
+    ST_CHECK(p >= 0.0 && p <= 100.0, "percentile domain");
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    // Nearest rank: smallest value with at least p% of the sample
+    // at or below it.
+    auto n = static_cast<double>(values.size());
+    auto rank = static_cast<int64_t>(std::ceil(p / 100.0 * n));
+    rank = std::max<int64_t>(rank, 1);
+    return values[static_cast<size_t>(rank - 1)];
+}
+
+double
+ServingMetrics::requestsPerSecond() const
+{
+    return makespan_ms > 0.0 ? completed / makespan_ms * 1e3 : 0.0;
+}
+
+double
+ServingMetrics::tokensPerSecond() const
+{
+    return makespan_ms > 0.0
+               ? total_output_tokens / makespan_ms * 1e3
+               : 0.0;
+}
+
+double
+ServingMetrics::utilization() const
+{
+    return makespan_ms > 0.0 ? busy_ms / makespan_ms : 0.0;
+}
+
+double
+ServingMetrics::meanBatchSize() const
+{
+    return steps > 0 ? static_cast<double>(total_batched_seqs) /
+                           static_cast<double>(steps)
+                     : 0.0;
+}
+
+double
+ServingMetrics::ttftMeanMs() const
+{
+    if (requests.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : requests)
+        sum += r.ttftMs();
+    return sum / static_cast<double>(requests.size());
+}
+
+double
+ServingMetrics::ttftP95Ms() const
+{
+    std::vector<double> ttfts;
+    ttfts.reserve(requests.size());
+    for (const auto &r : requests)
+        ttfts.push_back(r.ttftMs());
+    return percentile(std::move(ttfts), 95.0);
+}
+
+double
+ServingMetrics::tbtMeanMs() const
+{
+    double decode_ms = 0.0;
+    int64_t gaps = 0;
+    for (const auto &r : requests) {
+        decode_ms += r.finish_ms - r.first_token_ms;
+        gaps += r.output_len - 1;
+    }
+    return gaps > 0 ? decode_ms / static_cast<double>(gaps) : 0.0;
+}
+
+double
+ServingMetrics::latencyPercentileMs(double p) const
+{
+    std::vector<double> latencies;
+    latencies.reserve(requests.size());
+    for (const auto &r : requests)
+        latencies.push_back(r.latencyMs());
+    return percentile(std::move(latencies), p);
+}
+
+} // namespace serving
+} // namespace streamtensor

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Serving metrics: per-request records (arrival, first token,
+ * finish) plus aggregates the scheduler accumulates step by step
+ * — throughput, TTFT, time-between-tokens, latency percentiles,
+ * queue depth, and accelerator utilization. Everything derives
+ * from simulated time, so repeated runs aggregate identically.
+ */
+
+#ifndef STREAMTENSOR_SERVING_METRICS_H
+#define STREAMTENSOR_SERVING_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace streamtensor {
+namespace serving {
+
+/** Lifecycle timestamps of one completed request. */
+struct RequestMetrics
+{
+    int64_t id = 0;
+    int priority = 0;
+    int64_t input_len = 0;
+    int64_t output_len = 0;
+    double arrival_ms = 0.0;
+
+    /** End of the step that ran this request's prefill (the first
+     *  output token exists from here). */
+    double first_token_ms = 0.0;
+
+    /** End of the step that produced the last output token. */
+    double finish_ms = 0.0;
+
+    double ttftMs() const { return first_token_ms - arrival_ms; }
+    double latencyMs() const { return finish_ms - arrival_ms; }
+
+    /** Mean gap between output tokens after the first. Zero for
+     *  single-token outputs. */
+    double tbtMs() const
+    {
+        return output_len > 1 ? (finish_ms - first_token_ms) /
+                                    static_cast<double>(
+                                        output_len - 1)
+                              : 0.0;
+    }
+};
+
+/** Nearest-rank percentile (p in [0, 100]) of @p values; 0 when
+ *  empty. */
+double percentile(std::vector<double> values, double p);
+
+/** Aggregated result of one serving run. */
+struct ServingMetrics
+{
+    std::vector<RequestMetrics> requests; ///< completed, by finish
+
+    int64_t completed = 0;
+    int64_t rejected_queue_full = 0;
+    int64_t rejected_too_long = 0;
+    int64_t total_output_tokens = 0;
+
+    /** Simulated end of the last step (0 for an empty run). */
+    double makespan_ms = 0.0;
+
+    /** Simulated time the accelerator spent executing steps. */
+    double busy_ms = 0.0;
+
+    int64_t steps = 0;
+    int64_t total_batched_seqs = 0; ///< Σ per-step batch size
+    int64_t max_queue_depth = 0;
+
+    double requestsPerSecond() const;
+    double tokensPerSecond() const;
+
+    /** busy_ms / makespan_ms — fraction of simulated time the
+     *  accelerator was executing a step. */
+    double utilization() const;
+
+    /** Mean sequences per step. */
+    double meanBatchSize() const;
+
+    double ttftMeanMs() const;
+    double ttftP95Ms() const;
+
+    /** Token-weighted mean time-between-tokens. */
+    double tbtMeanMs() const;
+
+    /** Request latency percentile (nearest rank). */
+    double latencyPercentileMs(double p) const;
+};
+
+} // namespace serving
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SERVING_METRICS_H

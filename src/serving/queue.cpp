@@ -1,0 +1,42 @@
+#include "serving/queue.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace serving {
+
+bool
+RequestQueue::push(const Request &request)
+{
+    if (max_depth_ > 0 && size_ >= max_depth_)
+        return false;
+    classes_[request.priority].push_back(request);
+    ++size_;
+    max_depth_seen_ = std::max(max_depth_seen_, size_);
+    return true;
+}
+
+const Request &
+RequestQueue::front() const
+{
+    ST_CHECK(size_ > 0, "front() on an empty queue");
+    return classes_.begin()->second.front();
+}
+
+Request
+RequestQueue::pop()
+{
+    ST_CHECK(size_ > 0, "pop() on an empty queue");
+    auto it = classes_.begin();
+    Request r = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty())
+        classes_.erase(it);
+    --size_;
+    return r;
+}
+
+} // namespace serving
+} // namespace streamtensor

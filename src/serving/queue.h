@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bounded multi-class request queue. Strict priority across
+ * classes (lower class value first), FIFO within a class, and a
+ * global capacity bound: a push beyond capacity is refused so the
+ * caller can account the rejection (load shedding at the frontend
+ * rather than unbounded queue growth).
+ *
+ * The queue is deliberately oblivious to KV budgets and shapes —
+ * admission against accelerator resources is the Scheduler's job.
+ */
+
+#ifndef STREAMTENSOR_SERVING_QUEUE_H
+#define STREAMTENSOR_SERVING_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "serving/request.h"
+
+namespace streamtensor {
+namespace serving {
+
+class RequestQueue
+{
+  public:
+    /** @p max_depth bounds the total queued requests across all
+     *  classes; 0 means unbounded. */
+    explicit RequestQueue(int64_t max_depth = 0)
+        : max_depth_(max_depth)
+    {}
+
+    /** Enqueue; returns false (and drops the request) when the
+     *  queue is at capacity. */
+    bool push(const Request &request);
+
+    /** True when no request is queued. */
+    bool empty() const { return size_ == 0; }
+
+    /** Total queued requests. */
+    int64_t size() const { return size_; }
+
+    /** High-water mark of size() since construction. */
+    int64_t maxDepth() const { return max_depth_seen_; }
+
+    /** The request that pop() would return. Queue must be
+     *  non-empty. */
+    const Request &front() const;
+
+    /** Dequeue the highest-priority class's oldest request. */
+    Request pop();
+
+  private:
+    int64_t max_depth_;
+    int64_t size_ = 0;
+    int64_t max_depth_seen_ = 0;
+
+    /** Per-class FIFO; map order = class priority order. */
+    std::map<int, std::deque<Request>> classes_;
+};
+
+} // namespace serving
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SERVING_QUEUE_H

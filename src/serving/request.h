@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Serving-layer request descriptor. All serving time is *simulated
+ * milliseconds* — the scheduler is a discrete-event simulator
+ * driven by per-step accelerator costs, so there is deliberately
+ * no wall clock anywhere in src/serving/ (replay tests assert
+ * bit-identical schedules across runs).
+ */
+
+#ifndef STREAMTENSOR_SERVING_REQUEST_H
+#define STREAMTENSOR_SERVING_REQUEST_H
+
+#include <cstdint>
+
+namespace streamtensor {
+namespace serving {
+
+/** One inference request of an arrival trace. */
+struct Request
+{
+    /** Unique per trace; ties in arrival time break by id. */
+    int64_t id = 0;
+
+    /** Simulated arrival time. */
+    double arrival_ms = 0.0;
+
+    int64_t input_len = 1;
+    int64_t output_len = 1;
+
+    /** Priority class; lower value is served first. FIFO within a
+     *  class. */
+    int priority = 0;
+};
+
+/** Why a request left the system without completing. */
+enum class RejectReason
+{
+    /** The bounded request queue was full on arrival. */
+    QueueFull,
+
+    /** The request's reserved context exceeds the total KV budget
+     *  (or the largest bucket) — it could never be scheduled. */
+    TooLong,
+};
+
+} // namespace serving
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SERVING_REQUEST_H

@@ -1,0 +1,210 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace serving {
+
+namespace {
+
+/** One sequence resident in the batch. */
+struct ActiveSeq
+{
+    Request req;
+    int64_t kv_reserved = 0;
+    int64_t generated = 0;
+    bool prefilled = false;
+    double first_token_ms = 0.0;
+};
+
+} // namespace
+
+Scheduler::Scheduler(SchedulerOptions options, StepCostModel &cost)
+    : options_(std::move(options)), cost_(cost)
+{
+    ST_CHECK(options_.max_batch >= 1, "need batch room");
+    ST_CHECK(options_.kv_budget_tokens >= 1, "need a KV budget");
+    ST_CHECK(options_.max_queue_depth >= 0, "queue depth domain");
+    ST_CHECK(options_.max_steps >= 1, "step limit domain");
+}
+
+ServingResult
+Scheduler::run(std::vector<Request> trace)
+{
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival_ms < b.arrival_ms ||
+                                (a.arrival_ms == b.arrival_ms &&
+                                 a.id < b.id);
+                     });
+    {
+        std::set<int64_t> ids;
+        for (const auto &r : trace) {
+            ST_CHECK(r.input_len >= 1 && r.output_len >= 1,
+                     "request lengths must be positive");
+            ST_CHECK(r.arrival_ms >= 0.0,
+                     "arrivals must be non-negative");
+            ST_CHECK(ids.insert(r.id).second,
+                     "trace ids must be unique");
+        }
+    }
+
+    ServingResult result;
+    ServingMetrics &metrics = result.metrics;
+    RequestQueue queue(options_.max_queue_depth);
+    std::vector<ActiveSeq> active; // admission order
+    int64_t kv_in_use = 0;
+    double now = 0.0;
+    size_t next_arrival = 0;
+
+    // Reserved KV of a request: its final bucketed context, held
+    // from admission to completion (conservative — no preemption).
+    // Requests that could never fit are rejected on arrival.
+    auto reservedKv = [&](const Request &r) -> int64_t {
+        int64_t final_ctx = r.input_len + r.output_len;
+        if (final_ctx > options_.buckets.max_len)
+            return -1;
+        int64_t reserve =
+            models::bucketLen(final_ctx, options_.buckets);
+        return reserve <= options_.kv_budget_tokens ? reserve : -1;
+    };
+
+    auto ingest = [&](const Request &r) {
+        if (reservedKv(r) < 0) {
+            ++metrics.rejected_too_long;
+            result.rejected.push_back({r.id, RejectReason::TooLong});
+        } else if (!queue.push(r)) {
+            ++metrics.rejected_queue_full;
+            result.rejected.push_back(
+                {r.id, RejectReason::QueueFull});
+        }
+    };
+
+    while (true) {
+        // Ingest everything that has arrived by now.
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrival_ms <= now)
+            ingest(trace[next_arrival++]);
+
+        if (active.empty() && queue.empty()) {
+            if (next_arrival == trace.size())
+                break; // drained
+            now = trace[next_arrival].arrival_ms;
+            continue; // idle-jump to the next arrival
+        }
+
+        // Admit from the queue head while the batch has room and
+        // the head's reservation fits. Strictly head-of-line: a
+        // blocked head is never jumped by a later request.
+        while (static_cast<int64_t>(active.size()) <
+                   options_.max_batch &&
+               !queue.empty()) {
+            int64_t reserve = reservedKv(queue.front());
+            ST_ASSERT(reserve >= 0, "unservable request queued");
+            if (kv_in_use + reserve > options_.kv_budget_tokens)
+                break;
+            ActiveSeq seq;
+            seq.req = queue.pop();
+            seq.kv_reserved = reserve;
+            kv_in_use += reserve;
+            active.push_back(std::move(seq));
+        }
+        // active is non-empty: when it was empty, kv_in_use was 0
+        // and every queued reservation fits the whole budget.
+        ST_ASSERT(!active.empty(), "admission stalled");
+
+        // Group the batch by bucketed shapes (map order keeps the
+        // group sequence deterministic).
+        std::map<models::BlockShapes, int64_t> shape_counts;
+        for (const auto &seq : active) {
+            models::BlockShapes shapes =
+                seq.prefilled
+                    ? models::bucketedDecodeShapes(
+                          seq.req.input_len + seq.generated + 1,
+                          options_.buckets)
+                    : models::bucketedPrefillShapes(
+                          seq.req.input_len, options_.buckets);
+            ++shape_counts[shapes];
+        }
+        std::vector<runtime::StepGroup> groups;
+        groups.reserve(shape_counts.size());
+        for (const auto &[shapes, count] : shape_counts)
+            groups.push_back({shapes, count});
+
+        double step_ms = cost_.stepMs(groups);
+        ST_CHECK(step_ms > 0.0,
+                 "cost model must advance simulated time");
+
+        if (options_.record_steps) {
+            StepRecord record;
+            record.start_ms = now;
+            record.step_ms = step_ms;
+            for (const auto &seq : active)
+                (seq.prefilled ? record.decode_ids
+                               : record.prefill_ids)
+                    .push_back(seq.req.id);
+            record.kv_reserved = kv_in_use;
+            record.queue_depth = queue.size();
+            result.steps.push_back(std::move(record));
+        }
+
+        now += step_ms;
+        metrics.busy_ms += step_ms;
+        ++metrics.steps;
+        metrics.total_batched_seqs +=
+            static_cast<int64_t>(active.size());
+
+        // Token accounting: prefill emits the first output token,
+        // each decode step one more. Finished sequences retire at
+        // this step's end, releasing their reservation.
+        for (auto &seq : active) {
+            if (!seq.prefilled) {
+                seq.prefilled = true;
+                seq.first_token_ms = now;
+                seq.generated = 1;
+            } else {
+                ++seq.generated;
+            }
+            if (seq.generated == seq.req.output_len) {
+                RequestMetrics done;
+                done.id = seq.req.id;
+                done.priority = seq.req.priority;
+                done.input_len = seq.req.input_len;
+                done.output_len = seq.req.output_len;
+                done.arrival_ms = seq.req.arrival_ms;
+                done.first_token_ms = seq.first_token_ms;
+                done.finish_ms = now;
+                metrics.requests.push_back(done);
+                metrics.total_output_tokens += seq.req.output_len;
+                kv_in_use -= seq.kv_reserved;
+            }
+        }
+        active.erase(
+            std::remove_if(active.begin(), active.end(),
+                           [](const ActiveSeq &seq) {
+                               return seq.generated ==
+                                      seq.req.output_len;
+                           }),
+            active.end());
+
+        if (metrics.steps >= options_.max_steps &&
+            !(active.empty() && queue.empty() &&
+              next_arrival == trace.size())) {
+            result.hit_step_limit = true;
+            break;
+        }
+    }
+
+    metrics.completed =
+        static_cast<int64_t>(metrics.requests.size());
+    metrics.makespan_ms = now;
+    metrics.max_queue_depth = queue.maxDepth();
+    return result;
+}
+
+} // namespace serving
+} // namespace streamtensor

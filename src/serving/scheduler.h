@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Continuous-batching serving scheduler: a discrete-event
+ * simulator that drives an accelerator cost model with batched
+ * engine steps, the serving-side counterpart of the paper's
+ * single-request re-triggered block (§6.1).
+ *
+ * Model, in vLLM/Orca terms with dataflow-accelerator constraints:
+ *  - Iteration-level (continuous) batching: every step runs all
+ *    resident sequences; new requests join at the next step
+ *    boundary as prefill members — no waiting for the batch to
+ *    drain.
+ *  - Bucketed shapes: batch members are grouped by their bucketed
+ *    BlockShapes (models::BucketPolicy) so the compile cache stays
+ *    small; each group is one accelerator trigger per layer whose
+ *    members stream back-to-back with weights resident.
+ *  - Conservative KV admission: a request reserves its *final*
+ *    bucketed context (input + output) when it joins the batch and
+ *    holds it until completion — no mid-flight preemption, so
+ *    every admitted request runs to completion and the KV
+ *    invariant is a simple sum bound.
+ *  - Strict head-of-line admission: the queue's best request (by
+ *    priority class, FIFO within class) is admitted or nothing is
+ *    — later smaller requests never jump a blocked head, which
+ *    makes FIFO fairness exact and starvation impossible *within
+ *    a priority class*. Across classes the policy is strict
+ *    priority: sustained higher-class traffic can hold back lower
+ *    classes indefinitely, by design.
+ *
+ * All time is simulated milliseconds; the scheduler contains no
+ * wall-clock, randomness, or pointer-order dependence, so a trace
+ * replays to bit-identical step compositions and metrics.
+ */
+
+#ifndef STREAMTENSOR_SERVING_SCHEDULER_H
+#define STREAMTENSOR_SERVING_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "models/bucketing.h"
+#include "runtime/executor.h"
+#include "serving/metrics.h"
+#include "serving/queue.h"
+#include "serving/request.h"
+
+namespace streamtensor {
+namespace serving {
+
+/** Cost oracle for one engine step. Implementations must be
+ *  deterministic pure functions of the shape groups (the replay
+ *  suite depends on it) and must return a strictly positive
+ *  cost so simulated time advances. */
+class StepCostModel
+{
+  public:
+    virtual ~StepCostModel() = default;
+
+    /** Cost in milliseconds of one full model pass over the given
+     *  shape groups. */
+    virtual double
+    stepMs(const std::vector<runtime::StepGroup> &groups) = 0;
+};
+
+/** Scheduler knobs. */
+struct SchedulerOptions
+{
+    /** Max sequences resident in one step. */
+    int64_t max_batch = 8;
+
+    /** Total KV tokens the accelerator can hold. Each admitted
+     *  request reserves bucketLen(input + output) until it
+     *  finishes. */
+    int64_t kv_budget_tokens = 4096;
+
+    /** Request-queue capacity; arrivals beyond it are rejected
+     *  (0 = unbounded). */
+    int64_t max_queue_depth = 0;
+
+    /** Shape quantisation shared with the compile cache. */
+    models::BucketPolicy buckets;
+
+    /** Record per-step composition (replay tests, debugging). */
+    bool record_steps = false;
+
+    /** Safety valve against a miscosted model wedging the event
+     *  loop; a run hitting it reports hit_step_limit. */
+    int64_t max_steps = 1 << 22;
+};
+
+/** Composition of one executed step (record_steps only). */
+struct StepRecord
+{
+    double start_ms = 0.0;
+    double step_ms = 0.0;
+
+    /** Requests that ran their prefill in this step, in admission
+     *  order. */
+    std::vector<int64_t> prefill_ids;
+
+    /** Requests that decoded one token in this step. */
+    std::vector<int64_t> decode_ids;
+
+    /** KV tokens reserved across the batch during this step. */
+    int64_t kv_reserved = 0;
+
+    /** Queued requests left behind when the step launched. */
+    int64_t queue_depth = 0;
+};
+
+/** A rejected request and why. */
+struct RejectedRequest
+{
+    int64_t id = 0;
+    RejectReason reason = RejectReason::QueueFull;
+};
+
+/** Outcome of serving one trace. */
+struct ServingResult
+{
+    ServingMetrics metrics;
+    std::vector<StepRecord> steps; ///< empty unless record_steps
+    std::vector<RejectedRequest> rejected;
+    bool hit_step_limit = false;
+};
+
+class Scheduler
+{
+  public:
+    /** @p cost must outlive the scheduler. */
+    Scheduler(SchedulerOptions options, StepCostModel &cost);
+
+    const SchedulerOptions &options() const { return options_; }
+
+    /** Serve @p trace to completion (ids must be unique). The
+     *  trace need not be sorted; it is served in (arrival, id)
+     *  order. */
+    ServingResult run(std::vector<Request> trace);
+
+  private:
+    SchedulerOptions options_;
+    StepCostModel &cost_;
+};
+
+} // namespace serving
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SERVING_SCHEDULER_H

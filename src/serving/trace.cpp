@@ -1,0 +1,114 @@
+#include "serving/trace.h"
+
+#include <cmath>
+#include <random>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace serving {
+
+namespace {
+
+/** Uniform double in [0, 1) from the top 53 bits (the standard
+ *  fixes mt19937_64's output bit-exactly; the transform here is
+ *  ours, so it is portable too). */
+double
+uniform01(std::mt19937_64 &rng)
+{
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/** Exponential with the given mean (inverse-CDF transform). */
+double
+exponential(std::mt19937_64 &rng, double mean)
+{
+    return -mean * std::log1p(-uniform01(rng));
+}
+
+/** Uniform integer in [lo, hi]. Modulo bias is irrelevant at
+ *  trace-generation scale and keeps the mapping trivially
+ *  portable. */
+int64_t
+uniformInt(std::mt19937_64 &rng, int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(
+                    rng() % static_cast<uint64_t>(hi - lo + 1));
+}
+
+void
+checkOptions(const TraceOptions &o)
+{
+    ST_CHECK(o.num_requests >= 1, "trace needs requests");
+    ST_CHECK(o.mean_interarrival_ms > 0.0,
+             "mean inter-arrival must be positive");
+    ST_CHECK(o.min_input_len >= 1 &&
+                 o.max_input_len >= o.min_input_len,
+             "malformed input length range");
+    ST_CHECK(o.min_output_len >= 1 &&
+                 o.max_output_len >= o.min_output_len,
+             "malformed output length range");
+    ST_CHECK(o.num_priorities >= 1, "need a priority class");
+}
+
+Request
+drawRequest(std::mt19937_64 &rng, const TraceOptions &o,
+            int64_t id, double arrival_ms)
+{
+    Request r;
+    r.id = id;
+    r.arrival_ms = arrival_ms;
+    r.input_len = uniformInt(rng, o.min_input_len, o.max_input_len);
+    r.output_len =
+        uniformInt(rng, o.min_output_len, o.max_output_len);
+    r.priority = static_cast<int>(
+        uniformInt(rng, 0, o.num_priorities - 1));
+    return r;
+}
+
+} // namespace
+
+std::vector<Request>
+poissonTrace(const TraceOptions &options)
+{
+    checkOptions(options);
+    std::mt19937_64 rng(options.seed);
+    std::vector<Request> trace;
+    trace.reserve(options.num_requests);
+    double now = 0.0;
+    for (int64_t i = 0; i < options.num_requests; ++i) {
+        now += exponential(rng, options.mean_interarrival_ms);
+        trace.push_back(drawRequest(rng, options, i, now));
+    }
+    return trace;
+}
+
+std::vector<Request>
+burstyTrace(const TraceOptions &options)
+{
+    checkOptions(options);
+    ST_CHECK(options.burst_period_ms > 0.0 &&
+                 options.burst_duty > 0.0 &&
+                 options.burst_duty < 1.0 &&
+                 options.burst_factor >= 1.0,
+             "malformed burst shape");
+    std::mt19937_64 rng(options.seed);
+    std::vector<Request> trace;
+    trace.reserve(options.num_requests);
+    double burst_end =
+        options.burst_period_ms * options.burst_duty;
+    double now = 0.0;
+    for (int64_t i = 0; i < options.num_requests; ++i) {
+        double phase = std::fmod(now, options.burst_period_ms);
+        double mean = phase < burst_end
+                          ? options.mean_interarrival_ms /
+                                options.burst_factor
+                          : options.mean_interarrival_ms;
+        now += exponential(rng, mean);
+        trace.push_back(drawRequest(rng, options, i, now));
+    }
+    return trace;
+}
+
+} // namespace serving
+} // namespace streamtensor

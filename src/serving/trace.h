@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Seeded arrival-trace generators for the serving simulator:
+ * Poisson (open-loop steady traffic), bursty (on/off modulated
+ * Poisson — the "heavy traffic" shape real frontends see), and
+ * replay (hand-written or captured traces).
+ *
+ * Distribution transforms are hand-rolled on top of
+ * std::mt19937_64 (whose output is specified bit-exactly by the
+ * standard) instead of <random> distributions (whose mapping is
+ * implementation-defined), so every platform generates the
+ * identical trace for a given seed — a precondition for the
+ * deterministic replay suite.
+ */
+
+#ifndef STREAMTENSOR_SERVING_TRACE_H
+#define STREAMTENSOR_SERVING_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace streamtensor {
+namespace serving {
+
+/** Knobs shared by the trace generators. */
+struct TraceOptions
+{
+    int64_t num_requests = 64;
+    uint64_t seed = 1;
+
+    /** Mean inter-arrival gap of the base Poisson process. */
+    double mean_interarrival_ms = 50.0;
+
+    /** Request length ranges (uniform, inclusive). */
+    int64_t min_input_len = 8;
+    int64_t max_input_len = 96;
+    int64_t min_output_len = 4;
+    int64_t max_output_len = 48;
+
+    /** Priority classes drawn uniformly from [0, num_priorities). */
+    int num_priorities = 1;
+
+    /** Bursty modulation: the arrival rate alternates between a
+     *  burst phase (gap / burst_factor) lasting
+     *  burst_duty * burst_period_ms and a quiet phase. Used by
+     *  burstyTrace only. */
+    double burst_period_ms = 2000.0;
+    double burst_duty = 0.25;
+    double burst_factor = 8.0;
+};
+
+/** Open-loop Poisson arrivals: exponential inter-arrival gaps at
+ *  the mean rate, uniform lengths and priorities. Sorted by
+ *  arrival time; ids are 0..n-1 in arrival order. */
+std::vector<Request> poissonTrace(const TraceOptions &options);
+
+/** On/off bursty arrivals: Poisson whose rate is multiplied by
+ *  burst_factor inside periodic burst windows. Stresses queue
+ *  growth and tail latency. */
+std::vector<Request> burstyTrace(const TraceOptions &options);
+
+} // namespace serving
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SERVING_TRACE_H

@@ -527,6 +527,29 @@ simulateGroup(const dataflow::ComponentGraph &g, int64_t group,
     return sim.run();
 }
 
+double
+steadyIntervalCycles(const SimResult &r)
+{
+    // The bottleneck process is busy (initial delay + firings at
+    // its II) for finish_time - stall_cycles; back-to-back reruns
+    // of the group pipeline behind it at exactly that interval.
+    double interval = 0.0;
+    for (const auto &c : r.components)
+        interval =
+            std::max(interval, c.finish_time - c.stall_cycles);
+    if (interval <= 0.0)
+        return r.cycles;
+    return std::min(interval, r.cycles);
+}
+
+double
+batchedCycles(const SimResult &r, int64_t batch)
+{
+    ST_CHECK(batch >= 1, "batch must be positive");
+    return r.cycles + static_cast<double>(batch - 1) *
+                          steadyIntervalCycles(r);
+}
+
 std::vector<SimResult>
 simulateAll(const dataflow::ComponentGraph &g,
             const SimOptions &options)

@@ -117,6 +117,20 @@ std::vector<SimResult>
 simulateAll(const dataflow::ComponentGraph &g,
             const SimOptions &options = {});
 
+/** Steady-state rerun interval of a simulated group in cycles:
+ *  the busy time (initial delay + firings at its II, i.e.
+ *  finish_time - stall_cycles) of the bottleneck component.
+ *  Back-to-back reruns of the group pipeline behind that
+ *  component at exactly this pace; always in (0, cycles]. */
+double steadyIntervalCycles(const SimResult &r);
+
+/** Batch-cost query for the serving layer: cycles for @p batch
+ *  back-to-back runs of the same group pipeline (weights stay
+ *  resident, consecutive runs overlap in the pipeline). The first
+ *  run pays the full fill latency, each further run one steady
+ *  interval: cycles + (batch - 1) * steadyIntervalCycles. */
+double batchedCycles(const SimResult &r, int64_t batch);
+
 } // namespace sim
 } // namespace streamtensor
 

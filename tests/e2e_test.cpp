@@ -6,6 +6,8 @@
 #include "compiler/compiler.h"
 #include "models/block_builder.h"
 #include "runtime/executor.h"
+#include "serving/cost_model.h"
+#include "serving/scheduler.h"
 #include "sim/simulator.h"
 
 using namespace streamtensor;
@@ -118,6 +120,94 @@ TEST(EndToEnd, GeneratedHlsMentionsEveryKernel)
         EXPECT_NE(result.code.hls_cpp.find(c.name),
                   std::string::npos)
             << c.name;
+    }
+}
+
+namespace {
+
+/** The fixed traffic trace of the golden serving test. */
+std::vector<serving::Request>
+goldenTrace()
+{
+    auto make = [](int64_t id, double arrival_ms,
+                   int64_t input_len, int64_t output_len) {
+        serving::Request r;
+        r.id = id;
+        r.arrival_ms = arrival_ms;
+        r.input_len = input_len;
+        r.output_len = output_len;
+        return r;
+    };
+    return {make(0, 0.0, 24, 8),  make(1, 0.0, 48, 4),
+            make(2, 5.0, 16, 6),  make(3, 30.0, 96, 4),
+            make(4, 30.0, 32, 8), make(5, 200.0, 24, 2)};
+}
+
+} // namespace
+
+TEST(EndToEnd, GoldenServingTraceThroughFullStack)
+{
+    // A small fixed trace through the complete
+    // compile -> simulate -> serve stack (GPT-2 on the U55C with
+    // executor-backed step costs). Golden values were captured
+    // from this deterministic pipeline; tight tolerances catch
+    // any behavioural drift in the compiler, simulator, executor
+    // batching, or scheduler.
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    serving::ExecutorCostModel cost(executor);
+    serving::SchedulerOptions options;
+    options.max_batch = 4;
+    options.kv_budget_tokens = 512;
+    options.record_steps = true;
+    serving::Scheduler scheduler(options, cost);
+
+    auto result = scheduler.run(goldenTrace());
+    const auto &m = result.metrics;
+
+    EXPECT_FALSE(cost.sawDeadlock());
+    EXPECT_FALSE(result.hit_step_limit);
+    EXPECT_TRUE(result.rejected.empty());
+    EXPECT_EQ(m.completed, 6);
+    EXPECT_EQ(m.total_output_tokens, 32);
+
+    // Bucketing keeps the compile cache tiny: six requests, many
+    // contexts, few shapes.
+    EXPECT_LE(executor.compileCount(), 12);
+
+    // Golden step count and timing metrics (captured values;
+    // tolerance 0.1% relative).
+#define EXPECT_REL_NEAR(actual, expected)                         \
+    EXPECT_NEAR(actual, expected, (expected) * 1e-3 + 1e-9)
+    EXPECT_EQ(m.steps, 12);
+    EXPECT_REL_NEAR(m.makespan_ms, 384.983819007);
+    EXPECT_REL_NEAR(m.requestsPerSecond(), 15.585070602);
+    EXPECT_REL_NEAR(m.ttftMeanMs(), 161.219440755);
+    EXPECT_REL_NEAR(m.ttftP95Ms(), 265.477007479);
+    EXPECT_REL_NEAR(m.latencyPercentileMs(50.0), 265.477007479);
+    EXPECT_REL_NEAR(m.latencyPercentileMs(99.0), 365.067899249);
+    EXPECT_REL_NEAR(m.tbtMeanMs(), 29.743654158);
+    EXPECT_REL_NEAR(m.busy_ms, m.makespan_ms);
+    // The trace keeps the accelerator saturated end to end.
+    EXPECT_DOUBLE_EQ(m.utilization(), 1.0);
+#undef EXPECT_REL_NEAR
+
+    // The golden schedule replays bit-identically on a fresh
+    // executor (repeated-run determinism of the whole stack).
+    runtime::LlmExecutor executor2(models::gpt2Config(),
+                                   hls::u55c());
+    serving::ExecutorCostModel cost2(executor2);
+    serving::Scheduler scheduler2(options, cost2);
+    auto result2 = scheduler2.run(goldenTrace());
+    EXPECT_DOUBLE_EQ(result2.metrics.makespan_ms, m.makespan_ms);
+    ASSERT_EQ(result2.steps.size(), result.steps.size());
+    for (size_t i = 0; i < result.steps.size(); ++i) {
+        EXPECT_EQ(result2.steps[i].prefill_ids,
+                  result.steps[i].prefill_ids);
+        EXPECT_EQ(result2.steps[i].decode_ids,
+                  result.steps[i].decode_ids);
+        EXPECT_DOUBLE_EQ(result2.steps[i].step_ms,
+                         result.steps[i].step_ms);
     }
 }
 

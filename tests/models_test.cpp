@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "support/error.h"
 
 #include "models/block_builder.h"
+#include "models/bucketing.h"
 #include "models/llm_config.h"
 
 using namespace streamtensor;
@@ -164,4 +167,77 @@ TEST(BlockBuilder, RejectsBadShapes)
     EXPECT_THROW(
         buildTransformerBlock(gpt2Config(), BlockShapes{0, 8}),
         FatalError);
+}
+
+TEST(BlockShapes, TotalOrderForCacheKeys)
+{
+    BlockShapes a{1, 48};
+    BlockShapes b{1, 96};
+    BlockShapes c{48, 48};
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_TRUE(a == (BlockShapes{1, 48}));
+    EXPECT_TRUE(a != b);
+    EXPECT_FALSE(a < a);
+}
+
+TEST(Bucketing, LadderIsSortedAlignedAndCapped)
+{
+    BucketPolicy policy;
+    auto boundaries = bucketBoundaries(policy);
+    ASSERT_FALSE(boundaries.empty());
+    EXPECT_EQ(boundaries.back(), policy.max_len);
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+        if (i > 0) {
+            EXPECT_GT(boundaries[i], boundaries[i - 1]);
+        }
+        if (boundaries[i] != policy.max_len) {
+            EXPECT_EQ(boundaries[i] % policy.align, 0);
+        }
+    }
+    // Geometric growth keeps the ladder (and so the compile
+    // cache) tiny even for a 1k context.
+    EXPECT_LE(boundaries.size(), 16u);
+}
+
+TEST(Bucketing, BucketLenRoundsUpIdempotentlyAndMonotonically)
+{
+    BucketPolicy policy;
+    auto boundaries = bucketBoundaries(policy);
+    int64_t prev = 0;
+    for (int64_t len = 1; len <= policy.max_len; ++len) {
+        int64_t bucket = bucketLen(len, policy);
+        EXPECT_GE(bucket, len);
+        EXPECT_GE(bucket, prev); // monotone
+        EXPECT_EQ(bucketLen(bucket, policy), bucket); // idempotent
+        EXPECT_TRUE(std::find(boundaries.begin(),
+                              boundaries.end(),
+                              bucket) != boundaries.end());
+        prev = bucket;
+    }
+}
+
+TEST(Bucketing, BucketedShapesQuantiseBothPhases)
+{
+    BucketPolicy policy;
+    EXPECT_EQ(bucketedPrefillShapes(10, policy),
+              prefillShapes(16));
+    EXPECT_EQ(bucketedPrefillShapes(16, policy),
+              prefillShapes(16));
+    EXPECT_EQ(bucketedPrefillShapes(17, policy),
+              prefillShapes(32));
+    EXPECT_EQ(bucketedDecodeShapes(100, policy),
+              decodeShapes(128));
+}
+
+TEST(Bucketing, RejectsOutOfRangeAndMalformedPolicies)
+{
+    BucketPolicy policy;
+    EXPECT_THROW(bucketLen(0, policy), FatalError);
+    EXPECT_THROW(bucketLen(policy.max_len + 1, policy),
+                 FatalError);
+    BucketPolicy shrinking;
+    shrinking.growth_num = 1;
+    shrinking.growth_den = 2;
+    EXPECT_THROW(bucketBoundaries(shrinking), FatalError);
 }

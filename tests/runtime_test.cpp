@@ -4,6 +4,7 @@
 
 #include "support/error.h"
 
+#include "models/bucketing.h"
 #include "runtime/executor.h"
 
 using namespace streamtensor;
@@ -94,6 +95,131 @@ TEST(Executor, RejectsBadRequests)
 {
     EXPECT_THROW(gpt2Executor().run(0, 8), FatalError);
     EXPECT_THROW(gpt2Executor().run(8, 0), FatalError);
+}
+
+TEST(Executor, CacheKeyedByBlockShapesNotLengthPair)
+{
+    // Prefill {48, 48} and decode {1, 48} share a kv_len but are
+    // distinct shapes and must compile separately.
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    const auto &prefill =
+        executor.block(models::prefillShapes(48));
+    const auto &decode = executor.block(models::decodeShapes(48));
+    EXPECT_NE(&prefill, &decode);
+    EXPECT_EQ(executor.compileCount(), 2);
+}
+
+TEST(Executor, RequestsInSameBucketCompileExactlyOnce)
+{
+    // Serving regression: two requests whose lengths land in the
+    // same buckets must hit one compiled block. Inputs 9 and 12
+    // prefill-bucket to 16 and every decode context (11..15)
+    // buckets to 16 too, so the second request adds zero
+    // compiles.
+    models::BucketPolicy buckets;
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto serveOnce = [&](int64_t input_len, int64_t output_len) {
+        (void)executor.step(
+            {{models::bucketedPrefillShapes(input_len, buckets),
+              1}});
+        for (int64_t t = 1; t < output_len; ++t)
+            (void)executor.step(
+                {{models::bucketedDecodeShapes(input_len + t + 1,
+                                               buckets),
+                  1}});
+    };
+    serveOnce(9, 3);
+    int64_t compiles_after_first = executor.compileCount();
+    EXPECT_EQ(compiles_after_first, 2); // one prefill, one decode
+    serveOnce(12, 3);
+    EXPECT_EQ(executor.compileCount(), compiles_after_first);
+}
+
+TEST(Executor, StepCostsBatchedGroups)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto single = executor.step({{models::decodeShapes(96), 1}});
+    auto batched = executor.step({{models::decodeShapes(96), 4}});
+    EXPECT_FALSE(single.deadlock);
+    EXPECT_GT(single.step_ms, 0.0);
+    // Batching amortises weight streaming: more than one
+    // sequence's cost, well under four serial passes.
+    EXPECT_GT(batched.step_ms, single.step_ms);
+    EXPECT_LT(batched.step_ms, 4.0 * single.step_ms);
+}
+
+TEST(Executor, StepSumsShapeGroups)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto decode = executor.step({{models::decodeShapes(96), 2}});
+    auto prefill =
+        executor.step({{models::prefillShapes(32), 1}});
+    auto mixed =
+        executor.step({{models::decodeShapes(96), 2},
+                       {models::prefillShapes(32), 1}});
+    EXPECT_GT(mixed.step_ms, decode.step_ms);
+    EXPECT_GT(mixed.step_ms, prefill.step_ms);
+    // Overhead amortisation makes the combined step cheaper than
+    // the two separate steps.
+    EXPECT_LT(mixed.step_ms, decode.step_ms + prefill.step_ms);
+}
+
+TEST(Executor, StepIsDeterministic)
+{
+    runtime::LlmExecutor a(models::gpt2Config(), hls::u55c());
+    runtime::LlmExecutor b(models::gpt2Config(), hls::u55c());
+    std::vector<runtime::StepGroup> groups = {
+        {models::decodeShapes(64), 3},
+        {models::prefillShapes(32), 1}};
+    EXPECT_DOUBLE_EQ(a.step(groups).step_ms,
+                     b.step(groups).step_ms);
+}
+
+TEST(Executor, StepMergesDuplicateShapeGroups)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto split = executor.step({{models::decodeShapes(96), 1},
+                                {models::decodeShapes(96), 1}});
+    auto merged = executor.step({{models::decodeShapes(96), 2}});
+    EXPECT_DOUBLE_EQ(split.step_ms, merged.step_ms);
+    EXPECT_EQ(executor.compileCount(), 1);
+}
+
+TEST(Executor, StepRejectsMalformedGroups)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    EXPECT_THROW(executor.step({}), FatalError);
+    EXPECT_THROW(
+        executor.step({{models::decodeShapes(48), 0}}),
+        FatalError);
+}
+
+TEST(CompiledBlock, BatchedCyclesGrowLinearlyAtSteadyInterval)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    const auto &blk = executor.block(models::decodeShapes(48));
+    double b1 = blk.batchedCycles(1);
+    double b2 = blk.batchedCycles(2);
+    double b3 = blk.batchedCycles(3);
+    EXPECT_DOUBLE_EQ(b1, blk.totalCycles());
+    EXPECT_GT(b2, b1);
+    // Marginal cost of each extra member is one steady interval.
+    EXPECT_DOUBLE_EQ(b3 - b2, b2 - b1);
+    // The steady interval never exceeds the full fill latency.
+    EXPECT_LE(b2 - b1, b1);
+    for (const auto &s : blk.sims) {
+        double interval = sim::steadyIntervalCycles(s);
+        EXPECT_GT(interval, 0.0);
+        EXPECT_LE(interval, s.cycles);
+    }
+    EXPECT_THROW(blk.batchedCycles(0), FatalError);
 }
 
 TEST(CompiledBlock, AggregatesGroupCycles)

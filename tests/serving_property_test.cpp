@@ -1,0 +1,215 @@
+/** @file Property/invariant suite for RequestQueue + Scheduler:
+ *  each seed derives a distinct (trace, scheduler-config) pair and
+ *  checks structural invariants that must hold for *every* run —
+ *  conservation, FIFO fairness within a priority class, batch and
+ *  KV-budget bounds, contiguous per-request execution, and
+ *  metrics-total consistency against per-request sums. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "models/bucketing.h"
+#include "serving/cost_model.h"
+#include "serving/scheduler.h"
+#include "serving/trace.h"
+
+using namespace streamtensor;
+using serving::Request;
+
+namespace {
+
+struct SeededRun
+{
+    std::vector<Request> trace;
+    serving::SchedulerOptions options;
+    serving::ServingResult result;
+};
+
+/** Derive a varied but fully seed-determined scenario. */
+SeededRun
+runSeed(uint64_t seed)
+{
+    serving::TraceOptions trace_options;
+    trace_options.seed = seed;
+    trace_options.num_requests = 24 + static_cast<int64_t>(seed % 25);
+    trace_options.mean_interarrival_ms =
+        1.0 + static_cast<double>(seed % 7);
+    trace_options.min_input_len = 4;
+    trace_options.max_input_len = 120;
+    trace_options.min_output_len = 1;
+    trace_options.max_output_len = 24;
+    trace_options.num_priorities = 1 + static_cast<int>(seed % 3);
+
+    SeededRun run;
+    run.trace = seed % 2 == 0 ? serving::poissonTrace(trace_options)
+                              : serving::burstyTrace(trace_options);
+
+    run.options.max_batch = 1 + static_cast<int64_t>(seed % 7);
+    run.options.kv_budget_tokens =
+        192 + 64 * static_cast<int64_t>(seed % 13);
+    run.options.max_queue_depth =
+        seed % 4 == 0 ? 6 + static_cast<int64_t>(seed % 9) : 0;
+    run.options.record_steps = true;
+
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(run.options, cost);
+    run.result = scheduler.run(run.trace);
+    return run;
+}
+
+int64_t
+reservedKv(const Request &r, const models::BucketPolicy &policy)
+{
+    return models::bucketLen(r.input_len + r.output_len, policy);
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+} // namespace
+
+TEST_P(SchedulerProperty, InvariantsHold)
+{
+    SeededRun run = runSeed(GetParam());
+    const auto &result = run.result;
+    const auto &metrics = result.metrics;
+    ASSERT_FALSE(result.hit_step_limit);
+
+    std::map<int64_t, Request> by_id;
+    for (const auto &r : run.trace)
+        by_id[r.id] = r;
+
+    // --- Conservation: every request completes or is rejected,
+    // exactly once.
+    std::set<int64_t> completed_ids, rejected_ids;
+    for (const auto &r : metrics.requests)
+        EXPECT_TRUE(completed_ids.insert(r.id).second)
+            << "request completed twice: " << r.id;
+    for (const auto &r : result.rejected)
+        EXPECT_TRUE(rejected_ids.insert(r.id).second)
+            << "request rejected twice: " << r.id;
+    EXPECT_EQ(completed_ids.size() + rejected_ids.size(),
+              run.trace.size());
+    for (int64_t id : completed_ids)
+        EXPECT_EQ(rejected_ids.count(id), 0u)
+            << "request both completed and rejected: " << id;
+    for (const auto &r : run.trace)
+        EXPECT_TRUE(completed_ids.count(r.id) ||
+                    rejected_ids.count(r.id))
+            << "request lost: " << r.id;
+
+    // --- Per-step bounds and bookkeeping.
+    std::map<int64_t, std::vector<size_t>> appearances;
+    std::map<int64_t, size_t> prefill_step;
+    double recomputed_busy = 0.0;
+    int64_t recomputed_batched = 0;
+    for (size_t i = 0; i < result.steps.size(); ++i) {
+        const auto &s = result.steps[i];
+        int64_t batch =
+            static_cast<int64_t>(s.prefill_ids.size()) +
+            static_cast<int64_t>(s.decode_ids.size());
+        EXPECT_GE(batch, 1);
+        EXPECT_LE(batch, run.options.max_batch);
+        EXPECT_GT(s.step_ms, 0.0);
+        EXPECT_LE(s.queue_depth, metrics.max_queue_depth);
+        if (i > 0) {
+            EXPECT_GE(s.start_ms, result.steps[i - 1].start_ms +
+                                      result.steps[i - 1].step_ms -
+                                      1e-12);
+        }
+
+        // KV bound, recomputed from the recorded membership.
+        int64_t kv = 0;
+        for (int64_t id : s.prefill_ids) {
+            kv += reservedKv(by_id.at(id), run.options.buckets);
+            EXPECT_TRUE(prefill_step.emplace(id, i).second)
+                << "request prefilled twice: " << id;
+        }
+        for (int64_t id : s.decode_ids)
+            kv += reservedKv(by_id.at(id), run.options.buckets);
+        EXPECT_EQ(kv, s.kv_reserved);
+        EXPECT_LE(kv, run.options.kv_budget_tokens);
+
+        for (int64_t id : s.prefill_ids)
+            appearances[id].push_back(i);
+        for (int64_t id : s.decode_ids)
+            appearances[id].push_back(i);
+        recomputed_busy += s.step_ms;
+        recomputed_batched += batch;
+    }
+
+    // --- FIFO fairness within each priority class: prefill order
+    // follows (arrival, id) order. (Strict head-of-line admission
+    // also makes this hold across KV stalls.)
+    for (const auto &[id_a, step_a] : prefill_step) {
+        for (const auto &[id_b, step_b] : prefill_step) {
+            const Request &a = by_id.at(id_a);
+            const Request &b = by_id.at(id_b);
+            if (a.priority != b.priority)
+                continue;
+            bool a_earlier =
+                a.arrival_ms < b.arrival_ms ||
+                (a.arrival_ms == b.arrival_ms && a.id < b.id);
+            if (a_earlier) {
+                EXPECT_LE(step_a, step_b)
+                    << "FIFO violated in class " << a.priority
+                    << ": " << id_a << " vs " << id_b;
+            }
+        }
+    }
+
+    // --- No preemption: each completed request runs its prefill
+    // plus output_len - 1 decodes in consecutive steps.
+    for (int64_t id : completed_ids) {
+        const Request &r = by_id.at(id);
+        const auto &steps = appearances.at(id);
+        ASSERT_EQ(steps.size(),
+                  static_cast<size_t>(r.output_len));
+        for (size_t i = 1; i < steps.size(); ++i)
+            EXPECT_EQ(steps[i], steps[i - 1] + 1)
+                << "request " << id << " paused mid-flight";
+    }
+    // Rejected requests never ran.
+    for (int64_t id : rejected_ids)
+        EXPECT_EQ(appearances.count(id), 0u);
+
+    // --- Metrics totals equal per-request / per-step sums.
+    EXPECT_EQ(metrics.completed,
+              static_cast<int64_t>(metrics.requests.size()));
+    EXPECT_EQ(metrics.rejected_queue_full +
+                  metrics.rejected_too_long,
+              static_cast<int64_t>(result.rejected.size()));
+    int64_t token_sum = 0;
+    for (const auto &r : metrics.requests) {
+        token_sum += r.output_len;
+        EXPECT_GE(r.ttftMs(), 0.0);
+        EXPECT_GE(r.latencyMs(), r.ttftMs());
+    }
+    EXPECT_EQ(metrics.total_output_tokens, token_sum);
+    EXPECT_EQ(metrics.steps,
+              static_cast<int64_t>(result.steps.size()));
+    EXPECT_DOUBLE_EQ(metrics.busy_ms, recomputed_busy);
+    EXPECT_EQ(metrics.total_batched_seqs, recomputed_batched);
+    if (!result.steps.empty()) {
+        const auto &last = result.steps.back();
+        EXPECT_DOUBLE_EQ(metrics.makespan_ms,
+                         last.start_ms + last.step_ms);
+    }
+    // Completion order is chronological.
+    for (size_t i = 1; i < metrics.requests.size(); ++i)
+        EXPECT_GE(metrics.requests[i].finish_ms,
+                  metrics.requests[i - 1].finish_ms);
+    // Every finish/first-token lands exactly on a step boundary.
+    std::set<double> boundaries;
+    for (const auto &s : result.steps)
+        boundaries.insert(s.start_ms + s.step_ms);
+    for (const auto &r : metrics.requests) {
+        EXPECT_EQ(boundaries.count(r.first_token_ms), 1u);
+        EXPECT_EQ(boundaries.count(r.finish_ms), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Range<uint64_t>(0, 100));

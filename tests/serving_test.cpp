@@ -1,0 +1,574 @@
+/** @file Deterministic scheduler test harness: seeded traces,
+ *  unit tests for the queue / trace generators / metrics /
+ *  bucketing, and step-by-step replay scripts asserting exact
+ *  batch composition, admission decisions, and final metrics. All
+ *  time is simulated — nothing here (or in src/serving/) reads a
+ *  clock, so every assertion is bit-reproducible. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/bucketing.h"
+#include "serving/cost_model.h"
+#include "serving/metrics.h"
+#include "serving/queue.h"
+#include "serving/scheduler.h"
+#include "serving/trace.h"
+#include "support/error.h"
+
+using namespace streamtensor;
+using serving::Request;
+
+namespace {
+
+/** Mirror of AnalyticCostModel's arithmetic (same operation
+ *  order), so replay scripts can assert step times with
+ *  EXPECT_DOUBLE_EQ. */
+double
+analyticStepMs(
+    const std::vector<std::tuple<int64_t, int64_t, int64_t>>
+        &groups,
+    serving::AnalyticCostOptions o = {})
+{
+    double ms = 0.0;
+    for (const auto &[seq_len, kv_len, count] : groups) {
+        double per_seq = o.per_seq_ms +
+                         o.per_query_token_ms *
+                             static_cast<double>(seq_len) +
+                         o.per_kv_token_ms *
+                             static_cast<double>(kv_len);
+        ms += o.trigger_ms +
+              static_cast<double>(count) * per_seq;
+    }
+    return ms;
+}
+
+Request
+makeRequest(int64_t id, double arrival_ms, int64_t input_len,
+            int64_t output_len, int priority = 0)
+{
+    Request r;
+    r.id = id;
+    r.arrival_ms = arrival_ms;
+    r.input_len = input_len;
+    r.output_len = output_len;
+    r.priority = priority;
+    return r;
+}
+
+serving::SchedulerOptions
+recordingOptions(int64_t max_batch, int64_t kv_budget)
+{
+    serving::SchedulerOptions options;
+    options.max_batch = max_batch;
+    options.kv_budget_tokens = kv_budget;
+    options.record_steps = true;
+    return options;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------
+
+TEST(RequestQueue, FifoWithinOneClass)
+{
+    serving::RequestQueue q;
+    q.push(makeRequest(3, 0.0, 8, 1));
+    q.push(makeRequest(1, 1.0, 8, 1));
+    q.push(makeRequest(2, 2.0, 8, 1));
+    EXPECT_EQ(q.pop().id, 3);
+    EXPECT_EQ(q.pop().id, 1);
+    EXPECT_EQ(q.pop().id, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, LowerPriorityClassValueServedFirst)
+{
+    serving::RequestQueue q;
+    q.push(makeRequest(0, 0.0, 8, 1, /*priority=*/2));
+    q.push(makeRequest(1, 0.0, 8, 1, /*priority=*/0));
+    q.push(makeRequest(2, 0.0, 8, 1, /*priority=*/1));
+    q.push(makeRequest(3, 0.0, 8, 1, /*priority=*/0));
+    EXPECT_EQ(q.front().id, 1);
+    EXPECT_EQ(q.pop().id, 1);
+    EXPECT_EQ(q.pop().id, 3); // FIFO within class 0
+    EXPECT_EQ(q.pop().id, 2);
+    EXPECT_EQ(q.pop().id, 0);
+}
+
+TEST(RequestQueue, CapacityBoundRefusesPush)
+{
+    serving::RequestQueue q(/*max_depth=*/2);
+    EXPECT_TRUE(q.push(makeRequest(0, 0.0, 8, 1)));
+    EXPECT_TRUE(q.push(makeRequest(1, 0.0, 8, 1)));
+    EXPECT_FALSE(q.push(makeRequest(2, 0.0, 8, 1)));
+    q.pop();
+    EXPECT_TRUE(q.push(makeRequest(3, 0.0, 8, 1)));
+    EXPECT_EQ(q.size(), 2);
+}
+
+TEST(RequestQueue, TracksHighWaterDepth)
+{
+    serving::RequestQueue q;
+    for (int64_t i = 0; i < 5; ++i)
+        q.push(makeRequest(i, 0.0, 8, 1));
+    q.pop();
+    q.pop();
+    EXPECT_EQ(q.size(), 3);
+    EXPECT_EQ(q.maxDepth(), 5);
+}
+
+TEST(RequestQueue, EmptyAccessorsThrow)
+{
+    serving::RequestQueue q;
+    EXPECT_THROW(q.front(), FatalError);
+    EXPECT_THROW(q.pop(), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Trace generators
+// ---------------------------------------------------------------
+
+TEST(Trace, PoissonIsSeedDeterministic)
+{
+    serving::TraceOptions options;
+    options.num_requests = 40;
+    options.seed = 7;
+    auto a = serving::poissonTrace(options);
+    auto b = serving::poissonTrace(options);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_DOUBLE_EQ(a[i].arrival_ms, b[i].arrival_ms);
+        EXPECT_EQ(a[i].input_len, b[i].input_len);
+        EXPECT_EQ(a[i].output_len, b[i].output_len);
+        EXPECT_EQ(a[i].priority, b[i].priority);
+    }
+}
+
+TEST(Trace, SeedsProduceDistinctTraces)
+{
+    serving::TraceOptions options;
+    options.num_requests = 16;
+    options.seed = 1;
+    auto a = serving::poissonTrace(options);
+    options.seed = 2;
+    auto b = serving::poissonTrace(options);
+    bool any_diff = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].arrival_ms != b[i].arrival_ms;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Trace, ArrivalsSortedAndLengthsBounded)
+{
+    serving::TraceOptions options;
+    options.num_requests = 64;
+    options.seed = 11;
+    options.num_priorities = 3;
+    for (auto trace : {serving::poissonTrace(options),
+                       serving::burstyTrace(options)}) {
+        ASSERT_EQ(trace.size(), 64u);
+        for (size_t i = 0; i < trace.size(); ++i) {
+            const auto &r = trace[i];
+            EXPECT_EQ(r.id, static_cast<int64_t>(i));
+            if (i > 0) {
+                EXPECT_GE(r.arrival_ms, trace[i - 1].arrival_ms);
+            }
+            EXPECT_GE(r.input_len, options.min_input_len);
+            EXPECT_LE(r.input_len, options.max_input_len);
+            EXPECT_GE(r.output_len, options.min_output_len);
+            EXPECT_LE(r.output_len, options.max_output_len);
+            EXPECT_GE(r.priority, 0);
+            EXPECT_LT(r.priority, options.num_priorities);
+        }
+    }
+}
+
+TEST(Trace, BurstyHasHigherInterarrivalVariance)
+{
+    serving::TraceOptions options;
+    options.num_requests = 512;
+    options.seed = 3;
+    options.burst_factor = 16.0;
+    auto cv = [](const std::vector<Request> &trace) {
+        std::vector<double> gaps;
+        for (size_t i = 1; i < trace.size(); ++i)
+            gaps.push_back(trace[i].arrival_ms -
+                           trace[i - 1].arrival_ms);
+        double mean = 0.0, var = 0.0;
+        for (double g : gaps)
+            mean += g;
+        mean /= gaps.size();
+        for (double g : gaps)
+            var += (g - mean) * (g - mean);
+        var /= gaps.size();
+        return std::sqrt(var) / mean;
+    };
+    EXPECT_GT(cv(serving::burstyTrace(options)),
+              cv(serving::poissonTrace(options)));
+}
+
+TEST(Trace, RejectsMalformedOptions)
+{
+    serving::TraceOptions options;
+    options.num_requests = 0;
+    EXPECT_THROW(serving::poissonTrace(options), FatalError);
+    options.num_requests = 4;
+    options.min_input_len = 10;
+    options.max_input_len = 5;
+    EXPECT_THROW(serving::poissonTrace(options), FatalError);
+    options = {};
+    options.burst_duty = 1.5;
+    EXPECT_THROW(serving::burstyTrace(options), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------
+
+TEST(Metrics, NearestRankPercentile)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    EXPECT_DOUBLE_EQ(serving::percentile(v, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(serving::percentile(v, 95.0), 95.0);
+    EXPECT_DOUBLE_EQ(serving::percentile(v, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(serving::percentile(v, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(serving::percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(serving::percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(serving::percentile({3.0, 1.0, 2.0}, 50.0),
+                     2.0);
+    EXPECT_THROW(serving::percentile(v, 101.0), FatalError);
+}
+
+TEST(Metrics, RequestDerivedQuantities)
+{
+    serving::RequestMetrics r;
+    r.arrival_ms = 10.0;
+    r.first_token_ms = 30.0;
+    r.finish_ms = 70.0;
+    r.output_len = 5;
+    EXPECT_DOUBLE_EQ(r.ttftMs(), 20.0);
+    EXPECT_DOUBLE_EQ(r.latencyMs(), 60.0);
+    EXPECT_DOUBLE_EQ(r.tbtMs(), 10.0);
+    r.output_len = 1;
+    EXPECT_DOUBLE_EQ(r.tbtMs(), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Replay scripts: exact step-by-step schedules.
+// ---------------------------------------------------------------
+
+TEST(SchedulerReplay, ContinuousBatchingScript)
+{
+    // R0, R1 arrive together and batch; R2 arrives mid-step and
+    // joins as soon as a slot frees (continuous batching).
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(2, 4096), cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 10, 2),
+        makeRequest(1, 0.0, 20, 2),
+        makeRequest(2, 1.0, 10, 1),
+    });
+
+    ASSERT_EQ(result.steps.size(), 3u);
+    EXPECT_FALSE(result.hit_step_limit);
+    EXPECT_TRUE(result.rejected.empty());
+
+    // Step 1: both prefill. Buckets: 10+2 -> 16, 20+2 -> 32.
+    const auto &s0 = result.steps[0];
+    EXPECT_DOUBLE_EQ(s0.start_ms, 0.0);
+    EXPECT_EQ(s0.prefill_ids, (std::vector<int64_t>{0, 1}));
+    EXPECT_TRUE(s0.decode_ids.empty());
+    EXPECT_EQ(s0.kv_reserved, 16 + 32);
+    EXPECT_EQ(s0.queue_depth, 0);
+    double step1 = analyticStepMs({{16, 16, 1}, {32, 32, 1}});
+    EXPECT_DOUBLE_EQ(s0.step_ms, step1);
+
+    // Step 2: both decode (contexts 12 and 22 -> kv buckets 16 and
+    // 32); R2 arrived at 1.0 and waits (batch full).
+    const auto &s1 = result.steps[1];
+    EXPECT_DOUBLE_EQ(s1.start_ms, step1);
+    EXPECT_TRUE(s1.prefill_ids.empty());
+    EXPECT_EQ(s1.decode_ids, (std::vector<int64_t>{0, 1}));
+    EXPECT_EQ(s1.queue_depth, 1);
+    double step2 = analyticStepMs({{1, 16, 1}, {1, 32, 1}});
+    EXPECT_DOUBLE_EQ(s1.step_ms, step2);
+
+    // Step 3: R0/R1 finished; R2 prefills alone and, with
+    // output_len 1, completes at its prefill.
+    const auto &s2 = result.steps[2];
+    EXPECT_DOUBLE_EQ(s2.start_ms, step1 + step2);
+    EXPECT_EQ(s2.prefill_ids, (std::vector<int64_t>{2}));
+    EXPECT_TRUE(s2.decode_ids.empty());
+    EXPECT_EQ(s2.kv_reserved, 16);
+    double step3 = analyticStepMs({{16, 16, 1}});
+    EXPECT_DOUBLE_EQ(s2.step_ms, step3);
+
+    // Final metrics, exactly.
+    const auto &m = result.metrics;
+    EXPECT_EQ(m.completed, 3);
+    EXPECT_EQ(m.steps, 3);
+    EXPECT_EQ(m.total_output_tokens, 5);
+    EXPECT_EQ(m.total_batched_seqs, 5);
+    EXPECT_EQ(m.max_queue_depth, 2);
+    EXPECT_DOUBLE_EQ(m.makespan_ms, step1 + step2 + step3);
+    EXPECT_DOUBLE_EQ(m.busy_ms, m.makespan_ms);
+    EXPECT_DOUBLE_EQ(m.utilization(), 1.0);
+
+    ASSERT_EQ(m.requests.size(), 3u);
+    EXPECT_EQ(m.requests[0].id, 0);
+    EXPECT_EQ(m.requests[1].id, 1);
+    EXPECT_EQ(m.requests[2].id, 2);
+    EXPECT_DOUBLE_EQ(m.requests[0].first_token_ms, step1);
+    EXPECT_DOUBLE_EQ(m.requests[0].finish_ms, step1 + step2);
+    EXPECT_DOUBLE_EQ(m.requests[2].ttftMs(),
+                     step1 + step2 + step3 - 1.0);
+}
+
+TEST(SchedulerReplay, KvBudgetHeadOfLineAdmission)
+{
+    // Budget 32: R0 (reserve 16) runs alone because head R1 needs
+    // the full budget; R2 (reserve 16) must not jump the blocked
+    // head — strict FIFO admission.
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(4, 32), cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 10, 2), // bucket(12)  = 16
+        makeRequest(1, 0.0, 20, 4), // bucket(24)  = 32
+        makeRequest(2, 0.0, 5, 3),  // bucket(8)   = 16
+    });
+
+    EXPECT_TRUE(result.rejected.empty());
+    ASSERT_GE(result.steps.size(), 3u);
+
+    // R0 prefills alone; both others queued behind the blocked
+    // head.
+    EXPECT_EQ(result.steps[0].prefill_ids,
+              (std::vector<int64_t>{0}));
+    EXPECT_EQ(result.steps[0].queue_depth, 2);
+    EXPECT_EQ(result.steps[0].kv_reserved, 16);
+
+    // R0 decodes alone (R1 still does not fit: 16 + 32 > 32).
+    EXPECT_EQ(result.steps[1].decode_ids,
+              (std::vector<int64_t>{0}));
+    EXPECT_TRUE(result.steps[1].prefill_ids.empty());
+
+    // R0 retired; R1 admitted alone (32 fills the budget).
+    EXPECT_EQ(result.steps[2].prefill_ids,
+              (std::vector<int64_t>{1}));
+    EXPECT_EQ(result.steps[2].kv_reserved, 32);
+
+    // R2 only enters once R1 has fully finished.
+    for (const auto &s : result.steps) {
+        EXPECT_LE(s.kv_reserved, 32);
+        bool has1 = false, has2 = false;
+        for (int64_t id : s.prefill_ids) {
+            has1 |= id == 1;
+            has2 |= id == 2;
+        }
+        for (int64_t id : s.decode_ids) {
+            has1 |= id == 1;
+            has2 |= id == 2;
+        }
+        EXPECT_FALSE(has1 && has2);
+    }
+    EXPECT_EQ(result.metrics.completed, 3);
+}
+
+TEST(SchedulerReplay, PriorityClassesJumpTheQueue)
+{
+    // max_batch 1 forces full serialization: class 0 is served
+    // before the earlier-arrived class-1 requests, FIFO inside
+    // each class.
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(1, 4096), cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 8, 1, /*priority=*/1),
+        makeRequest(1, 0.0, 8, 1, /*priority=*/1),
+        makeRequest(2, 0.0, 8, 1, /*priority=*/0),
+    });
+    ASSERT_EQ(result.steps.size(), 3u);
+    EXPECT_EQ(result.steps[0].prefill_ids,
+              (std::vector<int64_t>{2}));
+    EXPECT_EQ(result.steps[1].prefill_ids,
+              (std::vector<int64_t>{0}));
+    EXPECT_EQ(result.steps[2].prefill_ids,
+              (std::vector<int64_t>{1}));
+}
+
+TEST(SchedulerReplay, QueueFullRejectsArrivals)
+{
+    serving::AnalyticCostModel cost;
+    serving::SchedulerOptions options = recordingOptions(1, 4096);
+    options.max_queue_depth = 1;
+    serving::Scheduler scheduler(options, cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 8, 1),
+        makeRequest(1, 0.0, 8, 1),
+        makeRequest(2, 0.0, 8, 1),
+    });
+    ASSERT_EQ(result.rejected.size(), 2u);
+    EXPECT_EQ(result.rejected[0].id, 1);
+    EXPECT_EQ(result.rejected[1].id, 2);
+    for (const auto &r : result.rejected)
+        EXPECT_EQ(r.reason, serving::RejectReason::QueueFull);
+    EXPECT_EQ(result.metrics.completed, 1);
+    EXPECT_EQ(result.metrics.rejected_queue_full, 2);
+    EXPECT_EQ(result.metrics.rejected_too_long, 0);
+}
+
+TEST(SchedulerReplay, OversizedRequestsRejectedUpFront)
+{
+    serving::AnalyticCostModel cost;
+    // Budget 64 tokens: a 50+50 request buckets to 128 and can
+    // never be admitted; a 900+200 one exceeds the bucket ladder.
+    serving::Scheduler scheduler(recordingOptions(4, 64), cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 10, 2),
+        makeRequest(1, 0.0, 50, 50),
+        makeRequest(2, 0.0, 900, 200),
+    });
+    ASSERT_EQ(result.rejected.size(), 2u);
+    EXPECT_EQ(result.rejected[0].id, 1);
+    EXPECT_EQ(result.rejected[0].reason,
+              serving::RejectReason::TooLong);
+    EXPECT_EQ(result.rejected[1].id, 2);
+    EXPECT_EQ(result.rejected[1].reason,
+              serving::RejectReason::TooLong);
+    EXPECT_EQ(result.metrics.completed, 1);
+    EXPECT_EQ(result.metrics.rejected_too_long, 2);
+}
+
+TEST(SchedulerReplay, IdleGapJumpsToNextArrival)
+{
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(2, 4096), cost);
+    auto result = scheduler.run({
+        makeRequest(0, 100.0, 8, 1),
+    });
+    ASSERT_EQ(result.steps.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.steps[0].start_ms, 100.0);
+    double step = analyticStepMs({{16, 16, 1}});
+    EXPECT_DOUBLE_EQ(result.metrics.makespan_ms, 100.0 + step);
+    EXPECT_DOUBLE_EQ(result.metrics.busy_ms, step);
+    EXPECT_LT(result.metrics.utilization(), 1.0);
+    // Mirror the accumulation (100 + step) - 100 so the equality
+    // is exact in floating point.
+    EXPECT_DOUBLE_EQ(result.metrics.requests[0].ttftMs(),
+                     (100.0 + step) - 100.0);
+}
+
+TEST(SchedulerReplay, UnsortedTraceIsServedInArrivalOrder)
+{
+    serving::AnalyticCostModel cost;
+    serving::Scheduler a(recordingOptions(1, 4096), cost);
+    serving::Scheduler b(recordingOptions(1, 4096), cost);
+    std::vector<Request> sorted = {
+        makeRequest(0, 0.0, 8, 1),
+        makeRequest(1, 5.0, 8, 1),
+        makeRequest(2, 9.0, 8, 1),
+    };
+    std::vector<Request> shuffled = {sorted[2], sorted[0],
+                                     sorted[1]};
+    auto ra = a.run(sorted);
+    auto rb = b.run(shuffled);
+    ASSERT_EQ(ra.steps.size(), rb.steps.size());
+    for (size_t i = 0; i < ra.steps.size(); ++i) {
+        EXPECT_EQ(ra.steps[i].prefill_ids,
+                  rb.steps[i].prefill_ids);
+        EXPECT_DOUBLE_EQ(ra.steps[i].start_ms,
+                         rb.steps[i].start_ms);
+    }
+}
+
+TEST(SchedulerReplay, SeededTraceReplaysBitIdentically)
+{
+    serving::TraceOptions trace_options;
+    trace_options.num_requests = 48;
+    trace_options.seed = 42;
+    trace_options.mean_interarrival_ms = 3.0;
+    trace_options.num_priorities = 2;
+    auto trace = serving::burstyTrace(trace_options);
+
+    auto runOnce = [&] {
+        serving::AnalyticCostModel cost;
+        serving::SchedulerOptions options =
+            recordingOptions(4, 1024);
+        serving::Scheduler scheduler(options, cost);
+        return scheduler.run(trace);
+    };
+    auto a = runOnce();
+    auto b = runOnce();
+
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (size_t i = 0; i < a.steps.size(); ++i) {
+        EXPECT_EQ(a.steps[i].prefill_ids, b.steps[i].prefill_ids);
+        EXPECT_EQ(a.steps[i].decode_ids, b.steps[i].decode_ids);
+        EXPECT_DOUBLE_EQ(a.steps[i].start_ms,
+                         b.steps[i].start_ms);
+        EXPECT_DOUBLE_EQ(a.steps[i].step_ms, b.steps[i].step_ms);
+        EXPECT_EQ(a.steps[i].kv_reserved, b.steps[i].kv_reserved);
+    }
+    EXPECT_DOUBLE_EQ(a.metrics.makespan_ms, b.metrics.makespan_ms);
+    EXPECT_DOUBLE_EQ(a.metrics.latencyPercentileMs(99.0),
+                     b.metrics.latencyPercentileMs(99.0));
+    EXPECT_DOUBLE_EQ(a.metrics.ttftMeanMs(), b.metrics.ttftMeanMs());
+    EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+}
+
+TEST(SchedulerReplay, BatchingBeatsSerialServingOnMakespan)
+{
+    // The whole point of continuous batching: same trace, larger
+    // max_batch, strictly earlier completion.
+    serving::TraceOptions trace_options;
+    trace_options.num_requests = 32;
+    trace_options.seed = 5;
+    trace_options.mean_interarrival_ms = 1.0;
+    auto trace = serving::poissonTrace(trace_options);
+
+    auto makespan = [&](int64_t max_batch) {
+        serving::AnalyticCostModel cost;
+        serving::SchedulerOptions options;
+        options.max_batch = max_batch;
+        options.kv_budget_tokens = 1 << 20;
+        serving::Scheduler scheduler(options, cost);
+        return scheduler.run(trace).metrics.makespan_ms;
+    };
+    double serial = makespan(1);
+    double batched = makespan(8);
+    EXPECT_LT(batched, serial);
+}
+
+TEST(Scheduler, RejectsMalformedTracesAndOptions)
+{
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(2, 4096), cost);
+    EXPECT_THROW(scheduler.run({makeRequest(0, 0.0, 0, 1)}),
+                 FatalError);
+    EXPECT_THROW(scheduler.run({makeRequest(0, -1.0, 8, 1)}),
+                 FatalError);
+    EXPECT_THROW(scheduler.run({makeRequest(0, 0.0, 8, 1),
+                                makeRequest(0, 1.0, 8, 1)}),
+                 FatalError);
+    serving::SchedulerOptions bad;
+    bad.max_batch = 0;
+    EXPECT_THROW(serving::Scheduler(bad, cost), FatalError);
+}
+
+TEST(Scheduler, EmptyTraceYieldsEmptyMetrics)
+{
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(2, 4096), cost);
+    auto result = scheduler.run({});
+    EXPECT_EQ(result.metrics.completed, 0);
+    EXPECT_EQ(result.metrics.steps, 0);
+    EXPECT_DOUBLE_EQ(result.metrics.makespan_ms, 0.0);
+    EXPECT_DOUBLE_EQ(result.metrics.requestsPerSecond(), 0.0);
+    EXPECT_DOUBLE_EQ(result.metrics.utilization(), 0.0);
+}
