@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Die placement lab: makes placement load-bearing visible.
+ *
+ * Compiles the figure-5-style MLP pipeline (matmul -> gelu ->
+ * matmul, with a layout converter between the transposed matmul
+ * layouts) for a U55C whose inter-die links carry a real cost,
+ * under both partitioners: the ILP finds a zero-crossing placement
+ * while the greedy topological wavefront cuts the pipeline three
+ * times — and the crossing-aware FIFO sizing + simulators turn
+ * those crossings into extra predicted cycles, deeper crossing
+ * FIFOs, and crossing-attributed stall. Sweeping the link latency
+ * shows the crossings-vs-cycles tradeoff quoted in the README.
+ */
+
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "linalg/builders.h"
+#include "sim/simulator.h"
+
+using namespace streamtensor;
+
+namespace {
+
+struct Row
+{
+    int64_t crossings = 0;
+    double cycles = 0.0;
+    double ttft = 0.0;
+    double crossing_stall = 0.0;
+    int64_t crossing_fifo_tokens = 0;
+};
+
+Row
+compileAndSimulate(const hls::FpgaPlatform &platform,
+                   partition::PartitionStrategy strategy)
+{
+    compiler::CompileOptions options;
+    options.partition.strategy = strategy;
+    auto result = compiler::compile(linalg::mlpPipeline(), platform,
+                                    options);
+    Row row;
+    row.crossings = result.totalCrossings();
+    const auto &cg = result.design.components;
+    for (int64_t c = 0; c < cg.numChannels(); ++c)
+        if (cg.channel(c).inter_die && !cg.channel(c).folded)
+            row.crossing_fifo_tokens += cg.channel(c).depth;
+    for (const auto &s : sim::simulateAll(cg)) {
+        row.cycles += s.cycles;
+        row.ttft += s.first_output_cycle;
+        row.crossing_stall += s.crossing_stall_cycles;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Die placement lab: figure-5 MLP pipeline on "
+                "U55C (3 SLRs)\n");
+    std::printf("ILP vs greedy partitioning under a priced "
+                "inter-die link\n\n");
+    std::printf("%9s  %-7s %9s %10s %9s %12s %11s\n", "link_lat",
+                "part", "crossings", "cycles", "TTFT",
+                "xing_stall", "xfifo_toks");
+
+    for (double latency : {0.0, 16.0, 64.0, 256.0}) {
+        for (auto strategy : {partition::PartitionStrategy::Auto,
+                              partition::PartitionStrategy::Greedy}) {
+            hls::FpgaPlatform platform = hls::u55c();
+            platform.inter_die_latency_cycles = latency;
+            platform.inter_die_ii_penalty = latency > 0 ? 1.0 : 0.0;
+            Row row = compileAndSimulate(platform, strategy);
+            std::printf(
+                "%9.0f  %-7s %9lld %10.0f %9.0f %12.0f %11lld\n",
+                latency,
+                strategy == partition::PartitionStrategy::Auto
+                    ? "ilp"
+                    : "greedy",
+                static_cast<long long>(row.crossings), row.cycles,
+                row.ttft, row.crossing_stall,
+                static_cast<long long>(row.crossing_fifo_tokens));
+        }
+    }
+
+    std::printf("\nThe ILP keeps the whole pipeline on one die "
+                "(0 crossings): its cycles are\n"
+                "invariant to the link cost. Greedy cuts the "
+                "pipeline 3 times; each cut adds\n"
+                "link latency into the critical path (and II "
+                "penalty onto its endpoints), so\n"
+                "its cycles climb with the link cost while FIFO "
+                "sizing deepens the crossing\n"
+                "FIFOs to keep the stall at the pipeline fill, "
+                "not per token.\n");
+    return 0;
+}

@@ -30,60 +30,154 @@ StageTimes::get(const std::string &name) const
     return 0.0;
 }
 
-CompileResult
-compile(linalg::Graph graph, const hls::FpgaPlatform &platform,
-        const CompileOptions &options)
+int64_t
+CompileResult::totalCrossings() const
 {
-    CompileResult result;
+    int64_t crossings = 0;
+    for (const auto &p : partitions)
+        crossings += p.crossings;
+    return crossings;
+}
+
+Pipeline &
+Pipeline::add(std::string name, StageFn fn)
+{
+    ST_CHECK(find(name) < 0,
+             "pipeline stage names must be unique: " + name);
+    stages_.push_back({std::move(name), std::move(fn)});
+    return *this;
+}
+
+Pipeline &
+Pipeline::insertBefore(const std::string &anchor, std::string name,
+                       StageFn fn)
+{
+    ST_CHECK(find(name) < 0,
+             "pipeline stage names must be unique: " + name);
+    int64_t pos = find(anchor);
+    ST_CHECK(pos >= 0, "no pipeline stage named " + anchor);
+    stages_.insert(stages_.begin() + pos,
+                   {std::move(name), std::move(fn)});
+    return *this;
+}
+
+bool
+Pipeline::remove(const std::string &name)
+{
+    int64_t pos = find(name);
+    if (pos < 0)
+        return false;
+    stages_.erase(stages_.begin() + pos);
+    return true;
+}
+
+int64_t
+Pipeline::find(const std::string &name) const
+{
+    for (size_t i = 0; i < stages_.size(); ++i)
+        if (stages_[i].name == name)
+            return static_cast<int64_t>(i);
+    return -1;
+}
+
+void
+Pipeline::run(StageContext &ctx) const
+{
     Stopwatch watch;
-    auto record = [&](const std::string &stage) {
-        result.times.stages.emplace_back(stage,
-                                         watch.elapsedSeconds());
+    for (const Stage &stage : stages_) {
+        stage.run(ctx);
+        ctx.result.times.stages.emplace_back(
+            stage.name, watch.elapsedSeconds());
         watch.restart();
-    };
+    }
+}
 
-    // --- Linalg optimization (elementwise fusion, unit-dim
-    // folding, fill fusion).
-    result.elementwise_fused = linalg::fuseElementwiseOps(graph);
-    result.fills_fused = linalg::fuseFill(graph);
-    result.unit_dims_folded = linalg::foldUnitExtentDims(graph);
-    record("Linalg_Opt");
+namespace {
 
-    // --- Linalg tiling space exploration.
-    auto tile_configs = dse::exploreTiling(graph, options.tiling);
-    record("Linalg_Tiling");
+// --- Linalg optimization (elementwise fusion, unit-dim folding,
+// fill fusion).
+void
+stageLinalgOpt(StageContext &ctx)
+{
+    ctx.result.elementwise_fused =
+        linalg::fuseElementwiseOps(ctx.graph);
+    ctx.result.fills_fused = linalg::fuseFill(ctx.graph);
+    ctx.result.unit_dims_folded =
+        linalg::foldUnitExtentDims(ctx.graph);
+}
 
-    // --- Linalg to dataflow conversion + kernel fusion
-    // (Algorithm 1 inside Algorithm 2).
-    int64_t c_max = options.c_max > 0 ? options.c_max
-                                      : platform.onChipBytes();
-    result.design = dataflow::buildAccelerator(graph, tile_configs,
-                                               c_max);
-    record("Kernel_Fusion");
+// --- Linalg tiling space exploration.
+void
+stageLinalgTiling(StageContext &ctx)
+{
+    ctx.tile_configs =
+        dse::exploreTiling(ctx.graph, ctx.options.tiling);
+}
 
-    // --- Dataflow optimization: itensor folding + vectorization.
-    result.fold_stats = dataflow::foldITensors(
-        result.design.components);
-    result.vectorized_components = dataflow::vectorizeITensors(
-        result.design.components);
-    record("Dataflow_Opt");
+// --- Linalg to dataflow conversion + kernel fusion (Algorithm 1
+// inside Algorithm 2).
+void
+stageKernelFusion(StageContext &ctx)
+{
+    int64_t c_max = ctx.options.c_max > 0
+                        ? ctx.options.c_max
+                        : ctx.platform.onChipBytes();
+    ctx.result.design = dataflow::buildAccelerator(
+        ctx.graph, ctx.tile_configs, c_max);
+}
 
-    // --- Vendor profiling (HLS model) feeding resource alloc.
-    hls::profileComponents(result.design.components, platform);
-    record("HLS_Opt");
+// --- Dataflow optimization: itensor folding + vectorization.
+void
+stageDataflowOpt(StageContext &ctx)
+{
+    ctx.result.fold_stats =
+        dataflow::foldITensors(ctx.result.design.components);
+    ctx.result.vectorized_components =
+        dataflow::vectorizeITensors(ctx.result.design.components);
+}
 
-    // --- Resource allocation: equalization choice, per-group FIFO
-    // sizing LP, die partitioning, memory allocation.
+// --- Vendor profiling (HLS model) feeding resource alloc.
+void
+stageHlsOpt(StageContext &ctx)
+{
+    hls::profileComponents(ctx.result.design.components,
+                           ctx.platform);
+}
+
+// --- Die partitioning. Runs *before* FIFO sizing so placement
+// feeds the cost model: crossing channels get the platform's
+// inter-die link latency / II penalty stamped on them, which the
+// sizing LP prices and the simulators execute.
+void
+stageDiePartition(StageContext &ctx)
+{
+    if (!ctx.options.partition_dies)
+        return;
+    dataflow::ComponentGraph &cg = ctx.result.design.components;
+    for (int64_t group = 0; group < cg.numGroups(); ++group) {
+        ctx.result.partitions.push_back(partition::partitionGroup(
+            cg, group, ctx.platform, ctx.options.partition));
+    }
+}
+
+// --- FIFO sizing: equalization choice + per-group LP, pricing
+// crossing edges with the inter-die link cost so no-stall depths
+// absorb the link delay.
+void
+stageFifoSizing(StageContext &ctx)
+{
+    const CompileOptions &options = ctx.options;
+    CompileResult &result = ctx.result;
     token::Equalization eq = options.equalization;
     if (options.auto_conservative) {
         double pressure =
             static_cast<double>(
                 result.design.fusedIntermediateBytes() +
                 result.design.components.totalLocalBufferBytes()) /
-            static_cast<double>(platform.onChipBytes());
+            static_cast<double>(ctx.platform.onChipBytes());
         if (pressure > options.conservative_threshold) {
             eq = token::Equalization::Conservative;
-            inform("memory pressure " + std::to_string(pressure) +
+            inform("memory pressure " + formatFixed(pressure) +
                    " > threshold; using conservative FIFO sizing");
         }
     }
@@ -93,24 +187,41 @@ compile(linalg::Graph graph, const hls::FpgaPlatform &platform,
     for (int64_t group = 0; group < cg.numGroups(); ++group) {
         token::FifoSizingProblem problem;
         auto members = cg.groupComponents(group);
-        // Sparse component id -> LP node: sorted-vector flat map,
-        // same migration die_partition and sim already got.
-        support::FlatIndex dense;
-        dense.reserve(members.size());
-        for (int64_t id : members) {
-            const dataflow::Component &c = cg.component(id);
-            dense.add(id, problem.addNode({c.initial_delay,
-                                           c.total_cycles,
-                                           c.ingest_cycles}));
+        // Sparse component id -> LP node: the shared dense-remap
+        // helper (node ids are assigned in member order below, so
+        // position == node id).
+        support::FlatIndex dense =
+            support::FlatIndex::positionsOf(members);
+        // Node-level II penalties, the same max-over-channels rule
+        // the simulators apply in buildGroupSpec: a crossing
+        // endpoint paces slower on every edge it touches,
+        // including co-located and folded ones.
+        std::vector<double> ii_penalty(members.size(), 0.0);
+        for (int64_t ch_id : cg.groupChannels(group)) {
+            const dataflow::Channel &ch = cg.channel(ch_id);
+            if (ch.link_ii_penalty <= 0.0)
+                continue;
+            for (int64_t endpoint : {ch.src, ch.dst}) {
+                double &p = ii_penalty[dense.at(endpoint)];
+                p = std::max(p, ch.link_ii_penalty);
+            }
         }
-        dense.seal();
+        for (size_t i = 0; i < members.size(); ++i) {
+            const dataflow::Component &c =
+                cg.component(members[i]);
+            token::NodeTiming timing{c.initial_delay,
+                                     c.total_cycles,
+                                     c.ingest_cycles};
+            timing.ii_penalty = ii_penalty[i];
+            problem.addNode(timing);
+        }
         std::vector<int64_t> edge_channels;
         for (int64_t ch_id : cg.groupChannels(group)) {
             const dataflow::Channel &ch = cg.channel(ch_id);
             if (ch.folded)
                 continue;
             problem.addEdge(dense.at(ch.src), dense.at(ch.dst),
-                            ch.tokens);
+                            ch.tokens, ch.link_latency);
             edge_channels.push_back(ch_id);
         }
         token::FifoSizingOptions sizing_options;
@@ -133,42 +244,85 @@ compile(linalg::Graph graph, const hls::FpgaPlatform &platform,
         }
         result.sizing.push_back(std::move(sized));
     }
+}
 
-    // Guard resources: when the LP's no-stall depths exceed the
-    // on-chip budget, progressively tighten the depth cap (the
-    // reduce_stream_depth pass), trading stalls for memory.
-    int64_t depth_cap = options.max_fifo_depth;
+// --- Memory allocation, guarding resources: when the LP's
+// no-stall depths exceed the on-chip budget, progressively tighten
+// the depth cap (the reduce_stream_depth pass), trading stalls for
+// memory.
+void
+stageMemoryAlloc(StageContext &ctx)
+{
+    dataflow::ComponentGraph &cg = ctx.result.design.components;
+    int64_t depth_cap = ctx.options.max_fifo_depth;
     while (true) {
-        result.clamped_fifos =
+        ctx.result.clamped_fifos =
             dataflow::reduceStreamDepth(cg, depth_cap);
-        result.memory = partition::allocateMemory(cg, platform);
-        if (result.memory.feasible || depth_cap <= 4)
+        ctx.result.memory =
+            partition::allocateMemory(cg, ctx.platform);
+        if (ctx.result.memory.feasible || depth_cap <= 4)
             break;
         depth_cap = std::max<int64_t>(depth_cap / 4, 4);
         inform("FIFO memory over budget; reducing depth cap to " +
                std::to_string(depth_cap));
     }
+}
 
-    if (options.partition_dies) {
-        for (int64_t group = 0; group < cg.numGroups(); ++group) {
-            result.partitions.push_back(
-                partition::partitionGroup(cg, group, platform));
-        }
-    }
-    record("Resource_Alloc");
-
-    // --- Bufferization: lower to stream-level IR and verify.
-    result.module = dataflow::bufferize(cg);
-    ir::VerifyResult verify = ir::verifyModule(*result.module);
+// --- Bufferization: lower to stream-level IR and verify.
+void
+stageBufferization(StageContext &ctx)
+{
+    ctx.result.module =
+        dataflow::bufferize(ctx.result.design.components);
+    ir::VerifyResult verify = ir::verifyModule(*ctx.result.module);
     if (!verify.ok())
         ST_PANIC("bufferized module failed verification:\n" +
                  verify.str());
-    record("Bufferization");
+}
 
-    // --- Code generation: HLS C++, host runtime, connectivity.
-    result.code = hls::generateCode(cg);
-    record("Code_Gen");
-    return result;
+// --- Code generation: HLS C++, host runtime, connectivity.
+void
+stageCodeGen(StageContext &ctx)
+{
+    ctx.result.code =
+        hls::generateCode(ctx.result.design.components);
+}
+
+} // namespace
+
+Pipeline
+defaultPipeline()
+{
+    Pipeline p;
+    p.add("Linalg_Opt", stageLinalgOpt)
+        .add("Linalg_Tiling", stageLinalgTiling)
+        .add("Kernel_Fusion", stageKernelFusion)
+        .add("Dataflow_Opt", stageDataflowOpt)
+        .add("HLS_Opt", stageHlsOpt)
+        .add("Die_Partition", stageDiePartition)
+        .add("Fifo_Sizing", stageFifoSizing)
+        .add("Memory_Alloc", stageMemoryAlloc)
+        .add("Bufferization", stageBufferization)
+        .add("Code_Gen", stageCodeGen);
+    return p;
+}
+
+CompileResult
+compile(linalg::Graph graph, const hls::FpgaPlatform &platform,
+        const CompileOptions &options)
+{
+    return compileWith(defaultPipeline(), std::move(graph),
+                       platform, options);
+}
+
+CompileResult
+compileWith(const Pipeline &pipeline, linalg::Graph graph,
+            const hls::FpgaPlatform &platform,
+            const CompileOptions &options)
+{
+    StageContext ctx(std::move(graph), platform, options);
+    pipeline.run(ctx);
+    return std::move(ctx.result);
 }
 
 } // namespace compiler

@@ -101,6 +101,17 @@ struct Channel
      *  handshake). */
     bool folded = false;
 
+    /** Crossing a die boundary (written by die partitioning).
+     *  Crossing FIFOs carry the platform's inter-die link cost:
+     *  tokens arrive link_latency cycles after the push, pop
+     *  credits return link_latency cycles after the pop, and each
+     *  endpoint's firing interval grows by link_ii_penalty. FIFO
+     *  sizing prices crossing edges with these values and both
+     *  simulators model them. */
+    bool inter_die = false;
+    double link_latency = 0.0;
+    double link_ii_penalty = 0.0;
+
     /** FIFO storage in bits given its depth. */
     int64_t storageBits() const;
 };

@@ -10,6 +10,18 @@ FpgaPlatform::onChipBytes() const
                                 1024.0);
 }
 
+FpgaPlatform::DieResources
+FpgaPlatform::dieResources() const
+{
+    DieResources r;
+    int64_t dies = num_dies > 0 ? num_dies : 1;
+    r.luts = lut_count / dies;
+    r.dsps = dsp_count / dies;
+    r.bram_kib = bram_kib / dies;
+    r.uram_kib = uram_kib / dies;
+    return r;
+}
+
 double
 FpgaPlatform::channelBytesPerCycle() const
 {

@@ -59,6 +59,28 @@ struct FpgaPlatform
     /** SLR dies for graph partitioning. */
     int64_t num_dies = 3;
 
+    /** Inter-die link model: a FIFO whose endpoints land on
+     *  different dies pays this many extra cycles of latency each
+     *  way (data forward across the SLR gap, pop credit back), and
+     *  each endpoint's per-firing interval grows by the II
+     *  penalty (the SLL register handshake). Defaults to 0 so
+     *  placement is cost-free unless a target opts in — SLR hops
+     *  through dedicated laguna/SLL registers typically cost a
+     *  handful of cycles at 250 MHz. */
+    double inter_die_latency_cycles = 0.0;
+    double inter_die_ii_penalty = 0.0;
+
+    /** Even per-die slice of the fabric: the capacity view the
+     *  partitioner budgets each SLR against. */
+    struct DieResources
+    {
+        int64_t luts = 0;
+        int64_t dsps = 0;
+        int64_t bram_kib = 0;
+        int64_t uram_kib = 0;
+    };
+    DieResources dieResources() const;
+
     /** Thermal design power in watts. */
     double tdp_watts = 150.0;
 

@@ -287,5 +287,25 @@ transpose(Graph &g, int64_t x, const std::vector<int64_t> &perm,
     return out;
 }
 
+Graph
+mlpPipeline(int64_t rows, int64_t in, int64_t hidden, int64_t out)
+{
+    Graph g("fig5_pipeline");
+    int64_t x = g.addTensor(
+        ir::TensorType(ir::DataType::I8, {rows, in}), "x",
+        TensorRole::Input);
+    int64_t w1 = g.addTensor(
+        ir::TensorType(ir::DataType::I4, {in, hidden}), "w1",
+        TensorRole::Parameter);
+    int64_t h = matmul(g, x, w1, ir::DataType::I8, "fc1");
+    int64_t a = ewiseUnary(g, h, EwiseFn::Gelu, "gelu");
+    int64_t w2 = g.addTensor(
+        ir::TensorType(ir::DataType::I4, {hidden, out}), "w2",
+        TensorRole::Parameter);
+    int64_t y = matmul(g, a, w2, ir::DataType::I8, "fc2");
+    g.tensor(y).role = TensorRole::Output;
+    return g;
+}
+
 } // namespace linalg
 } // namespace streamtensor

@@ -62,6 +62,16 @@ int64_t transpose(Graph &g, int64_t x,
                   const std::vector<int64_t> &perm,
                   const std::string &name);
 
+/** The figure-5-flavoured two-layer MLP pipeline used across the
+ *  compiler tests, the e2e ILP-vs-greedy golden, and
+ *  examples/die_placement_lab: i8 input [rows, in] through an
+ *  i4-weight matmul to [rows, hidden], gelu, and a second matmul
+ *  back to [rows, out]. One shared builder keeps the golden cycle
+ *  values and the README's crossings-vs-cycles table anchored to
+ *  the same graph. */
+Graph mlpPipeline(int64_t rows = 64, int64_t in = 128,
+                  int64_t hidden = 256, int64_t out = 64);
+
 } // namespace linalg
 } // namespace streamtensor
 

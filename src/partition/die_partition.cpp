@@ -3,14 +3,50 @@
 #include <algorithm>
 
 #include "hls/resource.h"
-#include "support/flat_index.h"
 #include "solver/ilp.h"
 #include "support/error.h"
+#include "support/flat_index.h"
+#include "support/logging.h"
 
 namespace streamtensor {
 namespace partition {
 
 namespace {
+
+/** Shared epilogue of every partitioner path: tally per-die LUTs,
+ *  then stamp each group channel with the crossing flag and the
+ *  platform's inter-die link cost (cleared when co-located, so
+ *  re-partitioning never leaves stale link costs behind). */
+void
+finishPartition(dataflow::ComponentGraph &g, int64_t group,
+                const hls::FpgaPlatform &platform,
+                PartitionResult &result)
+{
+    result.crossings = 0;
+    result.die_luts.assign(platform.num_dies > 0
+                               ? platform.num_dies
+                               : 1,
+                           0.0);
+    for (int64_t id : g.groupComponents(group)) {
+        const dataflow::Component &c = g.component(id);
+        ST_ASSERT(c.die >= 0 && c.die <
+                      static_cast<int64_t>(result.die_luts.size()),
+                  "partition: die out of range");
+        result.die_luts[c.die] += hls::estimateComponent(c).luts;
+    }
+    for (int64_t ch_id : g.groupChannels(group)) {
+        dataflow::Channel &ch = g.channel(ch_id);
+        bool crosses =
+            g.component(ch.src).die != g.component(ch.dst).die;
+        ch.inter_die = crosses;
+        ch.link_latency =
+            crosses ? platform.inter_die_latency_cycles : 0.0;
+        ch.link_ii_penalty =
+            crosses ? platform.inter_die_ii_penalty : 0.0;
+        if (crosses)
+            ++result.crossings;
+    }
+}
 
 /** Greedy fallback: walk the topological order, filling die 0,
  *  then die 1, ... whenever the running resource share exceeds an
@@ -42,11 +78,7 @@ greedyPartition(dataflow::ComponentGraph &g, int64_t group,
             ++die;
         }
     }
-    for (int64_t ch : g.groupChannels(group)) {
-        const auto &c = g.channel(ch);
-        if (g.component(c.src).die != g.component(c.dst).die)
-            ++result.crossings;
-    }
+    finishPartition(g, group, platform, result);
     return result;
 }
 
@@ -61,18 +93,27 @@ partitionGroup(dataflow::ComponentGraph &g, int64_t group,
     int64_t n = static_cast<int64_t>(members.size());
     int64_t dies = platform.num_dies;
     if (n == 0) {
-        return PartitionResult{{}, 0, false};
+        PartitionResult empty;
+        empty.crossings = 0;
+        empty.used_ilp = false;
+        empty.die_luts.assign(dies > 0 ? dies : 1, 0.0);
+        return empty;
     }
-    if (dies <= 1 || n > options.max_ilp_components)
+    if (dies <= 1 ||
+        options.strategy == PartitionStrategy::Greedy ||
+        n > options.max_ilp_components)
         return greedyPartition(g, group, platform);
+
+    // Prime with the greedy assignment: it is already applied to
+    // the graph, its objective becomes the branch-and-bound
+    // cutoff (subtrees that cannot beat it are pruned at the
+    // root), and it is the answer whenever the ILP finds nothing
+    // strictly better within its node budget.
+    PartitionResult greedy = greedyPartition(g, group, platform);
 
     // Dense index of members (sorted-vector lookup) and the
     // group's internal channels.
-    support::FlatIndex idx;
-    idx.reserve(members.size());
-    for (int64_t i = 0; i < n; ++i)
-        idx.add(members[i], i);
-    idx.seal();
+    support::FlatIndex idx = support::FlatIndex::positionsOf(members);
     auto channels = g.groupChannels(group);
     int64_t m = static_cast<int64_t>(channels.size());
 
@@ -116,7 +157,14 @@ partitionGroup(dataflow::ComponentGraph &g, int64_t group,
         }
     }
 
-    // Imbalance: z >= luts(die d) - total/dies for every die.
+    // Imbalance: z >= luts(die d) - total/dies for every die; and
+    // per-die capacity: luts(die d) must fit the die's even slice
+    // of the fabric. Capacity rows only enter the ILP when they
+    // can bind — when the whole group no longer fits one die —
+    // because every assignment of a one-die-sized group satisfies
+    // them trivially and the slack rows only stall the B&B. Also
+    // skipped when even a perfect split could not fit (the greedy
+    // fallback then at least returns an assignment).
     std::vector<double> luts(n, 0.0);
     double total_luts = 0.0;
     for (int64_t i = 0; i < n; ++i) {
@@ -125,6 +173,12 @@ partitionGroup(dataflow::ComponentGraph &g, int64_t group,
                       .luts;
         total_luts += luts[i];
     }
+    double die_capacity =
+        static_cast<double>(platform.dieResources().luts);
+    bool enforce_capacity =
+        options.enforce_die_capacity &&
+        total_luts > die_capacity &&
+        total_luts <= die_capacity * static_cast<double>(dies);
     for (int64_t d = 0; d < dies; ++d) {
         std::vector<int64_t> vars{zvar};
         std::vector<double> coeffs{1.0};
@@ -135,6 +189,19 @@ partitionGroup(dataflow::ComponentGraph &g, int64_t group,
         ilp.lp().addSparseConstraint(vars, coeffs,
                                      solver::Relation::GE,
                                      -total_luts / dies);
+        if (enforce_capacity) {
+            // Scaled to units of one die capacity so the row's
+            // coefficients stay O(1) next to the 0/1 assignment
+            // columns (raw LUT counts destabilise the pivoting).
+            std::vector<int64_t> cap_vars(vars.begin() + 1,
+                                          vars.end());
+            std::vector<double> cap_coeffs(n, 0.0);
+            for (int64_t i = 0; i < n; ++i)
+                cap_coeffs[i] = luts[i] / die_capacity;
+            ilp.lp().addSparseConstraint(cap_vars, cap_coeffs,
+                                         solver::Relation::LE,
+                                         1.0);
+        }
     }
 
     // Objective: crossings + weighted imbalance (normalised).
@@ -145,9 +212,33 @@ partitionGroup(dataflow::ComponentGraph &g, int64_t group,
                      std::max(total_luts / dies, 1.0);
     ilp.lp().setObjective(zvar, z_scale);
 
-    solver::IlpSolution sol = solveIlp(ilp, options.max_ilp_nodes);
-    if (!sol.optimal())
-        return greedyPartition(g, group, platform);
+    // The greedy assignment's objective value, in the ILP's own
+    // terms (a split edge's crossing indicators sum to 2 x 0.5;
+    // the optimal z is the max die load's excess over the even
+    // share). It primes the branch-and-bound as a cutoff — but
+    // only when greedy itself satisfies any enforced capacity:
+    // a capacity-violating incumbent could prune away every
+    // feasible (necessarily more-crossing) placement.
+    double max_die_luts = *std::max_element(
+        greedy.die_luts.begin(), greedy.die_luts.end());
+    bool greedy_fits =
+        !enforce_capacity || max_die_luts <= die_capacity;
+    solver::IlpOptions ilp_options;
+    ilp_options.max_nodes = options.max_ilp_nodes;
+    if (greedy_fits) {
+        ilp_options.cutoff =
+            static_cast<double>(greedy.crossings) +
+            z_scale * (max_die_luts - total_luts / dies);
+    }
+    solver::IlpSolution sol = solveIlp(ilp, ilp_options);
+    if (!sol.optimal()) {
+        if (enforce_capacity && !greedy_fits)
+            warn("die partition: capacity enforcement requested "
+                 "but the ILP found no assignment within the "
+                 "node budget; returning the capacity-unaware "
+                 "greedy placement");
+        return greedy; // nothing strictly better found
+    }
 
     PartitionResult result;
     result.used_ilp = true;
@@ -160,11 +251,7 @@ partitionGroup(dataflow::ComponentGraph &g, int64_t group,
             }
         }
     }
-    for (int64_t ch : channels) {
-        const auto &c = g.channel(ch);
-        if (g.component(c.src).die != g.component(c.dst).die)
-            ++result.crossings;
-    }
+    finishPartition(g, group, platform, result);
     return result;
 }
 

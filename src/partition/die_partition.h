@@ -6,9 +6,17 @@
  * task assignment and per-die resource capacity.
  *
  * Solved with ILP (binary assignment variables, crossing
- * indicators linearised) for small groups; a greedy
- * topological-wavefront fallback handles large groups or ILP
- * node-budget exhaustion.
+ * indicators linearised, per-die LUT capacity rows) for small
+ * groups; a greedy topological-wavefront fallback handles large
+ * groups or ILP node-budget exhaustion.
+ *
+ * Placement is load-bearing: besides writing each component's
+ * `die`, partitioning stamps every crossing channel with the
+ * platform's inter-die link model (`Channel::inter_die`,
+ * `link_latency`, `link_ii_penalty`), which FIFO sizing prices
+ * and both simulators execute. Different placements therefore
+ * produce different predicted cycles, not just different
+ * crossing counts.
  */
 
 #ifndef STREAMTENSOR_PARTITION_DIE_PARTITION_H
@@ -35,11 +43,25 @@ struct PartitionResult
 
     /** True when the ILP produced the assignment (else greedy). */
     bool used_ilp = true;
+
+    /** LUTs placed on each die (size = platform num_dies). */
+    std::vector<double> die_luts;
+};
+
+/** Which partitioner to run. */
+enum class PartitionStrategy {
+    /** ILP within the size guard, greedy fallback beyond it. */
+    Auto,
+    /** Always the greedy topological wavefront (baselines and
+     *  the ILP-vs-greedy differential suite). */
+    Greedy,
 };
 
 /** Options for the partitioner. */
 struct PartitionOptions
 {
+    PartitionStrategy strategy = PartitionStrategy::Auto;
+
     /** Groups with more components than this go straight to the
      *  greedy fallback (ILP size guard). */
     int64_t max_ilp_components = 24;
@@ -49,12 +71,24 @@ struct PartitionOptions
 
     /** Weight of the resource-imbalance term vs crossings. */
     double imbalance_weight = 0.25;
+
+    /** Add hard per-die LUT capacity rows
+     *  (FpgaPlatform::dieResources) to the ILP. Off by default:
+     *  capacity rows make the relaxation much weaker (the
+     *  branch-and-bound routinely exhausts its node budget and
+     *  falls back to greedy), so they are reserved for floorplan
+     *  studies where the balance term alone is not enough. The
+     *  imbalance objective keeps default placements near the even
+     *  split either way, and PartitionResult::die_luts reports
+     *  the realised per-die load for validation. */
+    bool enforce_die_capacity = false;
 };
 
 /**
  * Partition one fused group of @p g across the platform's dies,
- * writing each component's `die` field. Returns the result
- * summary.
+ * writing each component's `die` field and stamping the group's
+ * channels with the platform's inter-die link cost. Returns the
+ * result summary.
  */
 PartitionResult
 partitionGroup(dataflow::ComponentGraph &g, int64_t group,

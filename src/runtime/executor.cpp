@@ -50,6 +50,24 @@ CompiledBlock::deadlocked() const
     return false;
 }
 
+int64_t
+CompiledBlock::crossings() const
+{
+    int64_t crossings = 0;
+    for (const auto &s : sims)
+        crossings += s.crossing_channels;
+    return crossings;
+}
+
+double
+CompiledBlock::crossingStallCycles() const
+{
+    double cycles = 0.0;
+    for (const auto &s : sims)
+        cycles += s.crossing_stall_cycles;
+    return cycles;
+}
+
 LlmExecutor::LlmExecutor(models::LlmConfig config,
                          hls::FpgaPlatform platform,
                          compiler::CompileOptions options)
@@ -131,6 +149,16 @@ LlmExecutor::run(int64_t input_len, int64_t output_len)
     result.decode_ms_per_token =
         config_.layers *
         (result.block_decode_ms + overhead_ms(output_len));
+
+    // Placement visibility: crossings of both compiled blocks and
+    // the crossing-attributed stall of one prefill pass plus one
+    // decode step across all layers.
+    result.crossings = prefill.crossings() + decode.crossings();
+    result.crossing_stall_ms =
+        config_.layers *
+        (prefill.crossingStallCycles() +
+         decode.crossingStallCycles()) /
+        freq_hz * 1e3;
     double decode_total_ms =
         result.decode_ms_per_token * output_len;
     result.total_latency_ms = result.ttft_ms + decode_total_ms;
@@ -202,6 +230,10 @@ LlmExecutor::step(const std::vector<StepGroup> &groups)
             blk.batchedCycles(count) / freq_hz * 1e3 +
             invocationOverheadMs(platform_, total_seqs);
         result.step_ms += config_.layers * trigger_ms;
+        result.crossings += blk.crossings();
+        result.crossing_stall_ms += config_.layers *
+                                    blk.crossingStallCycles() /
+                                    freq_hz * 1e3;
     }
     return result;
 }

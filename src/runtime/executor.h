@@ -50,6 +50,13 @@ struct LlmRunResult
     /** A simulation deadlocked (should never happen with LP
      *  sizing; surfaced for the ablation benches). */
     bool deadlock = false;
+
+    /** Inter-die crossings of the prefill + decode blocks, and
+     *  the crossing-attributed stall time across all layers of
+     *  one prefill pass plus one decode step (placement cost
+     *  visibility; 0 on zero-cost link models). */
+    int64_t crossings = 0;
+    double crossing_stall_ms = 0.0;
 };
 
 /** One compiled + simulated block shape. */
@@ -68,6 +75,13 @@ struct CompiledBlock
     /** True when any group deadlocked or timed out (either way the
      *  simulated cycles are not a completed run). */
     bool deadlocked() const;
+
+    /** Inter-die channel crossings across the block's groups. */
+    int64_t crossings() const;
+
+    /** Stall cycles attributed to inter-die channels across the
+     *  block's groups (one trigger). */
+    double crossingStallCycles() const;
 };
 
 /** One shape group of a serving step: @p count sequences whose
@@ -84,6 +98,12 @@ struct StepResult
 {
     double step_ms = 0.0;
     bool deadlock = false;
+
+    /** Inter-die crossings of the step's distinct blocks, and the
+     *  crossing-attributed stall time across all layers/triggers
+     *  of the step. */
+    int64_t crossings = 0;
+    double crossing_stall_ms = 0.0;
 };
 
 /** Compiles transformer blocks on demand and executes requests. */

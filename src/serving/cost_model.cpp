@@ -9,6 +9,8 @@ ExecutorCostModel::stepMs(
 {
     runtime::StepResult step = executor_.step(groups);
     saw_deadlock_ = saw_deadlock_ || step.deadlock;
+    last_crossings_ = step.crossings;
+    crossing_stall_ms_ += step.crossing_stall_ms;
     return step.step_ms;
 }
 

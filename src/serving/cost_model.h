@@ -34,9 +34,18 @@ class ExecutorCostModel : public StepCostModel
     /** True once any costed block deadlocked or timed out. */
     bool sawDeadlock() const { return saw_deadlock_; }
 
+    /** Serving-side placement metrics: inter-die crossings of the
+     *  most recent step's blocks, and the crossing-attributed
+     *  stall time accumulated across every costed step (how much
+     *  of the serving run's busy time the die boundaries ate). */
+    int64_t lastStepCrossings() const { return last_crossings_; }
+    double crossingStallMs() const { return crossing_stall_ms_; }
+
   private:
     runtime::LlmExecutor &executor_;
     bool saw_deadlock_ = false;
+    int64_t last_crossings_ = 0;
+    double crossing_stall_ms_ = 0.0;
 };
 
 /** Closed-form linear cost: per-step trigger cost per shape group

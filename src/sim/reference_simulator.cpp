@@ -18,10 +18,27 @@ using detail::cumulativeTokens;
 using detail::fireTimeAt;
 using detail::GroupSpec;
 
-/** Simulation state of one FIFO channel. */
+/** Simulation state of one FIFO channel, split into the two die
+ *  views an inter-die link decouples: the producer sees pushed
+ *  minus credited (pop credits return link-latency cycles after
+ *  the pop), the consumer sees arrived minus popped (pushes land
+ *  link-latency cycles after the firing). Co-located channels
+ *  (latency 0) keep both views equal at every examination, which
+ *  reduces to the old single-occupancy code bit for bit. */
 struct ChannelState
 {
-    int64_t occupancy = 0;
+    int64_t pushed = 0;   ///< tokens pushed (producer side)
+    int64_t arrived = 0;  ///< tokens landed on the consumer side
+    int64_t popped = 0;   ///< tokens popped
+    int64_t credited = 0; ///< pop credits back at the producer
+    /** In-flight (time, count) queues, drained lazily at
+     *  examinations; arrival/credit times are nondecreasing
+     *  because pushes/pops happen in event order. Empty for
+     *  latency-0 channels. */
+    std::vector<std::pair<double, int64_t>> pending_arrivals;
+    std::vector<std::pair<double, int64_t>> pending_credits;
+    size_t arrival_head = 0;
+    size_t credit_head = 0;
     ChannelStats stats;
 };
 
@@ -36,6 +53,7 @@ struct ComponentState
     int64_t anchor_fired = 0;
     double ready_time = 0.0; ///< own pipeline availability
     double blocked_since = -1.0;
+    bool blocked_on_crossing = false;
     bool in_queue = false;
     std::vector<int64_t> consumed; ///< per in channel
     std::vector<int64_t> produced; ///< per out channel
@@ -80,6 +98,9 @@ simulateGroupReference(const dataflow::ComponentGraph &g,
     SimResult result;
     result.components.resize(comps.size());
     result.channels.resize(channels.size());
+    for (const ChannelSpec &ch : spec.chans)
+        if (ch.inter_die)
+            ++result.crossing_channels;
     double now = 0.0;
     int64_t live = static_cast<int64_t>(comps.size());
     bool first_output_seen = false;
@@ -93,12 +114,72 @@ simulateGroupReference(const dataflow::ComponentGraph &g,
         if (s.in_queue || done(i))
             return;
         if (s.blocked_since >= 0.0) {
-            result.components[i].stall_cycles +=
+            double credit =
                 std::max(t, s.blocked_since) - s.blocked_since;
+            result.components[i].stall_cycles += credit;
+            if (s.blocked_on_crossing)
+                result.crossing_stall_cycles += credit;
             s.blocked_since = -1.0;
+            s.blocked_on_crossing = false;
         }
         queue.push({std::max(t, s.ready_time), i});
         s.in_queue = true;
+    };
+
+    // Lazy delivery: move in-flight tokens/credits whose link
+    // transit completed by @p t into the visible counters. The
+    // drained prefix is compacted away once it dominates the
+    // vector, keeping a crossing channel's state proportional to
+    // the tokens actually in flight rather than to every push of
+    // the run.
+    auto compact = [](std::vector<std::pair<double, int64_t>> &q,
+                      size_t &head) {
+        if (head >= 64 && head * 2 >= q.size()) {
+            q.erase(q.begin(), q.begin() + head);
+            head = 0;
+        }
+    };
+    auto drainArrivals = [&](ChannelState &c, double t) {
+        while (c.arrival_head < c.pending_arrivals.size() &&
+               c.pending_arrivals[c.arrival_head].first <= t) {
+            c.arrived += c.pending_arrivals[c.arrival_head].second;
+            ++c.arrival_head;
+        }
+        compact(c.pending_arrivals, c.arrival_head);
+    };
+    auto drainCredits = [&](ChannelState &c, double t) {
+        while (c.credit_head < c.pending_credits.size() &&
+               c.pending_credits[c.credit_head].first <= t) {
+            c.credited += c.pending_credits[c.credit_head].second;
+            ++c.credit_head;
+        }
+        compact(c.pending_credits, c.credit_head);
+    };
+
+    /** Earliest pending-arrival time by which the channel's
+     *  consumer-visible tokens reach arrived + @p deficit; < 0
+     *  when the in-flight tokens cannot cover it. */
+    auto arrivalCovering = [&](const ChannelState &c,
+                               int64_t deficit) {
+        int64_t extra = 0;
+        for (size_t k = c.arrival_head;
+             k < c.pending_arrivals.size(); ++k) {
+            extra += c.pending_arrivals[k].second;
+            if (extra >= deficit)
+                return c.pending_arrivals[k].first;
+        }
+        return -1.0;
+    };
+    auto creditCovering = [&](const ChannelState &c,
+                              int64_t deficit) {
+        int64_t extra = 0;
+        for (size_t k = c.credit_head;
+             k < c.pending_credits.size(); ++k) {
+            extra += c.pending_credits[k].second;
+            if (extra >= deficit)
+                return c.pending_credits[k].first;
+        }
+        return -1.0;
     };
 
     // A component blocked across several channels registers once
@@ -140,66 +221,113 @@ simulateGroupReference(const dataflow::ComponentGraph &g,
         ++result.events;
 
         // Check input availability and output space for firing k.
+        // Crossing channels satisfy the checks only with tokens
+        // (credits) whose link transit completed by t; pending
+        // in-flight entries that will cover the deficit give the
+        // exact self-wake time, mirroring the leap engine's
+        // covered-block path.
         int64_t k = s.fired;
         bool blocked = false;
+        bool covered = true;
+        double wake_t = t;
         for (size_t ci = 0; ci < cs.in_channels.size(); ++ci) {
             int64_t c = cs.in_channels[ci];
+            ChannelState &chan = channels[c];
+            drainArrivals(chan, t);
             int64_t need =
                 cumulativeTokens(k, cs.firings,
                                  spec.chans[c].tokens) -
                 s.consumed[ci];
-            if (channels[c].occupancy < need) {
-                registerWaiter(data_waiters, c, i);
+            int64_t avail = chan.arrived - chan.popped;
+            if (avail < need) {
                 blocked = true;
+                s.blocked_on_crossing |= spec.chans[c].inter_die;
+                double ta = arrivalCovering(chan, need - avail);
+                if (ta >= 0.0) {
+                    wake_t = std::max(wake_t, ta);
+                } else {
+                    registerWaiter(data_waiters, c, i);
+                    covered = false;
+                }
             }
         }
         for (size_t ci = 0; ci < cs.out_channels.size(); ++ci) {
             int64_t c = cs.out_channels[ci];
+            ChannelState &chan = channels[c];
+            drainCredits(chan, t);
             int64_t put =
                 cumulativeTokens(k, cs.firings,
                                  spec.chans[c].tokens) -
                 s.produced[ci];
-            if (channels[c].occupancy + put >
-                spec.chans[c].capacity) {
-                registerWaiter(space_waiters, c, i);
+            int64_t over = chan.pushed + put - chan.credited -
+                           spec.chans[c].capacity;
+            if (over > 0) {
                 blocked = true;
+                s.blocked_on_crossing |= spec.chans[c].inter_die;
+                double ta = creditCovering(chan, over);
+                if (ta >= 0.0) {
+                    wake_t = std::max(wake_t, ta);
+                } else {
+                    registerWaiter(space_waiters, c, i);
+                    covered = false;
+                }
             }
         }
         if (blocked) {
             if (s.blocked_since < 0.0)
                 s.blocked_since = t;
+            if (covered)
+                wake(i, wake_t); // in-flight entries cover the need
             continue;
         }
 
-        // Fire: consume, produce, advance.
+        // Fire: consume, produce, advance. Crossing pops return
+        // their credit (and crossing pushes land) latency cycles
+        // from now, so waiters are woken at the delivery time.
         for (size_t ci = 0; ci < cs.in_channels.size(); ++ci) {
             int64_t c = cs.in_channels[ci];
+            const ChannelSpec &cspec = spec.chans[c];
             int64_t need =
-                cumulativeTokens(k, cs.firings,
-                                 spec.chans[c].tokens) -
+                cumulativeTokens(k, cs.firings, cspec.tokens) -
                 s.consumed[ci];
             if (need <= 0)
                 continue;
-            channels[c].occupancy -= need;
+            ChannelState &chan = channels[c];
+            chan.popped += need;
             s.consumed[ci] += need;
-            channels[c].stats.pops += need;
-            drainWaiters(space_waiters, c, t);
+            chan.stats.pops += need;
+            if (cspec.latency > 0.0) {
+                chan.pending_credits.emplace_back(
+                    t + cspec.latency, need);
+            } else {
+                chan.credited += need;
+            }
+            drainWaiters(space_waiters, c, t + cspec.latency);
         }
         for (size_t ci = 0; ci < cs.out_channels.size(); ++ci) {
             int64_t c = cs.out_channels[ci];
+            const ChannelSpec &cspec = spec.chans[c];
             int64_t put =
-                cumulativeTokens(k, cs.firings,
-                                 spec.chans[c].tokens) -
+                cumulativeTokens(k, cs.firings, cspec.tokens) -
                 s.produced[ci];
             if (put <= 0)
                 continue;
-            channels[c].occupancy += put;
+            ChannelState &chan = channels[c];
+            chan.pushed += put;
             s.produced[ci] += put;
-            channels[c].stats.pushes += put;
-            channels[c].stats.max_occupancy =
-                std::max(channels[c].stats.max_occupancy,
-                         channels[c].occupancy);
-            drainWaiters(data_waiters, c, t);
+            chan.stats.pushes += put;
+            if (cspec.latency > 0.0) {
+                chan.pending_arrivals.emplace_back(
+                    t + cspec.latency, put);
+            } else {
+                chan.arrived += put;
+            }
+            // Peak of the producer-side view: what the capacity
+            // check constrains.
+            chan.stats.max_occupancy =
+                std::max(chan.stats.max_occupancy,
+                         chan.pushed - chan.credited);
+            drainWaiters(data_waiters, c, t + cspec.latency);
         }
 
         // First token reaching a store DMA marks group TTFT.

@@ -37,6 +37,17 @@ struct ChannelSpec
     int64_t capacity = 2; ///< FIFO depth (folded: consumer burst)
     int64_t src = -1;     ///< producer, dense component index
     int64_t dst = -1;     ///< consumer, dense component index
+
+    /** Inter-die link latency in cycles: a push becomes visible
+     *  to the consumer `latency` cycles after the firing, and a
+     *  pop's credit reaches the producer `latency` cycles after
+     *  the pop. 0 for co-located channels (today's semantics,
+     *  bit for bit). */
+    double latency = 0.0;
+
+    /** True when the channel crosses a die boundary (stall
+     *  attribution and crossing counts). */
+    bool inter_die = false;
 };
 
 /** Hoisted per-component constants. */
@@ -44,9 +55,14 @@ struct ComponentSpec
 {
     int64_t id = -1; ///< graph component id
     int64_t firings = 1;
-    double ii = 1.0;
+    double ii = 1.0; ///< pace, inclusive of ii_penalty
     double initial_delay = 0.0;
     bool is_store = false;
+
+    /** Largest inter-die II penalty over the component's channels
+     *  (already folded into ii; kept for reporting). */
+    double ii_penalty = 0.0;
+
     std::vector<int64_t> in_channels;  ///< dense channel indices
     std::vector<int64_t> out_channels;
 };
@@ -126,11 +142,8 @@ buildGroupSpec(const dataflow::ComponentGraph &g, int64_t group)
     // Dense indices: sorted-vector flat lookup instead of a
     // node-per-entry tree map (every channel endpoint resolves
     // through this).
-    support::FlatIndex comp_index;
-    comp_index.reserve(member_ids.size());
-    for (size_t i = 0; i < member_ids.size(); ++i)
-        comp_index.add(member_ids[i], static_cast<int64_t>(i));
-    comp_index.seal();
+    support::FlatIndex comp_index =
+        support::FlatIndex::positionsOf(member_ids);
 
     spec.comps.resize(member_ids.size());
     spec.chans.resize(channel_ids.size());
@@ -144,6 +157,8 @@ buildGroupSpec(const dataflow::ComponentGraph &g, int64_t group)
             ch.folded ? g.channelBurst(channel_ids[c]) : ch.depth;
         cs.src = comp_index.at(ch.src);
         cs.dst = comp_index.at(ch.dst);
+        cs.latency = ch.link_latency;
+        cs.inter_die = ch.inter_die;
         spec.comps[cs.src].out_channels.push_back(
             static_cast<int64_t>(c));
         spec.comps[cs.dst].in_channels.push_back(
@@ -172,6 +187,23 @@ buildGroupSpec(const dataflow::ComponentGraph &g, int64_t group)
                    : span;
         s.ii = std::max(s.ii, 1e-9);
     }
+    // Die-crossing II penalty: every firing of a component that
+    // pushes or pops across a die boundary pays the link handshake
+    // on top of its profiled pace. Applied here, in the shared
+    // spec builder, so both simulators see the identical double
+    // (x + 0.0 == x keeps the zero-cost model bit-identical).
+    for (size_t c = 0; c < channel_ids.size(); ++c) {
+        double penalty =
+            g.channel(channel_ids[c]).link_ii_penalty;
+        if (penalty <= 0.0)
+            continue;
+        ComponentSpec &src = spec.comps[spec.chans[c].src];
+        ComponentSpec &dst = spec.comps[spec.chans[c].dst];
+        src.ii_penalty = std::max(src.ii_penalty, penalty);
+        dst.ii_penalty = std::max(dst.ii_penalty, penalty);
+    }
+    for (ComponentSpec &s : spec.comps)
+        s.ii += s.ii_penalty;
     return spec;
 }
 

@@ -28,6 +28,19 @@
  * has exactly one producer and one consumer. Firing times therefore
  * reproduce the reference event order bit-for-bit, which the
  * differential suite (tests/sim_differential_test.cpp) asserts.
+ *
+ * Inter-die channels shift visibility in time rather than changing
+ * the firing expressions: a crossing push is visible to the
+ * consumer latency cycles after the producer's fire time, and a
+ * crossing pop's credit reaches the producer latency cycles after
+ * the consumer's fire time. Visibility queries therefore evaluate
+ * the counterpart's committed schedule at tau - latency — which can
+ * predate the counterpart's current window anchor, so re-anchoring
+ * retires the old window into a per-component history instead of
+ * forgetting it. Wake times add the latency to the exact
+ * counterpart fire time. With latency 0 every expression reduces to
+ * the previous code (x - 0.0 == x), keeping the zero-cost model
+ * bit-identical.
  */
 
 #include "sim/simulator.h"
@@ -64,7 +77,19 @@ struct CompRt
     int64_t anchor_fired = 0;
     double finish_time = 0.0;
     double blocked_since = -1.0;
+    bool blocked_on_crossing = false;
     bool in_queue = false;
+
+    /** Retired pace windows, oldest first: (anchor, anchor_fired)
+     *  pairs whose firings [anchor_fired, next anchor_fired) ran
+     *  at fireTimeAt of that window. Appended on re-anchor (one
+     *  entry per blocking episode that committed firings), so the
+     *  history is bounded by heap events. Inter-die latency makes
+     *  counterpart visibility queries reach `latency` cycles into
+     *  the past — past the current window's anchor — and the
+     *  history keeps those queries exact. Anchors are strictly
+     *  increasing and windows tile [0, current anchor_fired). */
+    std::vector<std::pair<double, int64_t>> windows;
 };
 
 /** Mutable per-channel state: committed cumulative token counts
@@ -97,20 +122,20 @@ class LeapSim
         return comps_[i].fired >= spec_.comps[i].firings;
     }
 
-    /** Committed firings of component @p i with fire time <= tau
-     *  (tau >= the current event time). */
+    /** In-window delivery count helper: last firing of a window
+     *  anchored at (@p anchor, 0) whose *delivery* time (fire
+     *  time + @p lat) is <= tau, where @p w firings exist.
+     *  Estimates from real division, then fixes up against the
+     *  canonical time expression so the count agrees exactly with
+     *  the reference engine, which compares fireTime + lat <= tau
+     *  — the comparison MUST happen in that addition domain
+     *  (fireTime <= tau - lat is not FP-equivalent). Returns m in
+     *  [-1, w-1]; the caller adds the window's base count. */
     int64_t
-    committedCountAt(int64_t i, double tau) const
+    windowCountAt(double anchor, int64_t w, double ii, double tau,
+                  double lat) const
     {
-        const CompRt &s = comps_[i];
-        int64_t w = s.fired - s.anchor_fired;
-        if (w <= 0)
-            return s.fired; // whole history predates the window
-        double ii = spec_.comps[i].ii;
-        // Estimate the last in-window firing at or before tau, then
-        // fix up against the canonical time expression so the count
-        // agrees exactly with event-time comparisons.
-        double rel = (tau - s.anchor) / ii;
+        double rel = (tau - lat - anchor) / ii;
         int64_t m;
         if (!(rel < static_cast<double>(w - 1)))
             m = w - 1;
@@ -119,31 +144,104 @@ class LeapSim
         else
             m = static_cast<int64_t>(rel);
         while (m + 1 <= w - 1 &&
-               fireTimeAt(s.anchor, 0, m + 1, ii) <= tau)
+               fireTimeAt(anchor, 0, m + 1, ii) + lat <= tau)
             ++m;
-        while (m >= 0 && fireTimeAt(s.anchor, 0, m, ii) > tau)
+        while (m >= 0 && fireTimeAt(anchor, 0, m, ii) + lat > tau)
             --m;
-        return s.anchor_fired + m + 1;
+        return m;
     }
 
-    /** Channel tokens pushed by firings committed at or before
-     *  @p tau. */
+    /** Committed firings of component @p i delivered by @p tau:
+     *  fire time + @p lat <= tau (lat = 0 for co-located
+     *  channels, where x + 0.0 == x keeps the old semantics bit
+     *  for bit). Latency-free queries always have tau >= the
+     *  component's current anchor (events are processed in time
+     *  order); a crossing channel's delivery horizon tau - lat
+     *  can land before it, in which case the retired-window
+     *  history resolves the exact count. */
+    int64_t
+    committedCountAt(int64_t i, double tau, double lat) const
+    {
+        const CompRt &s = comps_[i];
+        if (tau < s.anchor + lat)
+            return historicCountAt(i, tau, lat);
+        int64_t w = s.fired - s.anchor_fired;
+        if (w <= 0)
+            return s.fired; // whole history predates the window
+        double ii = spec_.comps[i].ii;
+        return s.anchor_fired +
+               windowCountAt(s.anchor, w, ii, tau, lat) + 1;
+    }
+
+    /** Delivered-by-tau count when the horizon precedes the
+     *  current window's anchor: binary-search the retired windows
+     *  (window k's firings all precede window k+1's anchor, and
+     *  x <= y implies x + lat <= y + lat, so the per-window
+     *  anchor+lat keys stay sorted). */
+    int64_t
+    historicCountAt(int64_t i, double tau, double lat) const
+    {
+        const CompRt &s = comps_[i];
+        const auto &h = s.windows;
+        auto it = std::upper_bound(
+            h.begin(), h.end(), tau,
+            [lat](double v, const std::pair<double, int64_t> &w) {
+                return v < w.first + lat;
+            });
+        if (it == h.begin())
+            return 0; // before the first committed delivery
+        --it;
+        int64_t f_lo = it->second;
+        int64_t f_hi = (it + 1 == h.end()) ? s.anchor_fired
+                                           : (it + 1)->second;
+        int64_t w = f_hi - f_lo; // > 0: empty windows not retired
+        double ii = spec_.comps[i].ii;
+        return f_lo + windowCountAt(it->first, w, ii, tau, lat) + 1;
+    }
+
+    /** Exact fire time of committed firing @p n of component
+     *  @p i (n < fired), reconstructed from the window that
+     *  committed it — the same fireTimeAt doubles the reference
+     *  engine produced at its events. */
+    double
+    fireTimeOf(int64_t i, int64_t n) const
+    {
+        const CompRt &s = comps_[i];
+        double ii = spec_.comps[i].ii;
+        if (n >= s.anchor_fired)
+            return fireTimeAt(s.anchor, s.anchor_fired, n, ii);
+        const auto &h = s.windows;
+        auto it = std::upper_bound(
+            h.begin(), h.end(), n,
+            [](int64_t v, const std::pair<double, int64_t> &w) {
+                return v < w.second;
+            });
+        ST_ASSERT(it != h.begin(),
+                  "sim: firing predates all windows");
+        --it;
+        return fireTimeAt(it->first, it->second, n, ii);
+    }
+
+    /** Channel tokens pushed by committed firings *and visible to
+     *  the consumer by @p tau*: a crossing push lands latency
+     *  cycles after the firing. */
     int64_t
     pushedAt(int64_t c, double tau) const
     {
         const ChannelSpec &ch = spec_.chans[c];
-        int64_t n = committedCountAt(ch.src, tau);
+        int64_t n = committedCountAt(ch.src, tau, ch.latency);
         return cumulativeTokens(n - 1, spec_.comps[ch.src].firings,
                                 ch.tokens);
     }
 
-    /** Channel tokens popped by firings committed at or before
-     *  @p tau. */
+    /** Channel tokens popped by committed firings *whose credit
+     *  has reached the producer by @p tau* (crossing pops return
+     *  their credit latency cycles late). */
     int64_t
     poppedAt(int64_t c, double tau) const
     {
         const ChannelSpec &ch = spec_.chans[c];
-        int64_t n = committedCountAt(ch.dst, tau);
+        int64_t n = committedCountAt(ch.dst, tau, ch.latency);
         return cumulativeTokens(n - 1, spec_.comps[ch.dst].firings,
                                 ch.tokens);
     }
@@ -205,7 +303,9 @@ class LeapSim
     /** Component @p i cannot fire at @p t: compute its exact
      *  wake-up from committed counterpart schedules, or register it
      *  as a channel waiter when its need outruns every
-     *  commitment. */
+     *  commitment. Crossing channels satisfy the need only when
+     *  the firing's data (or credit) lands, latency cycles after
+     *  the counterpart's fire time. */
     void
     block(int64_t i, double t)
     {
@@ -222,15 +322,13 @@ class LeapSim
                 cumulativeTokens(f0, cs.firings, ch.tokens);
             if (pushedAt(c, t) >= need)
                 continue; // not a blocking channel
+            s.blocked_on_crossing |= ch.inter_die;
             const CompRt &p = comps_[ch.src];
             int64_t pf = spec_.comps[ch.src].firings;
             int64_t n = firstFiringReaching(need, pf, ch.tokens);
             if (n < p.fired) {
                 double avail =
-                    n >= p.anchor_fired
-                        ? fireTimeAt(p.anchor, p.anchor_fired, n,
-                                     spec_.comps[ch.src].ii)
-                        : t;
+                    fireTimeOf(ch.src, n) + ch.latency;
                 wake_t = std::max(wake_t, avail);
             } else {
                 chans_[c].cons_waiting = true;
@@ -244,16 +342,14 @@ class LeapSim
                 ch.capacity;
             if (need_pops <= 0 || poppedAt(c, t) >= need_pops)
                 continue;
+            s.blocked_on_crossing |= ch.inter_die;
             const CompRt &x = comps_[ch.dst];
             int64_t xf = spec_.comps[ch.dst].firings;
             int64_t n =
                 firstFiringReaching(need_pops, xf, ch.tokens);
             if (n < x.fired) {
                 double avail =
-                    n >= x.anchor_fired
-                        ? fireTimeAt(x.anchor, x.anchor_fired, n,
-                                     spec_.comps[ch.dst].ii)
-                        : t;
+                    fireTimeOf(ch.dst, n) + ch.latency;
                 wake_t = std::max(wake_t, avail);
             } else {
                 chans_[c].prod_waiting = true;
@@ -268,8 +364,9 @@ class LeapSim
     }
 
     /** After the producer of @p c committed more firings: wake the
-     *  waiting consumer at the exact time its need is met, or keep
-     *  it registered when still uncovered. */
+     *  waiting consumer at the exact time its need is met (arrival
+     *  = fire time + link latency), or keep it registered when
+     *  still uncovered. */
     void
     wakeConsumer(int64_t c, double now)
     {
@@ -283,15 +380,13 @@ class LeapSim
         if (n >= p.fired)
             return; // still uncovered: stay registered
         chans_[c].cons_waiting = false;
-        double avail = n >= p.anchor_fired
-                           ? fireTimeAt(p.anchor, p.anchor_fired,
-                                        n, spec_.comps[ch.src].ii)
-                           : now;
+        double avail = fireTimeOf(ch.src, n) + ch.latency;
         schedule(x, std::max(avail, now));
     }
 
     /** After the consumer of @p c committed more firings: wake the
-     *  space-waiting producer symmetrically. */
+     *  space-waiting producer symmetrically (credit return pays
+     *  the link latency too). */
     void
     wakeProducer(int64_t c, double now)
     {
@@ -309,10 +404,7 @@ class LeapSim
         if (n >= x.fired)
             return; // still uncovered: stay registered
         chans_[c].prod_waiting = false;
-        double avail = n >= x.anchor_fired
-                           ? fireTimeAt(x.anchor, x.anchor_fired,
-                                        n, spec_.comps[ch.dst].ii)
-                           : now;
+        double avail = fireTimeOf(ch.dst, n) + ch.latency;
         schedule(p, std::max(avail, now));
     }
 
@@ -342,9 +434,13 @@ LeapSim::process(double t, int64_t i)
     const ComponentSpec &cs = spec_.comps[i];
 
     // A firing at its predicted pace extends the current window; an
-    // off-pace event (a wake after a stall) re-anchors it. Either
-    // way firing fired happens at exactly t if it happens now.
+    // off-pace event (a wake after a stall) re-anchors it, retiring
+    // the old window into the history (crossing-channel visibility
+    // queries reach latency cycles into the past). Either way
+    // firing fired happens at exactly t if it happens now.
     if (t != fireTimeAt(s.anchor, s.anchor_fired, s.fired, cs.ii)) {
+        if (s.fired > s.anchor_fired)
+            s.windows.emplace_back(s.anchor, s.anchor_fired);
         s.anchor = t;
         s.anchor_fired = s.fired;
     }
@@ -356,7 +452,10 @@ LeapSim::process(double t, int64_t i)
     }
     if (s.blocked_since >= 0.0) {
         result_.components[i].stall_cycles += t - s.blocked_since;
+        if (s.blocked_on_crossing)
+            result_.crossing_stall_cycles += t - s.blocked_since;
         s.blocked_since = -1.0;
+        s.blocked_on_crossing = false;
     }
 
     // ---- Find the batch [f0, j_end]: the longest on-pace run
@@ -478,6 +577,9 @@ LeapSim::run()
 {
     result_.components.resize(comps_.size());
     result_.channels.resize(chans_.size());
+    for (const ChannelSpec &ch : spec_.chans)
+        if (ch.inter_die)
+            ++result_.crossing_channels;
     live_ = static_cast<int64_t>(comps_.size());
     for (size_t i = 0; i < comps_.size(); ++i) {
         comps_[i].anchor = spec_.comps[i].initial_delay;

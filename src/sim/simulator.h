@@ -11,7 +11,12 @@
  * and the token dynamics of Fig. 8, detects deadlocks caused by
  * undersized FIFOs on reconvergent paths, and reports per-FIFO
  * peak occupancy so LP sizing can be validated against observed
- * behaviour.
+ * behaviour. Channels crossing a die boundary (die partitioning's
+ * Channel::inter_die) execute the platform's link model: pushes
+ * become visible to the consumer link_latency cycles late, pop
+ * credits return to the producer link_latency cycles late, and
+ * crossing endpoints pace at II + link_ii_penalty — so placement
+ * changes predicted cycles, not just crossing counts.
  *
  * The production simulator (this header) advances by *leap-ahead
  * batched firing*: whenever a component's input occupancies and
@@ -83,6 +88,18 @@ struct SimResult
      *  unblocked pipeline in O(components) events; the per-firing
      *  reference pays O(total firings). */
     int64_t events = 0;
+
+    /** Channels of this group crossing a die boundary
+     *  (Channel::inter_die, written by die partitioning). */
+    int64_t crossing_channels = 0;
+
+    /** Stall cycles of blocking episodes that involved at least
+     *  one inter-die channel (attribution: an episode blocked on
+     *  both a local and a crossing FIFO counts fully). The two
+     *  engines account episodes at slightly different boundaries,
+     *  so this is reporting, not part of the bit-exact
+     *  differential contract. */
+    double crossing_stall_cycles = 0.0;
 
     std::vector<ComponentStats> components;
     std::vector<ChannelStats> channels;

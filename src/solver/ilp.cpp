@@ -123,6 +123,7 @@ solveIlp(const IlpProblem &problem, const IlpOptions &options)
     state.problem = &problem;
     state.max_nodes = options.max_nodes;
     state.warm_start = options.warm_start;
+    state.best_obj = options.cutoff;
     LpProblem relaxation = problem.lp();
     branchAndBound(state, relaxation, nullptr);
 

@@ -18,6 +18,7 @@
 #define STREAMTENSOR_SOLVER_ILP_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "solver/lp.h"
@@ -78,6 +79,14 @@ struct IlpOptions
      *  (dual-repair warm starts). Disable to benchmark or debug
      *  against cold node solves. */
     bool warm_start = true;
+
+    /** Objective cutoff: subtrees whose relaxation cannot beat
+     *  this are pruned, and only strictly better integral points
+     *  are accepted. Callers with a known feasible incumbent (die
+     *  partitioning primes with the greedy assignment) pass its
+     *  objective here; when nothing beats it the solve returns
+     *  non-optimal and the caller keeps the incumbent. */
+    double cutoff = std::numeric_limits<double>::infinity();
 };
 
 /**

@@ -24,6 +24,21 @@ namespace support {
 class FlatIndex
 {
   public:
+    /** The common sparse-id -> dense-position remap: key @p ids[i]
+     *  maps to i, sealed and ready to query. One shared helper for
+     *  the build/seal dance the FIFO-sizing LP, die partitioning,
+     *  and the simulators all perform on group member lists. */
+    static FlatIndex
+    positionsOf(const std::vector<int64_t> &ids)
+    {
+        FlatIndex idx;
+        idx.reserve(ids.size());
+        for (size_t i = 0; i < ids.size(); ++i)
+            idx.add(ids[i], static_cast<int64_t>(i));
+        idx.seal();
+        return idx;
+    }
+
     void reserve(size_t n) { entries_.reserve(n); }
 
     void

@@ -48,4 +48,25 @@ debug(const std::string &msg)
     emit(LogLevel::Debug, "debug", msg);
 }
 
+std::string
+formatFixed(double value, int decimals)
+{
+    if (decimals < 0)
+        decimals = 0;
+    char buf[64];
+    int n = std::snprintf(buf, sizeof(buf), "%.*f", decimals,
+                          value);
+    if (n < 0)
+        return "";
+    if (n < static_cast<int>(sizeof(buf)))
+        return std::string(buf, n);
+    // Rare wide values (huge magnitudes or decimals counts):
+    // re-render into an exactly-sized string instead of
+    // truncating digits.
+    std::string s(static_cast<size_t>(n) + 1, '\0');
+    std::snprintf(s.data(), s.size(), "%.*f", decimals, value);
+    s.resize(static_cast<size_t>(n));
+    return s;
+}
+
 } // namespace streamtensor

@@ -33,6 +33,12 @@ void warn(const std::string &msg);
 /** Verbose diagnostic output. */
 void debug(const std::string &msg);
 
+/** Fixed-point decimal rendering for log interpolation:
+ *  formatFixed(0.41724, 2) == "0.42". std::to_string(double)
+ *  always prints six decimals; status messages want a stable,
+ *  short form. */
+std::string formatFixed(double value, int decimals = 2);
+
 } // namespace streamtensor
 
 #endif // STREAMTENSOR_SUPPORT_LOGGING_H

@@ -92,18 +92,22 @@ FifoSizingProblem::addNode(const NodeTiming &timing)
              "node total cycles must be positive");
     ST_CHECK(timing.initial_delay >= 0,
              "node initial delay must be >= 0");
+    ST_CHECK(timing.ii_penalty >= 0,
+             "node II penalty must be >= 0");
     nodes_.push_back(timing);
     return numNodes() - 1;
 }
 
 int64_t
-FifoSizingProblem::addEdge(int64_t src, int64_t dst, int64_t tokens)
+FifoSizingProblem::addEdge(int64_t src, int64_t dst, int64_t tokens,
+                           double link_latency)
 {
     ST_CHECK(src >= 0 && src < numNodes(), "edge src out of range");
     ST_CHECK(dst >= 0 && dst < numNodes(), "edge dst out of range");
     ST_CHECK(src != dst, "self edges are not allowed");
     ST_CHECK(tokens >= 1, "edges must carry >= 1 tokens");
-    edges_.push_back({src, dst, tokens});
+    ST_CHECK(link_latency >= 0.0, "link latency must be >= 0");
+    edges_.push_back({src, dst, tokens, link_latency});
     return numEdges() - 1;
 }
 
@@ -167,22 +171,26 @@ sizeFifos(const FifoSizingProblem &problem,
         edges.push_back(problem.edge(e));
 
     // Kernel start-time lower bounds: longest D-weighted path.
+    // A crossing edge's first token lands link_latency cycles
+    // after the producer emits it, so the link delay accumulates
+    // along paths exactly like an initial delay.
     std::vector<int64_t> order = topoSort(n, edges);
     for (int64_t u : order) {
         for (const auto &e : edges) {
             if (e.src != u)
                 continue;
             double cand = result.start_times[u] +
-                          timing[u].initial_delay;
+                          timing[u].initial_delay +
+                          e.link_latency;
             result.start_times[e.dst] =
                 std::max(result.start_times[e.dst], cand);
         }
     }
 
     // Pairwise thresholds (Eq. 5): threshold(u, v) is the maximum
-    // accumulated D over ALL u->v paths; a consumer cannot start
-    // before its latest-arriving operand (paper Fig. 8f:
-    // delay[0][2] >= D[0] + D[1]).
+    // accumulated D (plus inter-die link latency) over ALL u->v
+    // paths; a consumer cannot start before its latest-arriving
+    // operand (paper Fig. 8f: delay[0][2] >= D[0] + D[1]).
     std::vector<std::vector<double>> threshold(
         n, std::vector<double>(n, -1.0));
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -190,7 +198,7 @@ sizeFifos(const FifoSizingProblem &problem,
         for (const auto &e : edges) {
             if (e.src != u)
                 continue;
-            double d = timing[u].initial_delay;
+            double d = timing[u].initial_delay + e.link_latency;
             threshold[u][e.dst] =
                 std::max(threshold[u][e.dst], d);
             for (int64_t v = 0; v < n; ++v) {
@@ -245,7 +253,8 @@ sizeFifos(const FifoSizingProblem &problem,
             const auto &ed = edges[e];
             double d = result.start_times[ed.dst] -
                        result.start_times[ed.src];
-            d = std::max(d, timing[ed.src].initial_delay);
+            d = std::max(d, timing[ed.src].initial_delay +
+                                ed.link_latency);
             result.delays[e] = d;
             result.objective += d;
         }
@@ -258,24 +267,37 @@ sizeFifos(const FifoSizingProblem &problem,
     for (int64_t e = 0; e < m; ++e) {
         const auto &ed = edges[e];
         double delay = std::max(result.delays[e],
-                                timing[ed.src].initial_delay);
+                                timing[ed.src].initial_delay +
+                                    ed.link_latency);
+        // Node-level II penalty: a crossing endpoint paces slower
+        // on every edge it touches (the simulators fold the max
+        // penalty into the component's II), co-located or not.
         KernelProfile src;
         src.initial_delay = timing[ed.src].initial_delay;
         src.ii = std::max(
             (timing[ed.src].total_cycles - src.initial_delay) /
                 std::max<int64_t>(ed.tokens, 1),
             1e-6);
+        src.ii += timing[ed.src].ii_penalty;
         KernelProfile dst;
         dst.initial_delay = timing[ed.dst].initial_delay;
         dst.ii = std::max(
             (timing[ed.dst].ingestCycles() - dst.initial_delay) /
                 std::max<int64_t>(ed.tokens, 1),
             1e-6);
+        dst.ii += timing[ed.dst].ii_penalty;
+        // A crossing FIFO holds every token until the pop's
+        // credit crosses back, so the pop curve the producer sees
+        // is the consumer's shifted by another link_latency:
+        // derive the no-stall depth at delay + link_latency.
+        double occupancy_delay = delay + ed.link_latency;
         int64_t depth;
         if (options.exact_occupancy) {
-            depth = maxOccupancyExact(src, dst, delay, ed.tokens);
+            depth = maxOccupancyExact(src, dst, occupancy_delay,
+                                      ed.tokens);
         } else {
-            depth = maxTokensClosedForm(src, dst, delay, ed.tokens);
+            depth = maxTokensClosedForm(src, dst, occupancy_delay,
+                                        ed.tokens);
         }
         // Hardware FIFOs need at least depth 2 to decouple
         // producer and consumer handshakes.

@@ -42,6 +42,14 @@ struct NodeTiming
      *  their emission span. */
     double ingest_cycles = -1.0;
 
+    /** Extra cycles per token of an inter-die endpoint (the link
+     *  handshake). Node-level, matching the simulators: a kernel
+     *  with any crossing channel paces slower on ALL its edges,
+     *  so pricing it per crossing edge only would undersize the
+     *  kernel's co-located FIFOs. Callers set it to the max
+     *  link_ii_penalty over the node's channels. */
+    double ii_penalty = 0.0;
+
     double ingestCycles() const
     {
         return ingest_cycles > 0 ? ingest_cycles : total_cycles;
@@ -58,13 +66,24 @@ class FifoSizingProblem
         int64_t src;
         int64_t dst;
         int64_t tokens;
+
+        /** Inter-die link latency of a crossing edge (0 when the
+         *  endpoints are co-located): delays both the data
+         *  (push -> consumer visibility) and the pop credit
+         *  (pop -> producer visibility). Crossing edges are
+         *  priced with it so the no-stall depths absorb the link
+         *  delay. The II penalty of a crossing lives on the
+         *  *nodes* (NodeTiming::ii_penalty), matching the
+         *  simulators' component-level pace model. */
+        double link_latency = 0.0;
     };
 
     /** Add a kernel node; returns its id. */
     int64_t addNode(const NodeTiming &timing);
 
     /** Add a FIFO edge; returns its id. Must form a DAG. */
-    int64_t addEdge(int64_t src, int64_t dst, int64_t tokens);
+    int64_t addEdge(int64_t src, int64_t dst, int64_t tokens,
+                    double link_latency = 0.0);
 
     int64_t numNodes() const
     {

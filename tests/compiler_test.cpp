@@ -11,44 +11,123 @@ using namespace streamtensor;
 using ir::DataType;
 using ir::TensorType;
 
-namespace {
-
-linalg::Graph
-mlpGraph()
-{
-    linalg::Graph g("mlp");
-    int64_t x = g.addTensor(TensorType(DataType::I8, {64, 128}),
-                            "x", linalg::TensorRole::Input);
-    int64_t w1 = g.addTensor(TensorType(DataType::I4, {128, 256}),
-                             "w1", linalg::TensorRole::Parameter);
-    int64_t h = linalg::matmul(g, x, w1, DataType::I8, "fc1");
-    int64_t a =
-        linalg::ewiseUnary(g, h, linalg::EwiseFn::Gelu, "gelu");
-    int64_t w2 = g.addTensor(TensorType(DataType::I4, {256, 64}),
-                             "w2", linalg::TensorRole::Parameter);
-    int64_t y = linalg::matmul(g, a, w2, DataType::I8, "fc2");
-    g.tensor(y).role = linalg::TensorRole::Output;
-    return g;
-}
-
-} // namespace
-
 TEST(Compiler, StagesRecordedInPipelineOrder)
 {
-    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    auto result = compiler::compile(linalg::mlpPipeline(), hls::u55c(), {});
+    // Die_Partition runs *before* Fifo_Sizing so placement can
+    // price crossing edges into the sizing LP.
     std::vector<std::string> expected{
-        "Linalg_Opt",     "Linalg_Tiling", "Kernel_Fusion",
-        "Dataflow_Opt",   "HLS_Opt",       "Resource_Alloc",
-        "Bufferization",  "Code_Gen"};
+        "Linalg_Opt",  "Linalg_Tiling", "Kernel_Fusion",
+        "Dataflow_Opt", "HLS_Opt",      "Die_Partition",
+        "Fifo_Sizing",  "Memory_Alloc", "Bufferization",
+        "Code_Gen"};
     ASSERT_EQ(result.times.stages.size(), expected.size());
     for (size_t i = 0; i < expected.size(); ++i)
         EXPECT_EQ(result.times.stages[i].first, expected[i]);
     EXPECT_GT(result.times.total(), 0.0);
 }
 
+TEST(Compiler, PipelineIsReorderable)
+{
+    // The stage list is data: drop Code_Gen, verify the result
+    // reflects exactly the stages that ran.
+    compiler::Pipeline p = compiler::defaultPipeline();
+    EXPECT_GE(p.find("Die_Partition"), 0);
+    EXPECT_LT(p.find("Die_Partition"), p.find("Fifo_Sizing"));
+    ASSERT_TRUE(p.remove("Code_Gen"));
+    EXPECT_FALSE(p.remove("Code_Gen")); // already gone
+    auto result =
+        compiler::compileWith(p, linalg::mlpPipeline(), hls::u55c(), {});
+    EXPECT_TRUE(result.code.hls_cpp.empty());
+    EXPECT_NE(result.module, nullptr);
+    EXPECT_EQ(result.times.stages.size(), 9u);
+    EXPECT_EQ(result.times.get("Code_Gen"), 0.0);
+}
+
+TEST(Compiler, PipelineInsertBeforeRunsCustomStage)
+{
+    compiler::Pipeline p = compiler::defaultPipeline();
+    int64_t observed_crossings = -1;
+    p.insertBefore("Fifo_Sizing", "Inspect_Placement",
+                   [&](compiler::StageContext &ctx) {
+                       observed_crossings =
+                           ctx.result.totalCrossings();
+                   });
+    auto result =
+        compiler::compileWith(p, linalg::mlpPipeline(), hls::u55c(), {});
+    // The custom stage ran after partitioning, before sizing.
+    EXPECT_EQ(observed_crossings, result.totalCrossings());
+    EXPECT_GE(observed_crossings, 0);
+    EXPECT_GT(result.times.stages.size(), 10u);
+}
+
+TEST(Compiler, CrossingChannelsStampedWithLinkModel)
+{
+    hls::FpgaPlatform linked = hls::u55c();
+    linked.inter_die_latency_cycles = 16.0;
+    linked.inter_die_ii_penalty = 1.0;
+    auto result = compiler::compile(linalg::mlpPipeline(), linked, {});
+    const auto &cg = result.design.components;
+    int64_t flagged = 0;
+    for (int64_t c = 0; c < cg.numChannels(); ++c) {
+        const auto &ch = cg.channel(c);
+        bool crosses = cg.component(ch.src).die !=
+                       cg.component(ch.dst).die;
+        EXPECT_EQ(ch.inter_die, crosses);
+        EXPECT_EQ(ch.link_latency, crosses ? 16.0 : 0.0);
+        EXPECT_EQ(ch.link_ii_penalty, crosses ? 1.0 : 0.0);
+        flagged += ch.inter_die ? 1 : 0;
+    }
+    EXPECT_EQ(flagged, result.totalCrossings());
+}
+
+TEST(Compiler, LinkLatencyDeepensCrossingFifos)
+{
+    // Same graph, same placement (greedy is deterministic and
+    // always spreads across dies); a costly link must never
+    // shrink any FIFO and must deepen at least one unfolded
+    // crossing channel (the LP prices the link delay into
+    // no-stall depths).
+    compiler::CompileOptions options;
+    options.partition.strategy =
+        partition::PartitionStrategy::Greedy;
+    hls::FpgaPlatform free_link = hls::u55c();
+    hls::FpgaPlatform slow_link = hls::u55c();
+    slow_link.inter_die_latency_cycles = 512.0;
+    auto a = compiler::compile(linalg::mlpPipeline(), free_link, options);
+    auto b = compiler::compile(linalg::mlpPipeline(), slow_link, options);
+    const auto &ca = a.design.components;
+    const auto &cb = b.design.components;
+    ASSERT_EQ(ca.numChannels(), cb.numChannels());
+    ASSERT_GT(a.totalCrossings(), 0);
+    ASSERT_EQ(a.totalCrossings(), b.totalCrossings());
+    bool deepened = false;
+    for (int64_t c = 0; c < ca.numChannels(); ++c) {
+        EXPECT_GE(cb.channel(c).depth, ca.channel(c).depth);
+        if (cb.channel(c).inter_die && !cb.channel(c).folded &&
+            ca.component(cb.channel(c).src).kind !=
+                dataflow::ComponentKind::Converter)
+            deepened |=
+                cb.channel(c).depth > ca.channel(c).depth;
+    }
+    EXPECT_TRUE(deepened);
+}
+
+TEST(Compiler, GreedyStrategyForcedByOptions)
+{
+    compiler::CompileOptions options;
+    options.partition.strategy =
+        partition::PartitionStrategy::Greedy;
+    auto result =
+        compiler::compile(linalg::mlpPipeline(), hls::u55c(), options);
+    ASSERT_FALSE(result.partitions.empty());
+    for (const auto &p : result.partitions)
+        EXPECT_FALSE(p.used_ilp);
+}
+
 TEST(Compiler, ProducesVerifiedModuleAndCode)
 {
-    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    auto result = compiler::compile(linalg::mlpPipeline(), hls::u55c(), {});
     ASSERT_NE(result.module, nullptr);
     EXPECT_TRUE(ir::verifyModule(*result.module).ok());
     EXPECT_FALSE(result.code.hls_cpp.empty());
@@ -58,7 +137,7 @@ TEST(Compiler, ProducesVerifiedModuleAndCode)
 
 TEST(Compiler, FifoDepthsAssignedEverywhere)
 {
-    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    auto result = compiler::compile(linalg::mlpPipeline(), hls::u55c(), {});
     const auto &cg = result.design.components;
     for (int64_t c = 0; c < cg.numChannels(); ++c) {
         EXPECT_GE(cg.channel(c).depth, 2);
@@ -69,7 +148,7 @@ TEST(Compiler, FifoDepthsAssignedEverywhere)
 
 TEST(Compiler, MemoryAllocationFeasible)
 {
-    auto result = compiler::compile(mlpGraph(), hls::u55c(), {});
+    auto result = compiler::compile(linalg::mlpPipeline(), hls::u55c(), {});
     EXPECT_TRUE(result.memory.feasible);
     EXPECT_GT(result.memory.totalBytes(), 0);
 }
@@ -82,7 +161,7 @@ TEST(Compiler, DepthCapLoopShrinksOverBudgetDesigns)
     tiny.lutram_kib = 16;
     tiny.bram_kib = 64;
     tiny.uram_kib = 64;
-    auto result = compiler::compile(mlpGraph(), tiny, {});
+    auto result = compiler::compile(linalg::mlpPipeline(), tiny, {});
     // Depths were clamped (possibly still infeasible, but the
     // compiler must terminate and report).
     EXPECT_GE(result.clamped_fifos, 0);
@@ -94,7 +173,7 @@ TEST(Compiler, AutoConservativeTriggersUnderPressure)
     options.auto_conservative = true;
     options.conservative_threshold = 1e-9; // always trigger
     auto result =
-        compiler::compile(mlpGraph(), hls::u55c(), options);
+        compiler::compile(linalg::mlpPipeline(), hls::u55c(), options);
     EXPECT_EQ(result.used_equalization,
               token::Equalization::Conservative);
 }
@@ -105,7 +184,7 @@ TEST(Compiler, ExplicitEqualizationHonored)
     options.equalization = token::Equalization::Conservative;
     options.auto_conservative = false;
     auto result =
-        compiler::compile(mlpGraph(), hls::u55c(), options);
+        compiler::compile(linalg::mlpPipeline(), hls::u55c(), options);
     EXPECT_EQ(result.used_equalization,
               token::Equalization::Conservative);
 }
@@ -143,6 +222,6 @@ TEST(Compiler, CustomCmaxSplitsDesign)
     compiler::CompileOptions options;
     options.c_max = 1; // nothing with a converter can fuse
     auto result =
-        compiler::compile(mlpGraph(), hls::u55c(), options);
+        compiler::compile(linalg::mlpPipeline(), hls::u55c(), options);
     EXPECT_GT(result.design.plan.groups.size(), 1u);
 }

@@ -174,6 +174,98 @@ TEST(FifoSizing, SingleTokenEdgeStillSized)
     EXPECT_GE(result.delays[0] + 1e-9, 1.0);
 }
 
+// ---- Crossing-edge pricing (inter-die link model) ----
+
+TEST(FifoSizing, LinkLatencyEntersPathThresholds)
+{
+    // Fig. 8(f) with the 0->1 edge crossing a die boundary at 50
+    // cycles: kernel1's operand lands 50 cycles later, and every
+    // path through that edge inherits the delay.
+    FifoSizingProblem p;
+    p.addNode({40.0, 103.0});
+    p.addNode({120.0, 183.0});
+    p.addNode({20.0, 146.0});
+    p.addEdge(0, 1, 64, /*link_latency=*/50.0);
+    p.addEdge(0, 2, 64);
+    p.addEdge(1, 2, 64);
+    auto result = sizeFifos(p);
+    ASSERT_TRUE(result.used_lp);
+    EXPECT_DOUBLE_EQ(result.start_times[1], 90.0); // 40 + 50
+    EXPECT_DOUBLE_EQ(result.start_times[2], 210.0); // 90 + 120
+    // delay[0][1] >= D[0] + L = 90; delay[0][2] >= D[0] + L +
+    // D[1] = 210; delay[1][2] >= D[1] = 120.
+    EXPECT_GE(result.delays[0] + 1e-9, 90.0);
+    EXPECT_GE(result.delays[0] + result.delays[2] + 1e-9, 210.0);
+    EXPECT_GE(result.delays[1] + 1e-9, 210.0);
+    EXPECT_NEAR(result.objective, 420.0, 1e-6);
+}
+
+TEST(FifoSizing, ZeroLinkCostIsBitIdentical)
+{
+    auto base = sizeFifos(figure8f());
+    FifoSizingProblem p;
+    p.addNode({40.0, 103.0});
+    p.addNode({120.0, 183.0});
+    p.addNode({20.0, 146.0});
+    p.addEdge(0, 1, 64, 0.0);
+    p.addEdge(0, 2, 64, 0.0);
+    p.addEdge(1, 2, 64, 0.0);
+    auto zero = sizeFifos(p);
+    ASSERT_EQ(base.depths.size(), zero.depths.size());
+    for (size_t e = 0; e < base.depths.size(); ++e) {
+        EXPECT_EQ(base.depths[e], zero.depths[e]);
+        EXPECT_EQ(base.delays[e], zero.delays[e]);
+    }
+    EXPECT_EQ(base.objective, zero.objective);
+}
+
+TEST(FifoSizing, LinkLatencyDeepensCrossingFifoMonotonically)
+{
+    // One producer/consumer pair at equal rates: the crossing FIFO
+    // must absorb the round-trip link delay, so depth grows
+    // monotonically with the latency and strictly beyond the
+    // co-located depth once the link dominates the skew.
+    auto depthAt = [](double latency) {
+        FifoSizingProblem p;
+        p.addNode({10.0, 138.0});
+        p.addNode({10.0, 138.0});
+        p.addEdge(0, 1, 64, latency);
+        auto r = sizeFifos(p);
+        return r.depths[0];
+    };
+    int64_t d0 = depthAt(0.0);
+    int64_t prev = d0;
+    for (double latency : {4.0, 16.0, 64.0, 256.0}) {
+        int64_t d = depthAt(latency);
+        EXPECT_GE(d, prev) << latency;
+        prev = d;
+    }
+    EXPECT_GT(prev, d0);
+}
+
+TEST(FifoSizing, NodeIiPenaltySlowsEveryEdgeOfTheNode)
+{
+    // The II penalty is node-level (matching the simulators'
+    // component pace model): a crossing kernel paces slower on
+    // its co-located edges too. A slow consumer on a fast feed
+    // needs a deeper FIFO, so penalising the consumer node must
+    // never shrink — and here must grow — the depth of an edge
+    // that itself has no link cost.
+    auto depthWithPenalty = [](double penalty) {
+        FifoSizingProblem p;
+        p.addNode({10.0, 74.0});
+        NodeTiming slow{10.0, 74.0};
+        slow.ii_penalty = penalty;
+        p.addNode(slow);
+        p.addEdge(0, 1, 64); // co-located edge
+        return sizeFifos(p).depths[0];
+    };
+    int64_t base = depthWithPenalty(0.0);
+    int64_t penalised = depthWithPenalty(4.0);
+    EXPECT_GE(base, 2);
+    EXPECT_GT(penalised, base);
+}
+
 // ---- Property sweep: random chains with skip edges ----
 
 class SizingProperty : public ::testing::TestWithParam<int>

@@ -72,7 +72,8 @@ addComponent(ComponentGraph &g, ComponentKind kind, double delay,
 
 void
 addChannel(ComponentGraph &g, int64_t src, int64_t dst,
-           int64_t tokens, int64_t depth, bool folded = false)
+           int64_t tokens, int64_t depth, bool folded = false,
+           double link_latency = 0.0, double link_ii_penalty = 0.0)
 {
     Channel ch;
     ch.src = src;
@@ -81,6 +82,9 @@ addChannel(ComponentGraph &g, int64_t src, int64_t dst,
     ch.tokens = tokens;
     ch.depth = depth;
     ch.folded = folded;
+    ch.inter_die = link_latency > 0.0 || link_ii_penalty > 0.0;
+    ch.link_latency = link_latency;
+    ch.link_ii_penalty = link_ii_penalty;
     g.addChannel(ch);
 }
 
@@ -98,6 +102,7 @@ expectIdenticalGroup(const ComponentGraph &g, int64_t group,
     EXPECT_EQ(leap.timed_out, ref.timed_out);
     EXPECT_EQ(leap.cycles, ref.cycles);
     EXPECT_EQ(leap.first_output_cycle, ref.first_output_cycle);
+    EXPECT_EQ(leap.crossing_channels, ref.crossing_channels);
     ASSERT_EQ(leap.components.size(), ref.components.size());
     for (size_t i = 0; i < leap.components.size(); ++i) {
         EXPECT_EQ(leap.components[i].firings,
@@ -139,9 +144,12 @@ runBoth(const ComponentGraph &g, const sim::SimOptions &options = {})
 /** Random layered DAG: every component gets at least one input from
  *  an earlier layer, plus extra reconvergent edges; tokens mix
  *  divisible and jittery interleaves; depths span deadlock-prone
- *  shallow to ample; some channels are folded. */
+ *  shallow to ample; some channels are folded. With @p with_links,
+ *  roughly a third of the channels become inter-die crossings with
+ *  random link latency / II penalty (the die-placement cost
+ *  model). */
 ComponentGraph
-randomGraph(Rng &rng)
+randomGraph(Rng &rng, bool with_links = false)
 {
     ComponentGraph g;
     int64_t n = 3 + rng.pick(8);
@@ -159,11 +167,19 @@ randomGraph(Rng &rng)
     const int64_t token_choices[] = {1,  2,  3,  5,  7,  8, 12,
                                      16, 24, 31, 48, 64, 96, 128};
     const int64_t depth_choices[] = {1, 2, 2, 3, 4, 8, 16, 64, 256};
+    const double latency_choices[] = {1.0, 3.0, 8.0, 50.0, 333.0};
+    const double penalty_choices[] = {0.0, 0.0, 1.0, 2.5};
     auto channel = [&](int64_t src, int64_t dst) {
         int64_t tokens = token_choices[rng.pick(14)];
         int64_t depth = depth_choices[rng.pick(9)];
         bool folded = rng.pick(8) == 0;
-        addChannel(g, src, dst, tokens, depth, folded);
+        double latency = 0.0, penalty = 0.0;
+        if (with_links && rng.pick(3) == 0) {
+            latency = latency_choices[rng.pick(5)];
+            penalty = penalty_choices[rng.pick(4)];
+        }
+        addChannel(g, src, dst, tokens, depth, folded, latency,
+                   penalty);
     };
     for (int64_t i = 1; i < n; ++i)
         channel(ids[rng.pick(i)], ids[i]);
@@ -194,6 +210,108 @@ TEST_P(Differential, LeapMatchesReference)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
                          ::testing::Range(0, 100));
+
+// ---- The same contract under the inter-die link model: random
+// ---- crossing channels with latency and II penalty. The two
+// ---- engines implement the link very differently (time-shifted
+// ---- visibility queries vs in-flight arrival/credit queues), so
+// ---- exact equality here is the load-bearing guarantee that
+// ---- placement-aware cycles are well-defined. ----
+
+class DifferentialLinked : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DifferentialLinked, LeapMatchesReferenceWithLinkCosts)
+{
+    Rng rng(0x11780000 + GetParam());
+    ComponentGraph g = randomGraph(rng, /*with_links=*/true);
+    sim::SimOptions options;
+    options.max_cycles = 2.0e6;
+    runBoth(g, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialLinked,
+                         ::testing::Range(0, 100));
+
+// ---- Crossing-cost fixtures ----
+
+TEST(SimDifferential, LinkLatencyShiftsChainByExactlyL)
+{
+    // Ample depths and data-bound consumers (faster pace than the
+    // source): the only effect of a single crossing on the chain
+    // is a rigid downstream shift by the link latency.
+    constexpr double kLatency = 37.0;
+    auto build = [&](double latency) {
+        ComponentGraph g;
+        int64_t a =
+            addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+        int64_t b =
+            addComponent(g, ComponentKind::Kernel, 0.5, 33.0);
+        int64_t s =
+            addComponent(g, ComponentKind::StoreDma, 0.25, 17.0);
+        addChannel(g, a, b, 64, 1024, false, latency);
+        addChannel(g, b, s, 64, 1024);
+        return g;
+    };
+    ComponentGraph base = build(0.0);
+    ComponentGraph linked = build(kLatency);
+    auto r0 = sim::simulateGroup(base, 0);
+    auto r1 = sim::simulateGroup(linked, 0);
+    ASSERT_FALSE(r0.deadlock);
+    ASSERT_FALSE(r1.deadlock);
+    EXPECT_EQ(r0.crossing_channels, 0);
+    EXPECT_EQ(r1.crossing_channels, 1);
+    EXPECT_GT(r1.cycles, r0.cycles);
+    EXPECT_DOUBLE_EQ(r1.cycles, r0.cycles + kLatency);
+    EXPECT_DOUBLE_EQ(r1.first_output_cycle,
+                     r0.first_output_cycle + kLatency);
+    EXPECT_GT(r1.crossing_stall_cycles, 0.0);
+    runBoth(linked);
+}
+
+TEST(SimDifferential, CreditReturnLatencyBackpressuresProducer)
+{
+    // A shallow crossing FIFO: the producer must wait for pop
+    // credits that return a full link latency late, so the link
+    // hurts even when the raw data path is long done.
+    auto build = [&](double latency) {
+        ComponentGraph g;
+        int64_t a =
+            addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+        int64_t b =
+            addComponent(g, ComponentKind::Kernel, 1.0, 65.0);
+        addChannel(g, a, b, 64, 2, false, latency);
+        return g;
+    };
+    auto r0 = sim::simulateGroup(build(0.0), 0);
+    ComponentGraph linked = build(100.0);
+    auto r1 = sim::simulateGroup(linked, 0);
+    ASSERT_FALSE(r0.deadlock);
+    ASSERT_FALSE(r1.deadlock);
+    EXPECT_GT(r1.cycles, r0.cycles + 100.0);
+    runBoth(linked);
+}
+
+TEST(SimDifferential, IiPenaltySlowsCrossingEndpoints)
+{
+    auto build = [&](double penalty) {
+        ComponentGraph g;
+        int64_t a =
+            addComponent(g, ComponentKind::Kernel, 1.0, 129.0);
+        int64_t b =
+            addComponent(g, ComponentKind::StoreDma, 2.0, 130.0);
+        addChannel(g, a, b, 128, 256, false, 0.0, penalty);
+        return g;
+    };
+    auto r0 = sim::simulateGroup(build(0.0), 0);
+    ComponentGraph linked = build(2.0);
+    auto r1 = sim::simulateGroup(linked, 0);
+    ASSERT_FALSE(r1.deadlock);
+    // Both endpoints pace 2 cycles slower per firing (within
+    // rounding of the per-firing interval arithmetic).
+    EXPECT_GT(r1.cycles, r0.cycles + 250.0);
+    runBoth(linked);
+}
 
 // ---- Known-deadlock fixtures ----
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/error.h"
+#include "support/flat_index.h"
 #include "support/logging.h"
 #include "support/math_util.h"
 #include "support/stopwatch.h"
@@ -88,6 +89,30 @@ TEST(Logging, LevelFiltering)
     debug("not shown");
     EXPECT_EQ(logLevel(), LogLevel::Silent);
     setLogLevel(before);
+}
+
+TEST(FlatIndex, PositionsOfMapsIdsToTheirSlots)
+{
+    std::vector<int64_t> ids{42, 7, 1000, -3, 0};
+    support::FlatIndex idx = support::FlatIndex::positionsOf(ids);
+    for (size_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(idx.at(ids[i]), static_cast<int64_t>(i));
+}
+
+TEST(FlatIndex, PositionsOfEmptyListIsUsable)
+{
+    auto idx = support::FlatIndex::positionsOf({});
+    (void)idx; // nothing to look up; construction must not throw
+}
+
+TEST(Logging, FormatFixedRendersStableDecimals)
+{
+    EXPECT_EQ(formatFixed(0.41724), "0.42");
+    EXPECT_EQ(formatFixed(0.415), "0.41"); // nearest-even snprintf
+    EXPECT_EQ(formatFixed(12.0), "12.00");
+    EXPECT_EQ(formatFixed(-3.14159, 3), "-3.142");
+    EXPECT_EQ(formatFixed(2.71828, 0), "3");
+    EXPECT_EQ(formatFixed(1.5, -2), "2"); // clamped to 0 decimals
 }
 
 TEST(Stopwatch, MeasuresForwardTime)
