@@ -44,11 +44,15 @@ trafficOptions()
 
 void
 serveTrace(benchmark::State &state,
-           const std::vector<serving::Request> &trace)
+           const std::vector<serving::Request> &trace,
+           serving::KvAdmission admission =
+               serving::KvAdmission::Paged,
+           int64_t kv_budget_tokens = 4096)
 {
     serving::SchedulerOptions options;
     options.max_batch = state.range(0);
-    options.kv_budget_tokens = 4096;
+    options.kv_budget_tokens = kv_budget_tokens;
+    options.admission = admission;
 
     serving::ServingMetrics metrics;
     for (auto _ : state) {
@@ -65,7 +69,35 @@ serveTrace(benchmark::State &state,
     state.counters["ttft_p95_ms"] = metrics.ttftP95Ms();
     state.counters["mean_batch"] = metrics.meanBatchSize();
     state.counters["accel_util"] = metrics.utilization();
+    state.counters["preemptions"] =
+        static_cast<double>(metrics.preemptions);
+    state.counters["prefix_hit_rate"] = metrics.prefixHitRate();
+    state.counters["page_util"] = metrics.pageUtilization();
 }
+
+// Chat-style saturated traffic at a tight KV budget: a shared
+// 48-token system prompt (4 groups), short user turns, short
+// generations. This is the regime where block-granular admission
+// pays — the reserved policy's headroom for worst-case contexts
+// becomes live batch slots. Same trace and budget for both
+// policies; compare served_req_per_s across the pair.
+serving::TraceOptions
+saturatedPrefixTraffic()
+{
+    serving::TraceOptions options;
+    options.num_requests = 48;
+    options.seed = 29;
+    options.mean_interarrival_ms = 10.0;
+    options.min_input_len = 8;
+    options.max_input_len = 32;
+    options.min_output_len = 4;
+    options.max_output_len = 16;
+    options.num_prefix_groups = 4;
+    options.shared_prefix_len = 48;
+    return options;
+}
+
+constexpr int64_t kTightKvBudget = 384; // 24 pages of 16 tokens
 
 void
 BM_ServePoissonTrace(benchmark::State &state)
@@ -92,6 +124,30 @@ BENCHMARK(BM_ServeBurstyTrace)
     ->Arg(1)
     ->Arg(4)
     ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeSaturatedReserved(benchmark::State &state)
+{
+    auto trace =
+        serving::poissonTrace(saturatedPrefixTraffic());
+    serveTrace(state, trace, serving::KvAdmission::Reserve,
+               kTightKvBudget);
+}
+BENCHMARK(BM_ServeSaturatedReserved)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeSaturatedPaged(benchmark::State &state)
+{
+    auto trace =
+        serving::poissonTrace(saturatedPrefixTraffic());
+    serveTrace(state, trace, serving::KvAdmission::Paged,
+               kTightKvBudget);
+}
+BENCHMARK(BM_ServeSaturatedPaged)
+    ->Arg(6)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

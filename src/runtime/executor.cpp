@@ -226,6 +226,7 @@ LlmExecutor::step(const std::vector<StepGroup> &groups)
     for (const auto &[s, count] : merged) {
         const CompiledBlock &blk = block(s);
         result.deadlock = result.deadlock || blk.deadlocked();
+        result.kv_tokens += count * s.kv_len;
         double trigger_ms =
             blk.batchedCycles(count) / freq_hz * 1e3 +
             invocationOverheadMs(platform_, total_seqs);

@@ -1,5 +1,7 @@
 #include "serving/cost_model.h"
 
+#include <algorithm>
+
 namespace streamtensor {
 namespace serving {
 
@@ -11,6 +13,7 @@ ExecutorCostModel::stepMs(
     saw_deadlock_ = saw_deadlock_ || step.deadlock;
     last_crossings_ = step.crossings;
     crossing_stall_ms_ += step.crossing_stall_ms;
+    peak_kv_tokens_ = std::max(peak_kv_tokens_, step.kv_tokens);
     return step.step_ms;
 }
 

@@ -41,11 +41,18 @@ class ExecutorCostModel : public StepCostModel
     int64_t lastStepCrossings() const { return last_crossings_; }
     double crossingStallMs() const { return crossing_stall_ms_; }
 
+    /** Largest KV footprint any costed step streamed (Σ count ×
+     *  kv_len over its groups) — the accelerator-side KV pressure
+     *  high-water mark, comparable against the scheduler's
+     *  kv_budget_tokens. */
+    int64_t peakKvTokens() const { return peak_kv_tokens_; }
+
   private:
     runtime::LlmExecutor &executor_;
     bool saw_deadlock_ = false;
     int64_t last_crossings_ = 0;
     double crossing_stall_ms_ = 0.0;
+    int64_t peak_kv_tokens_ = 0;
 };
 
 /** Closed-form linear cost: per-step trigger cost per shape group

@@ -73,11 +73,38 @@ ServingMetrics::ttftP95Ms() const
 }
 
 double
+ServingMetrics::pageUtilization() const
+{
+    return steps > 0 && pool_pages > 0
+               ? static_cast<double>(page_step_sum) /
+                     (static_cast<double>(steps) *
+                      static_cast<double>(pool_pages))
+               : 0.0;
+}
+
+double
+ServingMetrics::prefixHitRate() const
+{
+    int64_t touched = prefix_hit_pages + prefix_miss_pages;
+    return touched > 0 ? static_cast<double>(prefix_hit_pages) /
+                             static_cast<double>(touched)
+                       : 0.0;
+}
+
+double
 ServingMetrics::tbtMeanMs() const
 {
     double decode_ms = 0.0;
     int64_t gaps = 0;
     for (const auto &r : requests) {
+        // A single-token request has zero decode gaps, so a
+        // nonzero decode window would silently inflate the mean
+        // of every other request. Such a window is impossible by
+        // construction (the request finishes at its prefill
+        // step); make the impossibility loud.
+        ST_ASSERT(r.output_len > 1 ||
+                      r.finish_ms == r.first_token_ms,
+                  "single-token request with a decode window");
         decode_ms += r.finish_ms - r.first_token_ms;
         gaps += r.output_len - 1;
     }

@@ -3,8 +3,22 @@
  * Serving metrics: per-request records (arrival, first token,
  * finish) plus aggregates the scheduler accumulates step by step
  * — throughput, TTFT, time-between-tokens, latency percentiles,
- * queue depth, and accelerator utilization. Everything derives
- * from simulated time, so repeated runs aggregate identically.
+ * queue depth, accelerator utilization, and (under paged KV
+ * admission) page occupancy, preemption, and prefix-reuse
+ * counters. Everything derives from simulated time, so repeated
+ * runs aggregate identically.
+ *
+ * **Partial-run accounting.** When a run stops at the step limit
+ * (`ServingResult::hit_step_limit`), `requests` holds only the
+ * sequences that *completed*, while the step-derived aggregates —
+ * `steps`, `busy_ms`, `total_batched_seqs`, and therefore
+ * `meanBatchSize()` / `utilization()` / `pageUtilization()` —
+ * cover every executed step, including work done for the
+ * `in_flight` sequences that never finished. The two views are
+ * deliberately split rather than reconciled: per-request metrics
+ * answer "what did completed requests experience", step metrics
+ * answer "what did the accelerator do". On a run that drains
+ * normally, `in_flight == 0` and the views agree.
  */
 
 #ifndef STREAMTENSOR_SERVING_METRICS_H
@@ -28,17 +42,23 @@ struct RequestMetrics
     double arrival_ms = 0.0;
 
     /** End of the step that ran this request's prefill (the first
-     *  output token exists from here). */
+     *  output token exists from here). Preemption does not reset
+     *  it: a recompute prefill re-derives KV, not the already
+     *  emitted first token. */
     double first_token_ms = 0.0;
 
     /** End of the step that produced the last output token. */
     double finish_ms = 0.0;
 
+    /** Times the request was preempted back to the queue. */
+    int64_t preemptions = 0;
+
     double ttftMs() const { return first_token_ms - arrival_ms; }
     double latencyMs() const { return finish_ms - arrival_ms; }
 
     /** Mean gap between output tokens after the first. Zero for
-     *  single-token outputs. */
+     *  single-token outputs (which must finish at their first
+     *  token — asserted by tbtMeanMs()). */
     double tbtMs() const
     {
         return output_len > 1 ? (finish_ms - first_token_ms) /
@@ -62,6 +82,11 @@ struct ServingMetrics
     int64_t rejected_too_long = 0;
     int64_t total_output_tokens = 0;
 
+    /** Sequences still resident in the batch when the run stopped
+     *  — nonzero only on hit_step_limit (see the partial-run
+     *  accounting note in the file header). */
+    int64_t in_flight = 0;
+
     /** Simulated end of the last step (0 for an empty run). */
     double makespan_ms = 0.0;
 
@@ -72,20 +97,54 @@ struct ServingMetrics
     int64_t total_batched_seqs = 0; ///< Σ per-step batch size
     int64_t max_queue_depth = 0;
 
+    // --- Paged-admission counters (all zero under Reserve). ---
+
+    /** Physical pages of the KV pool (0 under Reserve). */
+    int64_t pool_pages = 0;
+
+    /** Sequences preempted back to the queue (a request preempted
+     *  twice counts twice). */
+    int64_t preemptions = 0;
+
+    /** Prefix-position pages shared instead of allocated, and
+     *  first-touch allocated, across the run (KvPoolStats). */
+    int64_t prefix_hit_pages = 0;
+    int64_t prefix_miss_pages = 0;
+
+    /** High-water mark of active (refcount > 0) pages. */
+    int64_t peak_pages_active = 0;
+
+    /** Σ per-step active pages (pageUtilization numerator). */
+    int64_t page_step_sum = 0;
+
     double requestsPerSecond() const;
     double tokensPerSecond() const;
 
     /** busy_ms / makespan_ms — fraction of simulated time the
-     *  accelerator was executing a step. */
+     *  accelerator was executing a step (includes work for
+     *  in-flight sequences on a step-limited run). */
     double utilization() const;
 
-    /** Mean sequences per step. */
+    /** Mean sequences per step (includes in-flight work on a
+     *  step-limited run). */
     double meanBatchSize() const;
+
+    /** Mean fraction of pool pages active across steps; 0 under
+     *  Reserve admission. */
+    double pageUtilization() const;
+
+    /** Prefix pages shared over all prefix pages touched; 0 when
+     *  the run touched none. */
+    double prefixHitRate() const;
 
     double ttftMeanMs() const;
     double ttftP95Ms() const;
 
-    /** Token-weighted mean time-between-tokens. */
+    /** Token-weighted mean time-between-tokens over completed
+     *  requests. Single-token requests contribute no gaps; their
+     *  decode window must be empty (finish == first token), which
+     *  this asserts rather than silently folding a nonzero window
+     *  into the mean. */
     double tbtMeanMs() const;
 
     /** Request latency percentile (nearest rank). */

@@ -18,6 +18,14 @@ RequestQueue::push(const Request &request)
     return true;
 }
 
+void
+RequestQueue::pushFront(const Request &request)
+{
+    classes_[request.priority].push_front(request);
+    ++size_;
+    max_depth_seen_ = std::max(max_depth_seen_, size_);
+}
+
 const Request &
 RequestQueue::front() const
 {

@@ -35,6 +35,15 @@ class RequestQueue
      *  queue is at capacity. */
     bool push(const Request &request);
 
+    /** Re-enqueue at the *front* of the request's priority class.
+     *  Used for preempted sequences going back to the queue: a
+     *  preempted request was popped before everything still queued
+     *  in its class, so front insertion restores exact
+     *  (arrival, id) order within the class. Exempt from the
+     *  capacity bound — a preempted request must never be
+     *  dropped. */
+    void pushFront(const Request &request);
+
     /** True when no request is queued. */
     bool empty() const { return size_ == 0; }
 

@@ -30,6 +30,17 @@ struct Request
     /** Priority class; lower value is served first. FIFO within a
      *  class. */
     int priority = 0;
+
+    /** Shared-prefix identity: every request with the same nonzero
+     *  prefix_id starts with the identical prefix_len prompt
+     *  tokens (a common system prompt), so the paged KV pool can
+     *  pin one physical copy of those pages across all of them.
+     *  0 = no shared prefix. */
+    int64_t prefix_id = 0;
+
+    /** Leading prompt tokens covered by prefix_id; must satisfy
+     *  0 <= prefix_len <= input_len (0 unless prefix_id != 0). */
+    int64_t prefix_len = 0;
 };
 
 /** Why a request left the system without completing. */
@@ -38,8 +49,10 @@ enum class RejectReason
     /** The bounded request queue was full on arrival. */
     QueueFull,
 
-    /** The request's reserved context exceeds the total KV budget
-     *  (or the largest bucket) — it could never be scheduled. */
+    /** The request's maximum context (input_len + output_len - 1,
+     *  the context of its last decode step) exceeds the bucket
+     *  ladder or the total KV capacity — it could never run to
+     *  completion under either admission policy. */
     TooLong,
 };
 

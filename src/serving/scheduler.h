@@ -14,18 +14,41 @@
  *    BlockShapes (models::BucketPolicy) so the compile cache stays
  *    small; each group is one accelerator trigger per layer whose
  *    members stream back-to-back with weights resident.
- *  - Conservative KV admission: a request reserves its *final*
- *    bucketed context (input + output) when it joins the batch and
- *    holds it until completion — no mid-flight preemption, so
- *    every admitted request runs to completion and the KV
- *    invariant is a simple sum bound.
+ *  - KV admission, two policies (KvAdmission):
+ *      * Paged (default): the KV budget is a serving::KvPool of
+ *        fixed-size pages. A request is admitted when its
+ *        *current* context fits, acquires pages on demand as it
+ *        decodes, and shares prefix pages with other requests
+ *        naming the same prompt prefix. On allocation pressure a
+ *        resident sequence is preempted back to the queue
+ *        (lowest priority class first, then most recently
+ *        admitted) and recomputes its KV when readmitted.
+ *      * Reserve: the PR-4 conservative baseline — a request
+ *        reserves its *final* bucketed context at admission and
+ *        holds it to completion; no preemption ever. Kept as the
+ *        measurable before/after comparison point.
  *  - Strict head-of-line admission: the queue's best request (by
  *    priority class, FIFO within class) is admitted or nothing is
  *    — later smaller requests never jump a blocked head, which
  *    makes FIFO fairness exact and starvation impossible *within
  *    a priority class*. Across classes the policy is strict
  *    priority: sustained higher-class traffic can hold back lower
- *    classes indefinitely, by design.
+ *    classes indefinitely, by design. Preempted requests re-enter
+ *    at the front of their class (their arrival precedes
+ *    everything still queued there).
+ *
+ * **Context-length convention.** A sequence that has produced
+ * `g` output tokens and runs one more step attends over
+ * `input_len + g` tokens: the prompt (input_len), the g - 1
+ * previously cached output tokens, and the current query token,
+ * whose KV slot is written during the step. That expression is
+ * used uniformly for decode shapes, recompute-prefill shapes, and
+ * page demand; the maximum context of a request's lifetime is
+ * therefore `input_len + output_len - 1` (its last decode step).
+ * The previous `input_len + generated + 1` convention over-counted
+ * by one and pushed sequences into the next shape bucket one step
+ * early at exact bucket boundaries, splitting their step group and
+ * costing a spurious compile (regression-tested at a boundary).
  *
  * All time is simulated milliseconds; the scheduler contains no
  * wall-clock, randomness, or pointer-order dependence, so a trace
@@ -40,6 +63,7 @@
 
 #include "models/bucketing.h"
 #include "runtime/executor.h"
+#include "serving/kv_pool.h"
 #include "serving/metrics.h"
 #include "serving/queue.h"
 #include "serving/request.h"
@@ -62,19 +86,40 @@ class StepCostModel
     stepMs(const std::vector<runtime::StepGroup> &groups) = 0;
 };
 
+/** How the scheduler charges requests against the KV budget. */
+enum class KvAdmission
+{
+    /** Block-granular paged pool: admit on current need, grow on
+     *  demand, preempt under pressure, share prefixes. */
+    Paged,
+
+    /** Conservative full reservation of the final bucketed
+     *  context; never preempts (the PR-4 baseline). */
+    Reserve,
+};
+
 /** Scheduler knobs. */
 struct SchedulerOptions
 {
     /** Max sequences resident in one step. */
     int64_t max_batch = 8;
 
-    /** Total KV tokens the accelerator can hold. Each admitted
-     *  request reserves bucketLen(input + output) until it
-     *  finishes. */
+    /** Total KV tokens the accelerator can hold. Under Paged
+     *  admission this is carved into kv_budget_tokens /
+     *  page_tokens physical pages; under Reserve each admitted
+     *  request holds bucketLen(max context) of it to
+     *  completion. */
     int64_t kv_budget_tokens = 4096;
 
+    /** KV admission policy. */
+    KvAdmission admission = KvAdmission::Paged;
+
+    /** Page size of the paged pool (Paged only). */
+    int64_t page_tokens = 16;
+
     /** Request-queue capacity; arrivals beyond it are rejected
-     *  (0 = unbounded). */
+     *  (0 = unbounded). Preempted requests re-enter exempt from
+     *  the bound. */
     int64_t max_queue_depth = 0;
 
     /** Shape quantisation shared with the compile cache. */
@@ -94,24 +139,41 @@ struct StepRecord
     double start_ms = 0.0;
     double step_ms = 0.0;
 
-    /** Requests that ran their prefill in this step, in admission
-     *  order. */
+    /** Requests that ran a prefill-shaped pass in this step, in
+     *  admission order: first-time prefills and recompute
+     *  prefills of readmitted preempted sequences. */
     std::vector<int64_t> prefill_ids;
 
     /** Requests that decoded one token in this step. */
     std::vector<int64_t> decode_ids;
 
-    /** KV tokens reserved across the batch during this step. */
+    /** Sequences preempted while making room for this step, in
+     *  preemption order (Paged only). */
+    std::vector<int64_t> preempted_ids;
+
+    /** KV tokens the batch holds during this step: the sum of
+     *  bucketed reservations (Reserve) or active pages ×
+     *  page_tokens (Paged). */
     int64_t kv_reserved = 0;
+
+    /** Pool occupancy when the step launched (Paged only;
+     *  pages_active + pages_cached + pages_free == pool pages,
+     *  recomputed by the property suite). */
+    int64_t pages_active = 0;
+    int64_t pages_cached = 0;
+    int64_t pages_free = 0;
 
     /** Queued requests left behind when the step launched. */
     int64_t queue_depth = 0;
 };
 
-/** A rejected request and why. */
+/** A rejected request and why. Rejections land in (arrival, id)
+ *  order regardless of how arrivals were batched into ingest
+ *  rounds. */
 struct RejectedRequest
 {
     int64_t id = 0;
+    double arrival_ms = 0.0;
     RejectReason reason = RejectReason::QueueFull;
 };
 

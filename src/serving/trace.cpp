@@ -49,6 +49,9 @@ checkOptions(const TraceOptions &o)
                  o.max_output_len >= o.min_output_len,
              "malformed output length range");
     ST_CHECK(o.num_priorities >= 1, "need a priority class");
+    ST_CHECK(o.num_prefix_groups >= 0, "prefix group domain");
+    ST_CHECK(o.num_prefix_groups == 0 || o.shared_prefix_len >= 1,
+             "prefix groups need a shared prefix length");
 }
 
 Request
@@ -63,6 +66,13 @@ drawRequest(std::mt19937_64 &rng, const TraceOptions &o,
         uniformInt(rng, o.min_output_len, o.max_output_len);
     r.priority = static_cast<int>(
         uniformInt(rng, 0, o.num_priorities - 1));
+    // Prefix draws come last so disabling them (the default)
+    // leaves the whole trace bit-identical to older generators.
+    if (o.num_prefix_groups > 0) {
+        r.prefix_id = uniformInt(rng, 1, o.num_prefix_groups);
+        r.prefix_len = o.shared_prefix_len;
+        r.input_len += o.shared_prefix_len;
+    }
     return r;
 }
 

@@ -42,6 +42,15 @@ struct TraceOptions
     /** Priority classes drawn uniformly from [0, num_priorities). */
     int num_priorities = 1;
 
+    /** Shared system-prompt modeling: when num_prefix_groups > 0,
+     *  each request draws a prefix group uniformly and its prompt
+     *  becomes shared_prefix_len common leading tokens (identical
+     *  across the group — one physical copy under paged KV) plus
+     *  its drawn input length. 0 disables and leaves traces
+     *  bit-identical to pre-prefix generators. */
+    int64_t num_prefix_groups = 0;
+    int64_t shared_prefix_len = 0;
+
     /** Bursty modulation: the arrival rate alternates between a
      *  burst phase (gap / burst_factor) lasting
      *  burst_duty * burst_period_ms and a quiet phase. Used by

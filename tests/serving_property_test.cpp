@@ -1,12 +1,16 @@
 /** @file Property/invariant suite for RequestQueue + Scheduler:
  *  each seed derives a distinct (trace, scheduler-config) pair and
- *  checks structural invariants that must hold for *every* run —
- *  conservation, FIFO fairness within a priority class, batch and
- *  KV-budget bounds, contiguous per-request execution, and
- *  metrics-total consistency against per-request sums. */
+ *  runs it under BOTH KV admission policies, checking structural
+ *  invariants that must hold for *every* run — conservation, FIFO
+ *  fairness within a priority class, batch and KV bounds, metrics
+ *  consistency against per-request sums — plus the policy-specific
+ *  ones: contiguous no-preemption execution under Reserve, and
+ *  page conservation / preemption bookkeeping / prefix-sharing
+ *  occupancy recomputation under Paged. */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -27,9 +31,10 @@ struct SeededRun
     serving::ServingResult result;
 };
 
-/** Derive a varied but fully seed-determined scenario. */
+/** Derive a varied but fully seed-determined scenario. Paged and
+ *  Reserve runs share the trace and every other knob. */
 SeededRun
-runSeed(uint64_t seed)
+runSeed(uint64_t seed, serving::KvAdmission admission)
 {
     serving::TraceOptions trace_options;
     trace_options.seed = seed;
@@ -41,11 +46,20 @@ runSeed(uint64_t seed)
     trace_options.min_output_len = 1;
     trace_options.max_output_len = 24;
     trace_options.num_priorities = 1 + static_cast<int>(seed % 3);
+    if (seed % 3 == 0) {
+        // A third of the seeds model shared system prompts so the
+        // paged run exercises prefix sharing.
+        trace_options.num_prefix_groups =
+            1 + static_cast<int64_t>(seed % 2);
+        trace_options.shared_prefix_len =
+            16 * (1 + static_cast<int64_t>((seed / 3) % 3));
+    }
 
     SeededRun run;
     run.trace = seed % 2 == 0 ? serving::poissonTrace(trace_options)
                               : serving::burstyTrace(trace_options);
 
+    run.options.admission = admission;
     run.options.max_batch = 1 + static_cast<int64_t>(seed % 7);
     run.options.kv_budget_tokens =
         192 + 64 * static_cast<int64_t>(seed % 13);
@@ -59,23 +73,42 @@ runSeed(uint64_t seed)
     return run;
 }
 
+/** Reserve-mode reservation: the final bucketed context (the last
+ *  decode step attends input + output - 1 tokens). */
 int64_t
 reservedKv(const Request &r, const models::BucketPolicy &policy)
 {
-    return models::bucketLen(r.input_len + r.output_len, policy);
+    return models::bucketLen(r.input_len + r.output_len - 1,
+                             policy);
+}
+
+int64_t
+pagesFor(int64_t tokens, int64_t page_tokens)
+{
+    return (tokens + page_tokens - 1) / page_tokens;
+}
+
+std::vector<int64_t>
+stepMembers(const serving::StepRecord &s)
+{
+    std::vector<int64_t> ids = s.prefill_ids;
+    ids.insert(ids.end(), s.decode_ids.begin(),
+               s.decode_ids.end());
+    return ids;
 }
 
 class SchedulerProperty : public ::testing::TestWithParam<uint64_t>
 {};
 
-} // namespace
-
-TEST_P(SchedulerProperty, InvariantsHold)
+void
+checkInvariants(const SeededRun &run)
 {
-    SeededRun run = runSeed(GetParam());
+    const bool paged =
+        run.options.admission == serving::KvAdmission::Paged;
     const auto &result = run.result;
     const auto &metrics = result.metrics;
     ASSERT_FALSE(result.hit_step_limit);
+    ASSERT_EQ(metrics.in_flight, 0);
 
     std::map<int64_t, Request> by_id;
     for (const auto &r : run.trace)
@@ -100,11 +133,28 @@ TEST_P(SchedulerProperty, InvariantsHold)
                     rejected_ids.count(r.id))
             << "request lost: " << r.id;
 
+    // Rejections land in (arrival, id) order.
+    for (size_t i = 1; i < result.rejected.size(); ++i) {
+        const auto &a = result.rejected[i - 1];
+        const auto &b = result.rejected[i];
+        EXPECT_TRUE(a.arrival_ms < b.arrival_ms ||
+                    (a.arrival_ms == b.arrival_ms && a.id < b.id))
+            << "rejection order violated: " << a.id << " before "
+            << b.id;
+    }
+
     // --- Per-step bounds and bookkeeping.
+    const int64_t page_tokens = run.options.page_tokens;
+    const int64_t pool_pages =
+        paged ? run.options.kv_budget_tokens / page_tokens : 0;
     std::map<int64_t, std::vector<size_t>> appearances;
-    std::map<int64_t, size_t> prefill_step;
+    std::map<int64_t, size_t> first_prefill_step;
+    std::set<int64_t> ever_preempted;
     double recomputed_busy = 0.0;
     int64_t recomputed_batched = 0;
+    int64_t recomputed_preemptions = 0;
+    int64_t recomputed_page_sum = 0;
+    int64_t max_pages_active = 0;
     for (size_t i = 0; i < result.steps.size(); ++i) {
         const auto &s = result.steps[i];
         int64_t batch =
@@ -120,31 +170,100 @@ TEST_P(SchedulerProperty, InvariantsHold)
                                       1e-12);
         }
 
-        // KV bound, recomputed from the recorded membership.
-        int64_t kv = 0;
-        for (int64_t id : s.prefill_ids) {
-            kv += reservedKv(by_id.at(id), run.options.buckets);
-            EXPECT_TRUE(prefill_step.emplace(id, i).second)
-                << "request prefilled twice: " << id;
+        // Preemption bookkeeping: a victim ran the previous step,
+        // does not run this one, and only preempted sequences may
+        // ever re-run a prefill.
+        if (!paged) {
+            EXPECT_TRUE(s.preempted_ids.empty());
         }
-        for (int64_t id : s.decode_ids)
-            kv += reservedKv(by_id.at(id), run.options.buckets);
-        EXPECT_EQ(kv, s.kv_reserved);
-        EXPECT_LE(kv, run.options.kv_budget_tokens);
+        for (int64_t id : s.preempted_ids) {
+            ever_preempted.insert(id);
+            ++recomputed_preemptions;
+            ASSERT_GT(i, 0u);
+            auto prev = stepMembers(result.steps[i - 1]);
+            EXPECT_NE(std::find(prev.begin(), prev.end(), id),
+                      prev.end())
+                << "victim " << id << " was not resident";
+            auto cur = stepMembers(s);
+            EXPECT_EQ(std::find(cur.begin(), cur.end(), id),
+                      cur.end())
+                << "victim " << id << " still resident";
+        }
+        for (int64_t id : s.prefill_ids) {
+            auto [it, inserted] =
+                first_prefill_step.emplace(id, i);
+            (void)it;
+            if (!inserted) {
+                EXPECT_TRUE(ever_preempted.count(id))
+                    << "request re-prefilled without a "
+                       "preemption: "
+                    << id;
+            }
+        }
 
-        for (int64_t id : s.prefill_ids)
-            appearances[id].push_back(i);
-        for (int64_t id : s.decode_ids)
+        // KV occupancy, recomputed from the recorded membership
+        // and each member's progress (appearances so far =
+        // generated tokens).
+        if (paged) {
+            // Physical pages: each member holds pagesFor(ctx)
+            // pages of which floor(prefix_len / page) are shared
+            // prefix pages, counted once per prefix group.
+            int64_t priv = 0;
+            std::map<int64_t, int64_t> group_shared;
+            for (int64_t id : stepMembers(s)) {
+                const Request &r = by_id.at(id);
+                int64_t g = static_cast<int64_t>(
+                    appearances[id].size());
+                int64_t ctx = r.input_len + g;
+                int64_t held = pagesFor(ctx, page_tokens);
+                int64_t shared =
+                    r.prefix_id
+                        ? r.prefix_len / page_tokens
+                        : 0;
+                priv += held - shared;
+                if (r.prefix_id) {
+                    auto &best = group_shared[r.prefix_id];
+                    best = std::max(best, shared);
+                }
+            }
+            int64_t shared_total = 0;
+            for (const auto &[gid, pages] : group_shared) {
+                (void)gid;
+                shared_total += pages;
+            }
+            EXPECT_EQ(s.pages_active, priv + shared_total)
+                << "active pages drifted at step " << i;
+            EXPECT_EQ(s.kv_reserved,
+                      s.pages_active * page_tokens);
+            EXPECT_EQ(s.pages_active + s.pages_cached +
+                          s.pages_free,
+                      pool_pages)
+                << "page conservation violated at step " << i;
+            EXPECT_LE(s.pages_active, pool_pages);
+            recomputed_page_sum += s.pages_active;
+            max_pages_active =
+                std::max(max_pages_active, s.pages_active);
+        } else {
+            int64_t kv = 0;
+            for (int64_t id : stepMembers(s))
+                kv += reservedKv(by_id.at(id),
+                                 run.options.buckets);
+            EXPECT_EQ(kv, s.kv_reserved);
+            EXPECT_LE(kv, run.options.kv_budget_tokens);
+        }
+
+        for (int64_t id : stepMembers(s))
             appearances[id].push_back(i);
         recomputed_busy += s.step_ms;
         recomputed_batched += batch;
     }
 
-    // --- FIFO fairness within each priority class: prefill order
-    // follows (arrival, id) order. (Strict head-of-line admission
-    // also makes this hold across KV stalls.)
-    for (const auto &[id_a, step_a] : prefill_step) {
-        for (const auto &[id_b, step_b] : prefill_step) {
+    // --- FIFO fairness within each priority class: *first*
+    // prefill order follows (arrival, id) order. (Strict
+    // head-of-line admission plus front-of-class readmission keep
+    // this true across KV stalls and preemptions.)
+    for (const auto &[id_a, step_a] : first_prefill_step) {
+        for (const auto &[id_b, step_b] : first_prefill_step) {
             const Request &a = by_id.at(id_a);
             const Request &b = by_id.at(id_b);
             if (a.priority != b.priority)
@@ -160,16 +279,21 @@ TEST_P(SchedulerProperty, InvariantsHold)
         }
     }
 
-    // --- No preemption: each completed request runs its prefill
-    // plus output_len - 1 decodes in consecutive steps.
+    // --- Every completed request runs exactly output_len steps
+    // (each resident step advances one token, recompute prefills
+    // included — preemption costs time, never tokens). Under
+    // Reserve those steps are consecutive: no preemption.
     for (int64_t id : completed_ids) {
         const Request &r = by_id.at(id);
         const auto &steps = appearances.at(id);
         ASSERT_EQ(steps.size(),
-                  static_cast<size_t>(r.output_len));
-        for (size_t i = 1; i < steps.size(); ++i)
-            EXPECT_EQ(steps[i], steps[i - 1] + 1)
-                << "request " << id << " paused mid-flight";
+                  static_cast<size_t>(r.output_len))
+            << "token count drifted for request " << id;
+        if (!paged) {
+            for (size_t i = 1; i < steps.size(); ++i)
+                EXPECT_EQ(steps[i], steps[i - 1] + 1)
+                    << "request " << id << " paused mid-flight";
+        }
     }
     // Rejected requests never ran.
     for (int64_t id : rejected_ids)
@@ -182,16 +306,46 @@ TEST_P(SchedulerProperty, InvariantsHold)
                   metrics.rejected_too_long,
               static_cast<int64_t>(result.rejected.size()));
     int64_t token_sum = 0;
+    int64_t preemption_sum = 0;
     for (const auto &r : metrics.requests) {
         token_sum += r.output_len;
+        preemption_sum += r.preemptions;
         EXPECT_GE(r.ttftMs(), 0.0);
         EXPECT_GE(r.latencyMs(), r.ttftMs());
+        EXPECT_EQ(r.preemptions > 0,
+                  ever_preempted.count(r.id) > 0);
     }
     EXPECT_EQ(metrics.total_output_tokens, token_sum);
     EXPECT_EQ(metrics.steps,
               static_cast<int64_t>(result.steps.size()));
     EXPECT_DOUBLE_EQ(metrics.busy_ms, recomputed_busy);
     EXPECT_EQ(metrics.total_batched_seqs, recomputed_batched);
+    EXPECT_EQ(metrics.preemptions, recomputed_preemptions);
+    // Drained run: every preemption belongs to a completed
+    // request.
+    EXPECT_EQ(metrics.preemptions, preemption_sum);
+    if (paged) {
+        EXPECT_EQ(metrics.pool_pages, pool_pages);
+        EXPECT_EQ(metrics.page_step_sum, recomputed_page_sum);
+        EXPECT_GE(metrics.peak_pages_active, max_pages_active);
+        EXPECT_LE(metrics.peak_pages_active, pool_pages);
+        EXPECT_GE(metrics.pageUtilization(), 0.0);
+        EXPECT_LE(metrics.pageUtilization(), 1.0);
+        EXPECT_GE(metrics.prefixHitRate(), 0.0);
+        EXPECT_LE(metrics.prefixHitRate(), 1.0);
+        bool has_prefixes = false;
+        for (const auto &r : run.trace)
+            has_prefixes |= r.prefix_id != 0;
+        if (!has_prefixes) {
+            EXPECT_EQ(metrics.prefix_hit_pages, 0);
+            EXPECT_EQ(metrics.prefix_miss_pages, 0);
+        }
+    } else {
+        EXPECT_EQ(metrics.preemptions, 0);
+        EXPECT_EQ(metrics.pool_pages, 0);
+        EXPECT_EQ(metrics.prefix_hit_pages, 0);
+        EXPECT_EQ(metrics.page_step_sum, 0);
+    }
     if (!result.steps.empty()) {
         const auto &last = result.steps.back();
         EXPECT_DOUBLE_EQ(metrics.makespan_ms,
@@ -211,5 +365,55 @@ TEST_P(SchedulerProperty, InvariantsHold)
     }
 }
 
+} // namespace
+
+TEST_P(SchedulerProperty, InvariantsHoldPaged)
+{
+    SeededRun run =
+        runSeed(GetParam(), serving::KvAdmission::Paged);
+    checkInvariants(run);
+
+    // The paged schedule replays bit-identically.
+    SeededRun again =
+        runSeed(GetParam(), serving::KvAdmission::Paged);
+    ASSERT_EQ(again.result.steps.size(),
+              run.result.steps.size());
+    for (size_t i = 0; i < run.result.steps.size(); ++i) {
+        EXPECT_EQ(again.result.steps[i].prefill_ids,
+                  run.result.steps[i].prefill_ids);
+        EXPECT_EQ(again.result.steps[i].decode_ids,
+                  run.result.steps[i].decode_ids);
+        EXPECT_EQ(again.result.steps[i].preempted_ids,
+                  run.result.steps[i].preempted_ids);
+        EXPECT_EQ(again.result.steps[i].pages_active,
+                  run.result.steps[i].pages_active);
+        EXPECT_DOUBLE_EQ(again.result.steps[i].start_ms,
+                         run.result.steps[i].start_ms);
+    }
+}
+
+TEST_P(SchedulerProperty, InvariantsHoldReserve)
+{
+    SeededRun run =
+        runSeed(GetParam(), serving::KvAdmission::Reserve);
+    checkInvariants(run);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
                          ::testing::Range<uint64_t>(0, 100));
+
+// The 100 seeds must actually exercise the interesting paged
+// machinery somewhere, or the invariants above are vacuous.
+TEST(SchedulerPropertyCoverage, SeedsExercisePreemptionAndSharing)
+{
+    int64_t preemptions = 0;
+    int64_t prefix_hits = 0;
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        SeededRun run =
+            runSeed(seed, serving::KvAdmission::Paged);
+        preemptions += run.result.metrics.preemptions;
+        prefix_hits += run.result.metrics.prefix_hit_pages;
+    }
+    EXPECT_GT(preemptions, 0);
+    EXPECT_GT(prefix_hits, 0);
+}

@@ -572,3 +572,272 @@ TEST(Scheduler, EmptyTraceYieldsEmptyMetrics)
     EXPECT_DOUBLE_EQ(result.metrics.requestsPerSecond(), 0.0);
     EXPECT_DOUBLE_EQ(result.metrics.utilization(), 0.0);
 }
+
+// ---------------------------------------------------------------
+// Paged KV admission: preemption and prefix sharing, scripted.
+// ---------------------------------------------------------------
+
+namespace {
+
+Request
+makePrefixRequest(int64_t id, double arrival_ms, int64_t input_len,
+                  int64_t output_len, int64_t prefix_id,
+                  int64_t prefix_len)
+{
+    Request r = makeRequest(id, arrival_ms, input_len, output_len);
+    r.prefix_id = prefix_id;
+    r.prefix_len = prefix_len;
+    return r;
+}
+
+} // namespace
+
+TEST(SchedulerReplay, PagedPreemptionScript)
+{
+    // Pool of 4 pages (budget 64, page 16). Two identical
+    // sequences (input 30, output 4) hold 2 pages each until
+    // their 4th step's context (33 tokens) needs a 3rd page:
+    // the most recently admitted (R1) is preempted back to the
+    // queue, R0 finishes, and R1 readmits with a recompute
+    // prefill over its full 33-token context that emits its final
+    // token — same token count, preemption cost paid in time.
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(2, 64), cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 30, 4),
+        makeRequest(1, 0.0, 30, 4),
+    });
+
+    ASSERT_EQ(result.steps.size(), 5u);
+    EXPECT_TRUE(result.rejected.empty());
+
+    // Steps 1-3: both resident, 2 pages each (contexts 30..32).
+    EXPECT_EQ(result.steps[0].prefill_ids,
+              (std::vector<int64_t>{0, 1}));
+    EXPECT_EQ(result.steps[0].pages_active, 4);
+    EXPECT_EQ(result.steps[0].kv_reserved, 64);
+    double s0 = analyticStepMs({{32, 32, 2}});
+    EXPECT_DOUBLE_EQ(result.steps[0].step_ms, s0);
+    double s1 = analyticStepMs({{1, 32, 2}});
+    for (size_t i : {1u, 2u}) {
+        EXPECT_EQ(result.steps[i].decode_ids,
+                  (std::vector<int64_t>{0, 1}));
+        EXPECT_TRUE(result.steps[i].preempted_ids.empty());
+        EXPECT_DOUBLE_EQ(result.steps[i].step_ms, s1);
+    }
+
+    // Step 4: R0's growth to 3 pages evicts R1 (most recently
+    // admitted); R1 is not readmitted in the same iteration.
+    const auto &s3 = result.steps[3];
+    EXPECT_EQ(s3.preempted_ids, (std::vector<int64_t>{1}));
+    EXPECT_EQ(s3.decode_ids, (std::vector<int64_t>{0}));
+    EXPECT_TRUE(s3.prefill_ids.empty());
+    EXPECT_EQ(s3.pages_active, 3);
+    EXPECT_EQ(s3.pages_free, 1);
+    double s3ms = analyticStepMs({{1, 48, 1}});
+    EXPECT_DOUBLE_EQ(s3.step_ms, s3ms);
+
+    // Step 5: R1 readmits and recomputes — a prefill-shaped pass
+    // over input + 3 generated = 33 tokens (bucket 48) that also
+    // emits its last token.
+    const auto &s4 = result.steps[4];
+    EXPECT_EQ(s4.prefill_ids, (std::vector<int64_t>{1}));
+    EXPECT_TRUE(s4.decode_ids.empty());
+    EXPECT_EQ(s4.pages_active, 3);
+    double s4ms = analyticStepMs({{48, 48, 1}});
+    EXPECT_DOUBLE_EQ(s4.step_ms, s4ms);
+
+    const auto &m = result.metrics;
+    EXPECT_EQ(m.completed, 2);
+    EXPECT_EQ(m.preemptions, 1);
+    EXPECT_EQ(m.total_output_tokens, 8);
+    ASSERT_EQ(m.requests.size(), 2u);
+    EXPECT_EQ(m.requests[0].id, 0);
+    EXPECT_EQ(m.requests[0].preemptions, 0);
+    EXPECT_EQ(m.requests[1].id, 1);
+    EXPECT_EQ(m.requests[1].preemptions, 1);
+    // Preemption never resets the first token: R1's TTFT is still
+    // the end of the shared prefill step.
+    EXPECT_DOUBLE_EQ(m.requests[1].first_token_ms, s0);
+    EXPECT_DOUBLE_EQ(m.requests[1].finish_ms,
+                     m.makespan_ms);
+    EXPECT_EQ(m.peak_pages_active, 4);
+}
+
+TEST(SchedulerReplay, PagedPrefixSharingScript)
+{
+    // Two concurrent requests share a 32-token prefix (2 full
+    // pages): 4 physical pages instead of 6. A third request with
+    // the same prefix arrives after both finished and revives the
+    // retained prefix pages from cache.
+    serving::AnalyticCostModel cost;
+    serving::Scheduler scheduler(recordingOptions(2, 256), cost);
+    auto result = scheduler.run({
+        makePrefixRequest(0, 0.0, 40, 2, /*prefix_id=*/1,
+                          /*prefix_len=*/32),
+        makePrefixRequest(1, 0.0, 40, 2, 1, 32),
+        makePrefixRequest(2, 100.0, 40, 1, 1, 32),
+    });
+
+    ASSERT_EQ(result.steps.size(), 3u);
+    // Shared prefill: 3 pages each, 2 of them one physical copy.
+    EXPECT_EQ(result.steps[0].prefill_ids,
+              (std::vector<int64_t>{0, 1}));
+    EXPECT_EQ(result.steps[0].pages_active, 4);
+    EXPECT_EQ(result.steps[0].kv_reserved, 64);
+
+    // After both retire the prefix pages are retained, not freed:
+    // R2's prefill revives them and allocates only its private
+    // page.
+    const auto &s2 = result.steps[2];
+    EXPECT_DOUBLE_EQ(s2.start_ms, 100.0);
+    EXPECT_EQ(s2.prefill_ids, (std::vector<int64_t>{2}));
+    EXPECT_EQ(s2.pages_active, 3);
+
+    const auto &m = result.metrics;
+    EXPECT_EQ(m.completed, 3);
+    EXPECT_EQ(m.preemptions, 0);
+    // R0 allocates the 2 prefix pages (misses); R1 shares them
+    // live (2 hits); R2 revives them from cache (2 more hits).
+    EXPECT_EQ(m.prefix_miss_pages, 2);
+    EXPECT_EQ(m.prefix_hit_pages, 4);
+    EXPECT_DOUBLE_EQ(m.prefixHitRate(), 4.0 / 6.0);
+}
+
+TEST(SchedulerReplay, PagedAdmitsWhatReserveBlocks)
+{
+    // Reserve admission holds bucketLen(input + output - 1) from
+    // admission, so a 4-page pool serializes two (30, 40)
+    // requests (each reserves 80 > 64/2). Paged admission runs
+    // them concurrently until actual pressure builds.
+    auto run = [](serving::KvAdmission admission) {
+        serving::AnalyticCostModel cost;
+        serving::SchedulerOptions options =
+            recordingOptions(2, 128);
+        options.admission = admission;
+        serving::Scheduler scheduler(options, cost);
+        return scheduler.run({
+            makeRequest(0, 0.0, 30, 40),
+            makeRequest(1, 0.0, 30, 40),
+        });
+    };
+    auto paged = run(serving::KvAdmission::Paged);
+    auto reserve = run(serving::KvAdmission::Reserve);
+    EXPECT_EQ(paged.metrics.completed, 2);
+    EXPECT_EQ(reserve.metrics.completed, 2);
+    // Reserve: strictly serial (80 + 80 > 128).
+    EXPECT_EQ(reserve.steps[0].prefill_ids,
+              (std::vector<int64_t>{0}));
+    EXPECT_EQ(reserve.steps[0].queue_depth, 1);
+    // Paged: both prefill together.
+    EXPECT_EQ(paged.steps[0].prefill_ids,
+              (std::vector<int64_t>{0, 1}));
+    EXPECT_LT(paged.metrics.makespan_ms,
+              reserve.metrics.makespan_ms);
+}
+
+TEST(SchedulerReplay, RejectionOrderInterleavesReasonsAtOneInstant)
+{
+    // Five arrivals at t = 0, ingested in one round: TooLong and
+    // QueueFull rejections must land in result.rejected in
+    // (arrival, id) order — interleaved by id, not grouped by
+    // reason or by ingest batching.
+    serving::AnalyticCostModel cost;
+    serving::SchedulerOptions options = recordingOptions(1, 64);
+    options.max_queue_depth = 1;
+    serving::Scheduler scheduler(options, cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 8, 1),    // admitted
+        makeRequest(1, 0.0, 100, 60), // TooLong (10 pages > 4)
+        makeRequest(2, 0.0, 8, 1),    // QueueFull
+        makeRequest(3, 0.0, 200, 60), // TooLong
+        makeRequest(4, 0.0, 8, 1),    // QueueFull
+    });
+    ASSERT_EQ(result.rejected.size(), 4u);
+    EXPECT_EQ(result.rejected[0].id, 1);
+    EXPECT_EQ(result.rejected[0].reason,
+              serving::RejectReason::TooLong);
+    EXPECT_EQ(result.rejected[1].id, 2);
+    EXPECT_EQ(result.rejected[1].reason,
+              serving::RejectReason::QueueFull);
+    EXPECT_EQ(result.rejected[2].id, 3);
+    EXPECT_EQ(result.rejected[2].reason,
+              serving::RejectReason::TooLong);
+    EXPECT_EQ(result.rejected[3].id, 4);
+    EXPECT_EQ(result.rejected[3].reason,
+              serving::RejectReason::QueueFull);
+    for (const auto &r : result.rejected)
+        EXPECT_DOUBLE_EQ(r.arrival_ms, 0.0);
+    EXPECT_EQ(result.metrics.rejected_too_long, 2);
+    EXPECT_EQ(result.metrics.rejected_queue_full, 2);
+}
+
+// ---------------------------------------------------------------
+// Metrics edge cases (partial runs, degenerate decode windows).
+// ---------------------------------------------------------------
+
+TEST(Metrics, TbtMeanSkipsSingleTokenRequests)
+{
+    serving::ServingMetrics m;
+    serving::RequestMetrics multi;
+    multi.output_len = 3;
+    multi.first_token_ms = 10.0;
+    multi.finish_ms = 30.0;
+    serving::RequestMetrics single;
+    single.output_len = 1;
+    single.first_token_ms = 5.0;
+    single.finish_ms = 5.0; // no decode window, by construction
+    m.requests = {multi, single};
+    // 20 ms over 2 gaps; the single-token request contributes
+    // neither window nor gaps.
+    EXPECT_DOUBLE_EQ(m.tbtMeanMs(), 10.0);
+}
+
+TEST(Metrics, TbtMeanRefusesSingleTokenDecodeWindow)
+{
+    // A single-token request with finish != first token would
+    // silently inflate every other request's mean — it is an
+    // internal invariant violation, not a user error.
+    serving::ServingMetrics m;
+    serving::RequestMetrics bad;
+    bad.output_len = 1;
+    bad.first_token_ms = 5.0;
+    bad.finish_ms = 9.0;
+    m.requests = {bad};
+    EXPECT_THROW(m.tbtMeanMs(), PanicError);
+}
+
+TEST(Scheduler, StepLimitSplitsAccountingViews)
+{
+    // A run cut off by max_steps reports the in-flight sequences
+    // it still held; per-request metrics cover completions only,
+    // while step aggregates cover every executed step.
+    serving::AnalyticCostModel cost;
+    serving::SchedulerOptions options = recordingOptions(4, 4096);
+    options.max_steps = 3;
+    serving::Scheduler scheduler(options, cost);
+    std::vector<Request> trace;
+    for (int64_t i = 0; i < 10; ++i)
+        trace.push_back(makeRequest(i, 0.0, 8, 8));
+    auto result = scheduler.run(trace);
+
+    EXPECT_TRUE(result.hit_step_limit);
+    const auto &m = result.metrics;
+    EXPECT_EQ(m.steps, 3);
+    EXPECT_EQ(m.completed, 0); // nobody reached 8 tokens
+    EXPECT_TRUE(m.requests.empty());
+    EXPECT_EQ(m.in_flight, 4); // the resident batch
+    // Step-derived aggregates still cover the in-flight work.
+    EXPECT_EQ(m.total_batched_seqs, 12);
+    EXPECT_DOUBLE_EQ(m.meanBatchSize(), 4.0);
+    double busy = 0.0;
+    for (const auto &s : result.steps)
+        busy += s.step_ms;
+    EXPECT_DOUBLE_EQ(m.busy_ms, busy);
+    EXPECT_DOUBLE_EQ(m.utilization(), 1.0);
+    // A drained rerun of the same trace reports no in-flight
+    // work.
+    options.max_steps = 1 << 20;
+    serving::Scheduler drained(options, cost);
+    EXPECT_EQ(drained.run(trace).metrics.in_flight, 0);
+}
