@@ -10,6 +10,13 @@
  * pressure. The gap between the two "served req/s" columns is the
  * capacity the conservative reservation was wasting.
  *
+ * The second half is the fault sweep: the same traffic against a
+ * replicated fleet of four, once fault-free and once with one
+ * replica killed a quarter of the way through the run (recovering
+ * at three quarters). Goodput, p99, and availability side by side
+ * show what a crash actually costs when failover re-prefills the
+ * evacuated requests on the survivors.
+ *
  *   ./build/examples/serving_lab [num_requests] [max_batch]
  */
 
@@ -17,6 +24,7 @@
 #include <cstdlib>
 
 #include "serving/cost_model.h"
+#include "serving/fleet.h"
 #include "serving/scheduler.h"
 #include "serving/trace.h"
 
@@ -107,5 +115,72 @@ main(int argc, char **argv)
                 "Bucketed shapes compiled once and reused across "
                 "the sweep: %lld compiles total.\n",
                 static_cast<long long>(executor.compileCount()));
+
+    // ---- Fault sweep: a fleet of four loses one replica --------
+    const int num_replicas = 4;
+    serving::TraceOptions fleet_trace_options;
+    fleet_trace_options.num_requests = num_requests * 2;
+    fleet_trace_options.seed = 29;
+    fleet_trace_options.mean_interarrival_ms = 10.0;
+    fleet_trace_options.min_input_len = 8;
+    fleet_trace_options.max_input_len = 192;
+    fleet_trace_options.min_output_len = 4;
+    fleet_trace_options.max_output_len = 32;
+    auto fleet_trace =
+        serving::poissonTrace(fleet_trace_options);
+
+    serving::FleetOptions fleet_options;
+    fleet_options.num_replicas = num_replicas;
+    fleet_options.replica.max_batch = max_batch;
+    fleet_options.replica.kv_budget_tokens = 2048;
+    fleet_options.balancer = serving::LbPolicy::LeastKvLoad;
+    fleet_options.max_retries = 3;
+    fleet_options.retry_backoff_ms = 5.0;
+
+    auto serveFleet = [&](serving::FaultPlan faults) {
+        auto options = fleet_options;
+        options.faults = std::move(faults);
+        serving::ExecutorCostModel cost(executor);
+        serving::FleetScheduler fleet(options, cost);
+        return fleet.run(fleet_trace).metrics;
+    };
+
+    // Measure the fault-free fleet first; the kill instant is a
+    // quarter of *its* makespan, the recovery three quarters.
+    auto calm = serveFleet({});
+    serving::FaultPlan plan;
+    plan.events.push_back({0.25 * calm.makespan_ms, 0,
+                           serving::FaultKind::Crash, 1.0});
+    plan.events.push_back({0.75 * calm.makespan_ms, 0,
+                           serving::FaultKind::Recover, 1.0});
+    auto faulted = serveFleet(std::move(plan));
+
+    std::printf("\nFault sweep: %d replicas, %lld requests, "
+                "replica 0 killed at t=%.0f ms (25%% of the "
+                "no-fault makespan), back at t=%.0f ms\n\n",
+                num_replicas,
+                static_cast<long long>(fleet_trace.size()),
+                0.25 * calm.makespan_ms, 0.75 * calm.makespan_ms);
+    std::printf("%-10s %10s %10s %12s %10s %10s %8s\n", "fleet",
+                "goodput", "p99 ms", "availability", "uptime",
+                "failovers", "lost");
+    auto fleetRow = [](const char *name,
+                       const serving::FleetMetrics &m) {
+        std::printf("%-10s %10.2f %10.1f %11.1f%% %9.1f%% "
+                    "%10lld %8lld\n",
+                    name, m.servedRequestsPerSecond(),
+                    m.latencyPercentileMs(99.0),
+                    100.0 * m.availability(),
+                    100.0 * m.uptimeFraction(),
+                    static_cast<long long>(m.failovers),
+                    static_cast<long long>(m.requests_lost));
+    };
+    fleetRow("no-fault", calm);
+    fleetRow("crash-one", faulted);
+    std::printf("\nEvery request evacuated by the crash "
+                "re-prefilled on a survivor and still emitted "
+                "its full output: availability holds while "
+                "goodput and p99 pay for the lost quarter of "
+                "the fleet.\n");
     return 0;
 }

@@ -1,0 +1,427 @@
+#include "serving/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace serving {
+
+namespace {
+
+double
+quietNan()
+{
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+/** One request waiting in the fleet's retry buffer: a failover
+ *  waiting out its backoff, a drain hand-off, or an arrival parked
+ *  because no replica was eligible. */
+struct PendingRequest
+{
+    Request req;
+    ResumeState state;
+
+    /** Failover attempts consumed so far (== state.failovers). */
+    int64_t attempts = 0;
+};
+
+} // namespace
+
+double
+FleetMetrics::availability() const
+{
+    int64_t outcomes = completed + requests_lost + expired_deadline;
+    return outcomes > 0 ? static_cast<double>(completed) /
+                              static_cast<double>(outcomes)
+                        : 1.0;
+}
+
+double
+FleetMetrics::uptimeFraction() const
+{
+    if (makespan_ms <= 0.0 || replica_up_ms.empty())
+        return 1.0;
+    double up = 0.0;
+    for (double ms : replica_up_ms)
+        up += ms;
+    return up / (makespan_ms *
+                 static_cast<double>(replica_up_ms.size()));
+}
+
+double
+FleetMetrics::servedRequestsPerSecond() const
+{
+    return makespan_ms > 0.0
+               ? static_cast<double>(completed) / makespan_ms * 1e3
+               : 0.0;
+}
+
+double
+FleetMetrics::latencyPercentileMs(double p) const
+{
+    std::vector<double> latencies;
+    latencies.reserve(requests.size());
+    for (const auto &r : requests)
+        latencies.push_back(r.latencyMs());
+    return percentile(std::move(latencies), p)
+        .value_or(quietNan());
+}
+
+FleetScheduler::FleetScheduler(FleetOptions options,
+                               StepCostModel &cost,
+                               StepCostModel *degraded_cost)
+    : options_(std::move(options)), cost_(cost),
+      degraded_cost_(degraded_cost)
+{
+    ST_CHECK(options_.num_replicas >= 1, "fleet needs replicas");
+    ST_CHECK(options_.max_retries >= 0, "retry budget domain");
+    ST_CHECK(options_.retry_backoff_ms >= 0.0,
+             "retry backoff domain");
+    ST_CHECK(options_.retry_backoff_factor >= 1.0,
+             "retry backoff factor domain");
+    validateSchedulerOptions(options_.replica);
+    for (const auto &e : options_.faults.events)
+        ST_CHECK(e.replica >= 0 &&
+                     e.replica < options_.num_replicas,
+                 "fault plan names a replica outside the fleet");
+}
+
+FleetResult
+FleetScheduler::run(std::vector<Request> trace)
+{
+    sortAndValidateTrace(trace);
+    const double inf = std::numeric_limits<double>::infinity();
+    const int n = options_.num_replicas;
+
+    std::vector<ReplicaEngine> engines;
+    engines.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        engines.emplace_back(options_.replica, cost_, i);
+
+    std::vector<bool> up(static_cast<size_t>(n), true);
+    std::vector<double> up_since(static_cast<size_t>(n), 0.0);
+    auto lb = makeLoadBalancer(options_.balancer);
+    FaultInjector injector(options_.faults);
+
+    FleetResult result;
+    FleetMetrics &fm = result.metrics;
+    fm.replica_up_ms.assign(static_cast<size_t>(n), 0.0);
+
+    // Retry buffer keyed by (ready instant, id): map order IS
+    // dispatch order, which keeps redispatch deterministic.
+    std::map<std::pair<double, int64_t>, PendingRequest> pending;
+    double now = 0.0;
+    size_t next_arrival = 0;
+
+    auto statuses = [&]() {
+        std::vector<ReplicaStatus> s(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            auto &eng = engines[static_cast<size_t>(i)];
+            s[static_cast<size_t>(i)] = {
+                i,
+                up[static_cast<size_t>(i)],
+                eng.draining(),
+                eng.queueDepth(),
+                eng.activeCount(),
+                eng.kvLoadTokens()};
+        }
+        return s;
+    };
+
+    auto backoffMs = [&](int64_t attempts) {
+        double b = options_.retry_backoff_ms;
+        for (int64_t k = 1; k < attempts; ++k)
+            b *= options_.retry_backoff_factor;
+        return b;
+    };
+
+    auto rejectFleet = [&](const Request &r, RejectReason reason) {
+        switch (reason) {
+        case RejectReason::QueueFull:
+            ++fm.rejected_queue_full;
+            break;
+        case RejectReason::TooLong:
+            ++fm.rejected_too_long;
+            break;
+        case RejectReason::DeadlineExpired:
+            ++fm.expired_deadline;
+            break;
+        case RejectReason::Drained:
+            ++fm.rejected_drained;
+            break;
+        }
+        result.rejected.push_back(
+            {r.id, r.arrival_ms, reason, now});
+    };
+
+    auto loseRequest = [&](const Request &r, int64_t attempts) {
+        ++fm.requests_lost;
+        result.lost.push_back({r.id, now, attempts});
+    };
+
+    auto dispatchArrival = [&](const Request &r) {
+        // servable() is a pure function of the shared replica
+        // options, so one engine answers for the whole fleet.
+        if (!engines[0].servable(r)) {
+            rejectFleet(r, RejectReason::TooLong);
+            return;
+        }
+        if (r.deadline_ms > 0.0 && r.deadline_ms <= now) {
+            rejectFleet(r, RejectReason::DeadlineExpired);
+            return;
+        }
+        int target = lb->pick(r, statuses());
+        if (target < 0) {
+            // Total outage: park with no attempt consumed; the
+            // request dispatches the instant a replica recovers.
+            pending[{now, r.id}] = {r, ResumeState{}, 0};
+            return;
+        }
+        engines[static_cast<size_t>(target)].offer(r, now);
+    };
+
+    // Route every due retry-buffer entry to an eligible replica
+    // (back into the buffer, same key, when there is none).
+    // Readmission is front-insertion, so dispatching in *reverse*
+    // (ready, id) order leaves earlier requests nearer the head on
+    // a shared target.
+    auto redispatchDue = [&]() {
+        std::vector<std::pair<std::pair<double, int64_t>,
+                              PendingRequest>>
+            due;
+        for (auto it = pending.begin();
+             it != pending.end() && it->first.first <= now;) {
+            due.emplace_back(it->first, std::move(it->second));
+            it = pending.erase(it);
+        }
+        for (auto it = due.rbegin(); it != due.rend(); ++it) {
+            int target = lb->pick(it->second.req, statuses());
+            if (target < 0)
+                pending.emplace(it->first,
+                                std::move(it->second));
+            else
+                engines[static_cast<size_t>(target)].readmit(
+                    it->second.req, it->second.state);
+        }
+    };
+
+    auto applyFault = [&](const FaultEvent &e) {
+        auto idx = static_cast<size_t>(e.replica);
+        ReplicaEngine &eng = engines[idx];
+        switch (e.kind) {
+        case FaultKind::Crash: {
+            if (!up[idx])
+                break; // already down: tolerant no-op
+            up[idx] = false;
+            fm.replica_up_ms[idx] += now - up_since[idx];
+            ++fm.crashes;
+            if (eng.busy())
+                ++fm.aborted_steps;
+            // A crash wipes transient state; standing slow /
+            // degrade / drain windows re-apply only via their own
+            // events landing while the replica is down.
+            eng.setDraining(false);
+            eng.setSlowFactor(1.0);
+            eng.setCost(cost_);
+            for (auto &ev : eng.crash()) {
+                ev.state.failovers += 1;
+                ++fm.failovers;
+                if (ev.state.failovers > options_.max_retries) {
+                    loseRequest(ev.req, ev.state.failovers);
+                } else {
+                    double ready =
+                        now + backoffMs(ev.state.failovers);
+                    pending[{ready, ev.req.id}] = {
+                        ev.req, ev.state, ev.state.failovers};
+                }
+            }
+            break;
+        }
+        case FaultKind::Recover:
+            if (up[idx])
+                break;
+            up[idx] = true;
+            up_since[idx] = now;
+            ++fm.recoveries;
+            break;
+        case FaultKind::SlowStart:
+            // Takes effect at the next launch; an in-flight step
+            // keeps the cost it was launched with.
+            eng.setSlowFactor(e.factor);
+            ++fm.slowdowns;
+            break;
+        case FaultKind::SlowEnd:
+            eng.setSlowFactor(1.0);
+            break;
+        case FaultKind::DegradeStart:
+            if (degraded_cost_) {
+                eng.setCost(*degraded_cost_);
+                ++fm.degrades;
+            }
+            break;
+        case FaultKind::DegradeEnd:
+            eng.setCost(cost_);
+            break;
+        case FaultKind::DrainStart:
+            if (up[idx] && !eng.draining()) {
+                eng.setDraining(true);
+                ++fm.drains;
+                // Graceful: the queue re-routes immediately, no
+                // attempt consumed, no backoff — nothing was
+                // lost.
+                for (auto &ev : eng.evacuateQueue())
+                    pending[{now, ev.req.id}] = {
+                        ev.req, ev.state, ev.state.failovers};
+            }
+            break;
+        case FaultKind::DrainEnd:
+            eng.setDraining(false);
+            break;
+        }
+    };
+
+    while (true) {
+        // 1. Step completions (id order). A step ending exactly at
+        // a crash instant completes first: its tokens were
+        // produced before the failure.
+        for (auto &eng : engines)
+            if (eng.busy() && eng.stepEndMs() <= now)
+                eng.completeStep();
+
+        // 2. Fault events, in plan firing order — before arrivals,
+        // so an arrival at a crash instant sees the replica down.
+        for (const auto &e : injector.drainDue(now))
+            applyFault(e);
+
+        // 3. Arrivals, in (arrival, id) order.
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrival_ms <= now)
+            dispatchArrival(trace[next_arrival++]);
+
+        // 4. Deadline sweeps: replica queues, then the retry
+        // buffer (a parked request can expire mid-outage).
+        for (auto &eng : engines)
+            eng.expireDeadlines(now);
+        for (auto it = pending.begin(); it != pending.end();) {
+            const Request &r = it->second.req;
+            if (r.deadline_ms > 0.0 && r.deadline_ms <= now) {
+                rejectFleet(r, RejectReason::DeadlineExpired);
+                it = pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // 5. Due retries.
+        redispatchDue();
+
+        // 6. Launch a step on every idle up replica (id order).
+        for (int i = 0; i < n; ++i) {
+            auto &eng = engines[static_cast<size_t>(i)];
+            if (up[static_cast<size_t>(i)] && !eng.busy()) {
+                eng.launchStep(now);
+                ST_ASSERT(eng.busy() || !eng.hasWork() ||
+                              eng.draining(),
+                          "idle up replica refused its work");
+            }
+        }
+
+        int64_t total_steps = 0;
+        bool any_busy = false, any_work = false;
+        for (auto &eng : engines) {
+            total_steps += eng.result().metrics.steps;
+            any_busy = any_busy || eng.busy();
+            any_work = any_work || eng.hasWork();
+        }
+        bool work_left = any_busy || any_work ||
+                         !pending.empty() ||
+                         next_arrival < trace.size();
+        if (total_steps >= options_.replica.max_steps &&
+            work_left) {
+            result.hit_step_limit = true;
+            break;
+        }
+        if (!work_left)
+            break; // served everything; residual faults are moot
+
+        // Advance to the next event: earliest step end, fault,
+        // arrival, future retry, or parked-request deadline
+        // (parked entries with ready <= now wait on one of the
+        // others — or expire, or strand).
+        double next_t = injector.nextAtMs();
+        for (auto &eng : engines)
+            if (eng.busy())
+                next_t = std::min(next_t, eng.stepEndMs());
+        if (next_arrival < trace.size())
+            next_t = std::min(next_t,
+                              trace[next_arrival].arrival_ms);
+        for (const auto &[key, p] : pending) {
+            if (key.first > now)
+                next_t = std::min(next_t, key.first);
+            if (p.req.deadline_ms > now)
+                next_t = std::min(next_t, p.req.deadline_ms);
+        }
+        if (next_t == inf) {
+            // Stranded: work remains but no future event can
+            // revive a replica to run it.
+            for (const auto &[key, p] : pending)
+                loseRequest(p.req, p.attempts);
+            pending.clear();
+            break;
+        }
+        ST_ASSERT(next_t > now, "fleet clock failed to advance");
+        now = next_t;
+    }
+
+    // Finalize replicas against the fleet makespan and merge.
+    for (int i = 0; i < n; ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (up[idx])
+            fm.replica_up_ms[idx] += now - up_since[idx];
+        ReplicaEngine &eng = engines[idx];
+        eng.finalize(now);
+        const ServingMetrics &m = eng.result().metrics;
+        fm.requests.insert(fm.requests.end(),
+                           m.requests.begin(),
+                           m.requests.end());
+        fm.rejected_queue_full += m.rejected_queue_full;
+        fm.rejected_too_long += m.rejected_too_long;
+        fm.expired_deadline += m.expired_deadline;
+        fm.rejected_drained += m.rejected_drained;
+        fm.deadline_misses += m.deadline_misses;
+        fm.preemptions += m.preemptions;
+        fm.total_output_tokens += m.total_output_tokens;
+        fm.steps += m.steps;
+        result.rejected.insert(result.rejected.end(),
+                               eng.result().rejected.begin(),
+                               eng.result().rejected.end());
+        result.replicas.push_back(std::move(eng.result()));
+    }
+    std::stable_sort(fm.requests.begin(), fm.requests.end(),
+                     [](const RequestMetrics &a,
+                        const RequestMetrics &b) {
+                         return a.finish_ms < b.finish_ms ||
+                                (a.finish_ms == b.finish_ms &&
+                                 a.id < b.id);
+                     });
+    std::stable_sort(result.rejected.begin(),
+                     result.rejected.end(),
+                     [](const RejectedRequest &a,
+                        const RejectedRequest &b) {
+                         return a.at_ms < b.at_ms ||
+                                (a.at_ms == b.at_ms &&
+                                 a.id < b.id);
+                     });
+    fm.completed = static_cast<int64_t>(fm.requests.size());
+    fm.makespan_ms = now;
+    return result;
+}
+
+} // namespace serving
+} // namespace streamtensor

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Fault-tolerant replicated serving: N ReplicaEngine instances
+ * (each with its own paged KV pool and resident batch) behind a
+ * pluggable LoadBalancer, driven on one simulated clock by a
+ * FaultInjector. The fleet-level counterpart of the single-replica
+ * Scheduler.
+ *
+ * **Event loop.** The fleet advances simulated time to the next
+ * event and processes everything due in a fixed category order —
+ * the ordering at equal instants is part of the determinism
+ * contract (bit-identical reruns, pinned by the fault property
+ * suite):
+ *
+ *   1. step completions, in replica-id order (a step that ends
+ *      exactly when its replica crashes *completes*: the tokens
+ *      were produced before the failure);
+ *   2. fault events, in plan firing order;
+ *   3. arrivals, in (arrival, id) order, routed by the balancer;
+ *   4. deadline expiry sweeps (per-replica queues in id order,
+ *      then the fleet's own retry buffer);
+ *   5. due retries, oldest (ready, id) first;
+ *   6. step launches on every idle up replica, in id order.
+ *
+ * **Failover.** A crash evacuates the replica's resident and
+ * queued requests with their ResumeState (tokens already emitted
+ * are kept — only KV is lost). Each evacuated request consumes one
+ * retry attempt and re-enters the fleet's retry buffer with
+ * exponential backoff in simulated time
+ * (retry_backoff_ms × retry_backoff_factor^(attempt-1), the
+ * frontend's re-dispatch cost); a request whose attempts exceed
+ * max_retries is recorded lost. At its ready instant the balancer
+ * routes it to a surviving replica, where it readmits through the
+ * preemption-readmission path: one recompute prefill over
+ * input_len + generated context, then decoding continues — a
+ * completed request emits exactly output_len tokens no matter how
+ * many replicas it visited. While no replica is eligible the
+ * buffer simply holds (graceful degradation to zero capacity);
+ * requests still there when no future event can revive a replica
+ * are lost, and queued deadlines keep expiring throughout.
+ *
+ * **Drain** hands the replica's queue back to the fleet for
+ * immediate re-routing — no attempt is consumed and no backoff
+ * applies, because no work was lost. **Slowdown** multiplies the
+ * replica's step cost; **degradation** swaps its cost oracle for
+ * the degraded model the fleet was constructed with (e.g. one
+ * compiled against inflated inter-die link latency). **Recovery**
+ * returns a crashed replica to service with fresh, empty state.
+ */
+
+#ifndef STREAMTENSOR_SERVING_FLEET_H
+#define STREAMTENSOR_SERVING_FLEET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/fault.h"
+#include "serving/load_balancer.h"
+#include "serving/replica.h"
+#include "serving/scheduler.h"
+
+namespace streamtensor {
+namespace serving {
+
+/** Fleet knobs. */
+struct FleetOptions
+{
+    int num_replicas = 2;
+
+    /** Per-replica scheduler configuration, shared by every
+     *  replica (homogeneous fleet). replica.max_steps bounds the
+     *  *total* steps across the fleet. replica.drain_at_ms is
+     *  ignored — draining is a FaultPlan event here. */
+    SchedulerOptions replica;
+
+    LbPolicy balancer = LbPolicy::LeastKvLoad;
+
+    /** Failover attempts a request may consume before it is
+     *  recorded lost (first dispatch is free; every crash
+     *  evacuation costs one). */
+    int64_t max_retries = 3;
+
+    /** Base re-dispatch delay after a crash evacuation. */
+    double retry_backoff_ms = 5.0;
+
+    /** Exponential backoff growth per consumed attempt. */
+    double retry_backoff_factor = 2.0;
+
+    /** The fault schedule to execute. */
+    FaultPlan faults;
+};
+
+/** A request that exhausted its retry budget (or was stranded
+ *  with no revivable replica). */
+struct LostRequest
+{
+    int64_t id = 0;
+
+    /** Instant the loss was decided. */
+    double at_ms = 0.0;
+
+    /** Failover attempts consumed when it was given up. */
+    int64_t attempts = 0;
+};
+
+/** Fleet-wide aggregates. Per-request metrics from all replicas
+ *  are merged in (finish, id) order, so "degraded p99" is a
+ *  single-fleet percentile. */
+struct FleetMetrics
+{
+    std::vector<RequestMetrics> requests; ///< merged, by finish
+
+    int64_t completed = 0;
+    int64_t rejected_queue_full = 0;
+    int64_t rejected_too_long = 0;
+    int64_t expired_deadline = 0;
+    int64_t rejected_drained = 0;
+    int64_t deadline_misses = 0;
+
+    /** Requests that exhausted max_retries or were stranded. */
+    int64_t requests_lost = 0;
+
+    /** Crash evacuations of individual requests (a request that
+     *  survives two crashes counts twice). */
+    int64_t failovers = 0;
+
+    int64_t crashes = 0;
+    int64_t recoveries = 0;
+    int64_t drains = 0;
+    int64_t degrades = 0;
+
+    /** SlowStart windows applied (every SlowStart event on any
+     *  replica, up or down). */
+    int64_t slowdowns = 0;
+
+    /** In-flight steps abandoned by crashes: simulated work that
+     *  was paid for and produced nothing. */
+    int64_t aborted_steps = 0;
+
+    int64_t preemptions = 0;
+    int64_t total_output_tokens = 0;
+    int64_t steps = 0; ///< committed across the fleet
+
+    double makespan_ms = 0.0;
+
+    /** Simulated up-time per replica (id-indexed). */
+    std::vector<double> replica_up_ms;
+
+    /** Completed over every request the fleet *accepted and then
+     *  failed*: completed / (completed + lost + expired). Load
+     *  shedding (TooLong / QueueFull / Drained) is a refusal, not
+     *  an availability failure, and is excluded. 1.0 for an empty
+     *  window. */
+    double availability() const;
+
+    /** Σ replica up-time over num_replicas × makespan (1.0 when
+     *  makespan is zero). */
+    double uptimeFraction() const;
+
+    double servedRequestsPerSecond() const;
+
+    /** Fleet-wide latency percentile (nearest rank); NaN when no
+     *  request completed. */
+    double latencyPercentileMs(double p) const;
+};
+
+/** Outcome of one fleet run. */
+struct FleetResult
+{
+    FleetMetrics metrics;
+
+    /** Per-replica finalized results, id-indexed (step records,
+     *  per-replica metrics; makespan stamped fleet-wide). */
+    std::vector<ServingResult> replicas;
+
+    /** All rejections — fleet-level and per-replica — merged in
+     *  (at_ms, id) order. */
+    std::vector<RejectedRequest> rejected;
+
+    std::vector<LostRequest> lost; ///< in decision order
+
+    /** replica.max_steps total steps were executed with work
+     *  still pending. */
+    bool hit_step_limit = false;
+};
+
+class FleetScheduler
+{
+  public:
+    /** @p cost is the nominal step-cost oracle shared by every
+     *  replica; @p degraded_cost, when non-null, is the oracle
+     *  used while a replica is under DegradeStart (both must
+     *  outlive the scheduler). A shared stateful ExecutorCostModel
+     *  is fine: replica steps are costed one at a time on one
+     *  simulated clock, never concurrently. */
+    FleetScheduler(FleetOptions options, StepCostModel &cost,
+                   StepCostModel *degraded_cost = nullptr);
+
+    const FleetOptions &options() const { return options_; }
+
+    /** Serve @p trace to completion (or step limit) under the
+     *  fault plan. Deterministic: identical inputs give
+     *  bit-identical results. */
+    FleetResult run(std::vector<Request> trace);
+
+  private:
+    FleetOptions options_;
+    StepCostModel &cost_;
+    StepCostModel *degraded_cost_;
+};
+
+} // namespace serving
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SERVING_FLEET_H

@@ -1,0 +1,134 @@
+#include "serving/load_balancer.h"
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace serving {
+
+namespace {
+
+/** Indices of eligible replicas, in id order. */
+std::vector<size_t>
+eligibleIndices(const std::vector<ReplicaStatus> &replicas)
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < replicas.size(); ++i)
+        if (replicas[i].eligible())
+            out.push_back(i);
+    return out;
+}
+
+/** Least KV load, ties broken by queue depth then id — shared by
+ *  LeastKvLoad and PrefixAffinity's fallback. */
+int
+pickLeastLoaded(const std::vector<ReplicaStatus> &replicas)
+{
+    int best = -1;
+    for (const auto &s : replicas) {
+        if (!s.eligible())
+            continue;
+        if (best < 0)
+            best = s.id;
+        const ReplicaStatus &b =
+            replicas[static_cast<size_t>(best)];
+        if (s.kv_load_tokens < b.kv_load_tokens ||
+            (s.kv_load_tokens == b.kv_load_tokens &&
+             s.queue_depth < b.queue_depth))
+            best = s.id;
+    }
+    return best;
+}
+
+/** SplitMix64 finalizer — a portable, well-mixed stand-in for
+ *  hashing the prefix content. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+class RoundRobinBalancer final : public LoadBalancer
+{
+  public:
+    int pick(const Request &,
+             const std::vector<ReplicaStatus> &replicas) override
+    {
+        auto eligible = eligibleIndices(replicas);
+        if (eligible.empty())
+            return -1;
+        // The cursor rotates over *positions in the eligible
+        // list*, so membership changes (crash, drain, recovery)
+        // just re-wrap instead of skewing toward low ids.
+        int id = replicas[eligible[cursor_ % eligible.size()]].id;
+        ++cursor_;
+        return id;
+    }
+
+  private:
+    size_t cursor_ = 0;
+};
+
+class LeastKvLoadBalancer final : public LoadBalancer
+{
+  public:
+    int pick(const Request &,
+             const std::vector<ReplicaStatus> &replicas) override
+    {
+        return pickLeastLoaded(replicas);
+    }
+};
+
+class PrefixAffinityBalancer final : public LoadBalancer
+{
+  public:
+    int pick(const Request &r,
+             const std::vector<ReplicaStatus> &replicas) override
+    {
+        if (r.prefix_id == 0)
+            return pickLeastLoaded(replicas);
+        auto eligible = eligibleIndices(replicas);
+        if (eligible.empty())
+            return -1;
+        // Hash over the *current* eligible set: when the home
+        // replica dies, the prefix group rehashes as one onto a
+        // survivor and rebuilds its shared pages exactly once.
+        uint64_t h = mix64(static_cast<uint64_t>(r.prefix_id));
+        return replicas[eligible[h % eligible.size()]].id;
+    }
+};
+
+} // namespace
+
+const char *
+lbPolicyName(LbPolicy policy)
+{
+    switch (policy) {
+    case LbPolicy::RoundRobin:
+        return "round_robin";
+    case LbPolicy::LeastKvLoad:
+        return "least_kv_load";
+    case LbPolicy::PrefixAffinity:
+        return "prefix_affinity";
+    }
+    ST_PANIC("unknown load-balancer policy");
+}
+
+std::unique_ptr<LoadBalancer>
+makeLoadBalancer(LbPolicy policy)
+{
+    switch (policy) {
+    case LbPolicy::RoundRobin:
+        return std::make_unique<RoundRobinBalancer>();
+    case LbPolicy::LeastKvLoad:
+        return std::make_unique<LeastKvLoadBalancer>();
+    case LbPolicy::PrefixAffinity:
+        return std::make_unique<PrefixAffinityBalancer>();
+    }
+    ST_PANIC("unknown load-balancer policy");
+}
+
+} // namespace serving
+} // namespace streamtensor

@@ -2,18 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/error.h"
 
 namespace streamtensor {
 namespace serving {
 
+namespace {
+
+/** The documented sentinel of the ServingMetrics percentile
+ *  accessors on an empty window. */
 double
+quietNan()
+{
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+} // namespace
+
+std::optional<double>
 percentile(std::vector<double> values, double p)
 {
     ST_CHECK(p >= 0.0 && p <= 100.0, "percentile domain");
     if (values.empty())
-        return 0.0;
+        return std::nullopt;
     std::sort(values.begin(), values.end());
     // Nearest rank: smallest value with at least p% of the sample
     // at or below it.
@@ -69,7 +82,8 @@ ServingMetrics::ttftP95Ms() const
     ttfts.reserve(requests.size());
     for (const auto &r : requests)
         ttfts.push_back(r.ttftMs());
-    return percentile(std::move(ttfts), 95.0);
+    return percentile(std::move(ttfts), 95.0)
+        .value_or(quietNan());
 }
 
 double
@@ -118,7 +132,8 @@ ServingMetrics::latencyPercentileMs(double p) const
     latencies.reserve(requests.size());
     for (const auto &r : requests)
         latencies.push_back(r.latencyMs());
-    return percentile(std::move(latencies), p);
+    return percentile(std::move(latencies), p)
+        .value_or(quietNan());
 }
 
 } // namespace serving

@@ -25,6 +25,7 @@
 #define STREAMTENSOR_SERVING_METRICS_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "serving/request.h"
@@ -53,6 +54,25 @@ struct RequestMetrics
     /** Times the request was preempted back to the queue. */
     int64_t preemptions = 0;
 
+    /** Times the request failed over to another replica after a
+     *  crash or drain evacuation (0 outside the fleet tier). */
+    int64_t failovers = 0;
+
+    /** Replica the request *finished* on (0 in the single-replica
+     *  scheduler). */
+    int replica = 0;
+
+    /** Absolute deadline copied from the request (0 = none). */
+    double deadline_ms = 0.0;
+
+    /** True when a deadline existed and the request finished past
+     *  it (it still completed — resident sequences are never
+     *  expired, see Request::deadline_ms). */
+    bool missedDeadline() const
+    {
+        return deadline_ms > 0.0 && finish_ms > deadline_ms;
+    }
+
     double ttftMs() const { return first_token_ms - arrival_ms; }
     double latencyMs() const { return finish_ms - arrival_ms; }
 
@@ -68,9 +88,12 @@ struct RequestMetrics
     }
 };
 
-/** Nearest-rank percentile (p in [0, 100]) of @p values; 0 when
- *  empty. */
-double percentile(std::vector<double> values, double p);
+/** Nearest-rank percentile (p in [0, 100]) of @p values.
+ *  std::nullopt on an empty sample set — an empty window is not a
+ *  percentile of 0.0, and callers that want a sentinel must pick
+ *  one explicitly (the ServingMetrics accessors document NaN). */
+std::optional<double> percentile(std::vector<double> values,
+                                 double p);
 
 /** Aggregated result of one serving run. */
 struct ServingMetrics
@@ -80,6 +103,19 @@ struct ServingMetrics
     int64_t completed = 0;
     int64_t rejected_queue_full = 0;
     int64_t rejected_too_long = 0;
+
+    /** Queued requests shed because their deadline passed
+     *  (RejectReason::DeadlineExpired). */
+    int64_t expired_deadline = 0;
+
+    /** Requests shed by drain mode — queued at drain entry or
+     *  arriving while draining (RejectReason::Drained). */
+    int64_t rejected_drained = 0;
+
+    /** Completed requests that finished past a nonzero deadline
+     *  (they still count in `completed`). */
+    int64_t deadline_misses = 0;
+
     int64_t total_output_tokens = 0;
 
     /** Sequences still resident in the batch when the run stopped
@@ -138,6 +174,9 @@ struct ServingMetrics
     double prefixHitRate() const;
 
     double ttftMeanMs() const;
+
+    /** NaN when no request completed (empty percentile window —
+     *  see percentile()). */
     double ttftP95Ms() const;
 
     /** Token-weighted mean time-between-tokens over completed
@@ -147,7 +186,8 @@ struct ServingMetrics
      *  into the mean. */
     double tbtMeanMs() const;
 
-    /** Request latency percentile (nearest rank). */
+    /** Request latency percentile (nearest rank). NaN when no
+     *  request completed. */
     double latencyPercentileMs(double p) const;
 };
 

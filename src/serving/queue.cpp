@@ -7,6 +7,15 @@
 namespace streamtensor {
 namespace serving {
 
+void
+RequestQueue::assertCapacityInvariant() const
+{
+    ST_ASSERT(max_depth_ == 0 ||
+                  size_ - max_depth_ <= front_inserts_,
+              "queue occupancy beyond capacity not attributable "
+              "to readmissions");
+}
+
 bool
 RequestQueue::push(const Request &request)
 {
@@ -15,6 +24,11 @@ RequestQueue::push(const Request &request)
     classes_[request.priority].push_back(request);
     ++size_;
     max_depth_seen_ = std::max(max_depth_seen_, size_);
+    // A bounded push can never be the insert that exceeds
+    // capacity.
+    ST_ASSERT(max_depth_ == 0 || size_ <= max_depth_,
+              "bounded push exceeded queue capacity");
+    assertCapacityInvariant();
     return true;
 }
 
@@ -23,7 +37,19 @@ RequestQueue::pushFront(const Request &request)
 {
     classes_[request.priority].push_front(request);
     ++size_;
+    ++front_inserts_;
     max_depth_seen_ = std::max(max_depth_seen_, size_);
+    assertCapacityInvariant();
+}
+
+int64_t
+RequestQueue::queuedInputTokens() const
+{
+    int64_t tokens = 0;
+    for (const auto &[cls, fifo] : classes_)
+        for (const auto &r : fifo)
+            tokens += r.input_len;
+    return tokens;
 }
 
 const Request &
@@ -44,6 +70,36 @@ RequestQueue::pop()
         classes_.erase(it);
     --size_;
     return r;
+}
+
+std::vector<Request>
+RequestQueue::expireBefore(double now_ms)
+{
+    std::vector<Request> expired;
+    for (auto it = classes_.begin(); it != classes_.end();) {
+        auto &fifo = it->second;
+        for (auto r = fifo.begin(); r != fifo.end();) {
+            if (r->deadline_ms > 0.0 && r->deadline_ms <= now_ms) {
+                expired.push_back(*r);
+                r = fifo.erase(r);
+                --size_;
+            } else {
+                ++r;
+            }
+        }
+        it = fifo.empty() ? classes_.erase(it) : std::next(it);
+    }
+    return expired;
+}
+
+std::vector<Request>
+RequestQueue::drainAll()
+{
+    std::vector<Request> all;
+    all.reserve(static_cast<size_t>(size_));
+    while (size_ > 0)
+        all.push_back(pop());
+    return all;
 }
 
 } // namespace serving

@@ -6,6 +6,15 @@
  * caller can account the rejection (load shedding at the frontend
  * rather than unbounded queue growth).
  *
+ * **Capacity invariant.** Only push() is bounded. pushFront() —
+ * the readmission path for preempted or failed-over sequences —
+ * is deliberately capacity-exempt: a sequence that already holds
+ * progress must never be dropped by its own eviction. The queue
+ * therefore enforces, as its own runtime assertion rather than a
+ * comment in SchedulerOptions, that any occupancy beyond
+ * max_depth is attributable to pushFront() calls: after every
+ * insert, size() - max_depth <= cumulative frontInserts().
+ *
  * The queue is deliberately oblivious to KV budgets and shapes —
  * admission against accelerator resources is the Scheduler's job.
  */
@@ -16,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <vector>
 
 #include "serving/request.h"
 
@@ -32,15 +42,15 @@ class RequestQueue
     {}
 
     /** Enqueue; returns false (and drops the request) when the
-     *  queue is at capacity. */
+     *  queue is at (or, via readmissions, beyond) capacity. */
     bool push(const Request &request);
 
     /** Re-enqueue at the *front* of the request's priority class.
-     *  Used for preempted sequences going back to the queue: a
-     *  preempted request was popped before everything still queued
-     *  in its class, so front insertion restores exact
-     *  (arrival, id) order within the class. Exempt from the
-     *  capacity bound — a preempted request must never be
+     *  Used for preempted (and failed-over) sequences going back
+     *  to the queue: such a request was popped before everything
+     *  still queued in its class, so front insertion restores
+     *  exact (arrival, id) order within the class. Exempt from the
+     *  capacity bound — a readmitted request must never be
      *  dropped. */
     void pushFront(const Request &request);
 
@@ -53,6 +63,17 @@ class RequestQueue
     /** High-water mark of size() since construction. */
     int64_t maxDepth() const { return max_depth_seen_; }
 
+    /** Sum of queued requests' input_len: the KV prefill demand
+     *  waiting in this queue. Load-balancing signal — resident KV
+     *  alone is blind to backlog, so a replica whose batch happens
+     *  to hold small contexts would otherwise attract every
+     *  arrival while its queue grows without bound. */
+    int64_t queuedInputTokens() const;
+
+    /** Cumulative pushFront() calls — the only inserts allowed to
+     *  exceed a nonzero capacity (see the invariant above). */
+    int64_t frontInserts() const { return front_inserts_; }
+
     /** The request that pop() would return. Queue must be
      *  non-empty. */
     const Request &front() const;
@@ -60,10 +81,25 @@ class RequestQueue
     /** Dequeue the highest-priority class's oldest request. */
     Request pop();
 
+    /** Remove every queued request whose deadline has passed
+     *  (deadline_ms in (0, now]) and return them in pop order
+     *  (priority class, then FIFO) — the overload-shedding sweep.
+     *  Requests without a deadline are untouched. */
+    std::vector<Request> expireBefore(double now_ms);
+
+    /** Dequeue everything in pop order (crash evacuation, drain
+     *  flush). Leaves the queue empty. */
+    std::vector<Request> drainAll();
+
   private:
+    /** Panic unless any occupancy beyond capacity is covered by
+     *  cumulative readmissions. */
+    void assertCapacityInvariant() const;
+
     int64_t max_depth_;
     int64_t size_ = 0;
     int64_t max_depth_seen_ = 0;
+    int64_t front_inserts_ = 0;
 
     /** Per-class FIFO; map order = class priority order. */
     std::map<int, std::deque<Request>> classes_;

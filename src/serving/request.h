@@ -41,6 +41,13 @@ struct Request
     /** Leading prompt tokens covered by prefix_id; must satisfy
      *  0 <= prefix_len <= input_len (0 unless prefix_id != 0). */
     int64_t prefix_len = 0;
+
+    /** Absolute simulated deadline; 0 = none. A *queued* request
+     *  whose deadline has passed is expired (shed) instead of
+     *  wedging the queue; a resident one always runs to completion
+     *  and merely counts a deadline miss if it finishes late —
+     *  work already paid for is never thrown away mid-decode. */
+    double deadline_ms = 0.0;
 };
 
 /** Why a request left the system without completing. */
@@ -54,6 +61,15 @@ enum class RejectReason
      *  ladder or the total KV capacity — it could never run to
      *  completion under either admission policy. */
     TooLong,
+
+    /** The request's deadline passed while it was still queued
+     *  (overload shedding; never applied to resident sequences). */
+    DeadlineExpired,
+
+    /** The scheduler (or its replica) entered drain mode — finish
+     *  residents, admit nothing — while the request was queued or
+     *  before it arrived. */
+    Drained,
 };
 
 } // namespace serving

@@ -1,410 +1,75 @@
 #include "serving/scheduler.h"
 
-#include <algorithm>
-#include <map>
-#include <set>
+#include <utility>
 
+#include "serving/replica.h"
 #include "support/error.h"
 
 namespace streamtensor {
 namespace serving {
 
-namespace {
-
-/** One sequence resident in the batch. */
-struct ActiveSeq
-{
-    Request req;
-    int64_t kv_reserved = 0; ///< Reserve admission only
-    int64_t generated = 0;
-
-    /** False while the next step must run a prefill-shaped pass:
-     *  the first prefill, or the recompute prefill after a
-     *  preemption. */
-    bool prefilled = false;
-
-    /** True once the first output token was emitted (preemption
-     *  clears prefilled but never this). */
-    bool ever_prefilled = false;
-
-    double first_token_ms = 0.0;
-    int64_t preemptions = 0;
-
-    /** Monotone admission counter; preemption victim order. */
-    int64_t admit_tick = 0;
-};
-
-/** Progress carried across a preemption, restored on
- *  readmission. The generated tokens themselves are kept (they
- *  are known text); only their KV pages were dropped, so the
- *  readmitted sequence recomputes KV with one prefill-shaped pass
- *  over its full context and continues decoding. */
-struct ResumeState
-{
-    int64_t generated = 0;
-    bool ever_prefilled = false;
-    double first_token_ms = 0.0;
-    int64_t preemptions = 0;
-};
-
-/** Context of a sequence's next step: prompt + g - 1 cached
- *  output tokens + the current query token whose KV slot this
- *  step writes (see the convention note in scheduler.h). */
-int64_t
-stepContext(const ActiveSeq &seq)
-{
-    return seq.req.input_len + seq.generated;
-}
-
-/** Largest context of the request's lifetime — its final decode
- *  step. */
-int64_t
-maxContext(const Request &r)
-{
-    return r.input_len + r.output_len - 1;
-}
-
-} // namespace
-
 Scheduler::Scheduler(SchedulerOptions options, StepCostModel &cost)
     : options_(std::move(options)), cost_(cost)
 {
-    ST_CHECK(options_.max_batch >= 1, "need batch room");
-    ST_CHECK(options_.kv_budget_tokens >= 1, "need a KV budget");
-    ST_CHECK(options_.max_queue_depth >= 0, "queue depth domain");
-    ST_CHECK(options_.max_steps >= 1, "step limit domain");
-    if (options_.admission == KvAdmission::Paged) {
-        ST_CHECK(options_.page_tokens >= 1, "page size domain");
-        ST_CHECK(options_.kv_budget_tokens >=
-                     options_.page_tokens,
-                 "KV budget smaller than one page");
-    }
+    validateSchedulerOptions(options_);
 }
 
 ServingResult
 Scheduler::run(std::vector<Request> trace)
 {
-    std::stable_sort(trace.begin(), trace.end(),
-                     [](const Request &a, const Request &b) {
-                         return a.arrival_ms < b.arrival_ms ||
-                                (a.arrival_ms == b.arrival_ms &&
-                                 a.id < b.id);
-                     });
-    {
-        std::set<int64_t> ids;
-        for (const auto &r : trace) {
-            ST_CHECK(r.input_len >= 1 && r.output_len >= 1,
-                     "request lengths must be positive");
-            ST_CHECK(r.arrival_ms >= 0.0,
-                     "arrivals must be non-negative");
-            ST_CHECK(r.prefix_id >= 0 && r.prefix_len >= 0 &&
-                         r.prefix_len <= r.input_len &&
-                         (r.prefix_id != 0 || r.prefix_len == 0),
-                     "malformed shared prefix");
-            ST_CHECK(ids.insert(r.id).second,
-                     "trace ids must be unique");
-        }
-    }
+    sortAndValidateTrace(trace);
 
-    const bool paged = options_.admission == KvAdmission::Paged;
-    ServingResult result;
-    ServingMetrics &metrics = result.metrics;
-    RequestQueue queue(options_.max_queue_depth);
-    std::vector<ActiveSeq> active; // admission order
-    std::map<int64_t, ResumeState> resume_state;
-    int64_t kv_in_use = 0; // Reserve admission only
-    int64_t admit_ticks = 0;
+    // The event loop proper lives in ReplicaEngine; this driver
+    // owns only the clock, the arrival cursor, and the drain
+    // trigger. Loop order (drain check, ingest, deadline sweep,
+    // idle-jump, step) is pinned by the replay and golden suites.
+    ReplicaEngine engine(options_, cost_);
     double now = 0.0;
     size_t next_arrival = 0;
 
-    KvPoolOptions pool_options;
-    pool_options.page_tokens = options_.page_tokens;
-    pool_options.total_pages =
-        paged ? options_.kv_budget_tokens / options_.page_tokens
-              : 1;
-    KvPool pool(pool_options);
-    if (paged)
-        metrics.pool_pages = pool.totalPages();
-
-    // Reserved KV of a request under Reserve admission: its final
-    // bucketed context, held from admission to completion
-    // (conservative — no preemption). -1 = can never be served.
-    auto reservedKv = [&](const Request &r) -> int64_t {
-        if (maxContext(r) > options_.buckets.max_len)
-            return -1;
-        int64_t reserve =
-            models::bucketLen(maxContext(r), options_.buckets);
-        return reserve <= options_.kv_budget_tokens ? reserve : -1;
-    };
-
-    // A request is servable under Paged admission when its final
-    // decode step's shape exists on the bucket ladder and its
-    // page demand fits the whole pool (the guarantee that a lone
-    // resident sequence can always grow, so preemption
-    // terminates).
-    auto pagedServable = [&](const Request &r) {
-        return maxContext(r) <= options_.buckets.max_len &&
-               pool.pagesFor(maxContext(r)) <= pool.totalPages();
-    };
-
-    auto ingest = [&](const Request &r) {
-        bool servable = paged ? pagedServable(r)
-                              : reservedKv(r) >= 0;
-        // Arrivals are ingested strictly in (arrival, id) order
-        // (the trace is sorted and this is the only producer), so
-        // result.rejected inherits that order no matter how many
-        // arrivals one ingest round drains.
-        if (!servable) {
-            ++metrics.rejected_too_long;
-            result.rejected.push_back(
-                {r.id, r.arrival_ms, RejectReason::TooLong});
-        } else if (!queue.push(r)) {
-            ++metrics.rejected_queue_full;
-            result.rejected.push_back(
-                {r.id, r.arrival_ms, RejectReason::QueueFull});
-        }
-    };
-
     while (true) {
+        // Drain activates at the first iteration at or after
+        // drain_at_ms, *before* ingest: arrivals at the drain
+        // instant are already rejected Drained.
+        if (options_.drain_at_ms >= 0.0 && !engine.draining() &&
+            now >= options_.drain_at_ms) {
+            engine.setDraining(true);
+            engine.shedQueueAsDrained(now);
+        }
+
         // Ingest everything that has arrived by now.
         while (next_arrival < trace.size() &&
                trace[next_arrival].arrival_ms <= now)
-            ingest(trace[next_arrival++]);
+            engine.offer(trace[next_arrival++], now);
 
-        if (active.empty() && queue.empty()) {
+        // Shed queued requests whose deadline has passed before
+        // any admission decision sees them.
+        engine.expireDeadlines(now);
+
+        if (!engine.hasWork()) {
             if (next_arrival == trace.size())
                 break; // drained
             now = trace[next_arrival].arrival_ms;
             continue; // idle-jump to the next arrival
         }
 
-        // --- Paged growth: every resident sequence acquires the
-        // pages its next step needs. Under pressure, preempt the
-        // lowest-priority-class, most-recently-admitted other
-        // sequence back to the queue (front of its class) and
-        // retry; termination is guaranteed because a lone
-        // sequence's demand always fits the pool (pagedServable).
-        std::vector<int64_t> preempted_now;
-        if (paged && !active.empty()) {
-            std::vector<bool> gone(active.size(), false);
-            auto preempt = [&](size_t victim) {
-                ActiveSeq &seq = active[victim];
-                pool.release(seq.req.id);
-                ResumeState state;
-                state.generated = seq.generated;
-                state.ever_prefilled = seq.ever_prefilled;
-                state.first_token_ms = seq.first_token_ms;
-                state.preemptions = seq.preemptions + 1;
-                resume_state[seq.req.id] = state;
-                queue.pushFront(seq.req);
-                preempted_now.push_back(seq.req.id);
-                ++metrics.preemptions;
-                gone[victim] = true;
-            };
-            for (size_t i = 0; i < active.size(); ++i) {
-                if (gone[i])
-                    continue;
-                while (!pool.grow(active[i].req.id,
-                                  stepContext(active[i]))) {
-                    int victim = -1;
-                    for (size_t j = 0; j < active.size(); ++j) {
-                        if (j == i || gone[j])
-                            continue;
-                        if (victim < 0 ||
-                            active[j].req.priority >
-                                active[victim].req.priority ||
-                            (active[j].req.priority ==
-                                 active[victim].req.priority &&
-                             active[j].admit_tick >
-                                 active[victim].admit_tick))
-                            victim = static_cast<int>(j);
-                    }
-                    ST_ASSERT(victim >= 0,
-                              "paged growth wedged with no "
-                              "preemption victim");
-                    preempt(static_cast<size_t>(victim));
-                }
-            }
-            size_t keep = 0;
-            for (size_t i = 0; i < active.size(); ++i)
-                if (!gone[i])
-                    active[keep++] = std::move(active[i]);
-            active.resize(keep);
-        }
+        bool launched = engine.launchStep(now);
+        ST_ASSERT(launched,
+                  "engine refused a step with work pending");
+        now = engine.stepEndMs();
+        engine.completeStep();
 
-        // --- Admission from the queue head while the batch has
-        // room and the head's *current* need (Paged) or final
-        // reservation (Reserve) fits. Strictly head-of-line: a
-        // blocked head is never jumped by a later request. A
-        // sequence preempted this very iteration is not readmitted
-        // in the same breath — the pressure that evicted it is
-        // still standing.
-        while (static_cast<int64_t>(active.size()) <
-                   options_.max_batch &&
-               !queue.empty()) {
-            const Request &head = queue.front();
-            if (std::find(preempted_now.begin(),
-                          preempted_now.end(),
-                          head.id) != preempted_now.end())
-                break;
-            ActiveSeq seq;
-            if (paged) {
-                auto rs = resume_state.find(head.id);
-                int64_t generated = rs != resume_state.end()
-                                        ? rs->second.generated
-                                        : 0;
-                pool.bind(head.id, head.prefix_id,
-                          head.prefix_len);
-                if (!pool.grow(head.id,
-                               head.input_len + generated)) {
-                    pool.release(head.id);
-                    break;
-                }
-                if (rs != resume_state.end()) {
-                    seq.generated = rs->second.generated;
-                    seq.ever_prefilled =
-                        rs->second.ever_prefilled;
-                    seq.first_token_ms =
-                        rs->second.first_token_ms;
-                    seq.preemptions = rs->second.preemptions;
-                    resume_state.erase(rs);
-                }
-            } else {
-                int64_t reserve = reservedKv(head);
-                ST_ASSERT(reserve >= 0,
-                          "unservable request queued");
-                if (kv_in_use + reserve >
-                    options_.kv_budget_tokens)
-                    break;
-                seq.kv_reserved = reserve;
-                kv_in_use += reserve;
-            }
-            seq.req = queue.pop();
-            seq.admit_tick = admit_ticks++;
-            active.push_back(std::move(seq));
-        }
-        // active is non-empty: when it was empty, the pool (or
-        // budget) was entirely free and every queued request's
-        // current need fits it by the servability check.
-        ST_ASSERT(!active.empty(), "admission stalled");
-
-        // Group the batch by bucketed shapes (map order keeps the
-        // group sequence deterministic). An un-prefilled sequence
-        // runs a prefill-shaped pass over its full context —
-        // input_len for a fresh one, input_len + generated for a
-        // readmitted one recomputing its dropped KV.
-        std::map<models::BlockShapes, int64_t> shape_counts;
-        for (const auto &seq : active) {
-            int64_t ctx = stepContext(seq);
-            models::BlockShapes shapes =
-                seq.prefilled
-                    ? models::bucketedDecodeShapes(
-                          ctx, options_.buckets)
-                    : models::bucketedPrefillShapes(
-                          ctx, options_.buckets);
-            ++shape_counts[shapes];
-        }
-        std::vector<runtime::StepGroup> groups;
-        groups.reserve(shape_counts.size());
-        for (const auto &[shapes, count] : shape_counts)
-            groups.push_back({shapes, count});
-
-        double step_ms = cost_.stepMs(groups);
-        ST_CHECK(step_ms > 0.0,
-                 "cost model must advance simulated time");
-
-        if (options_.record_steps) {
-            StepRecord record;
-            record.start_ms = now;
-            record.step_ms = step_ms;
-            for (const auto &seq : active)
-                (seq.prefilled ? record.decode_ids
-                               : record.prefill_ids)
-                    .push_back(seq.req.id);
-            record.preempted_ids = preempted_now;
-            if (paged) {
-                record.kv_reserved =
-                    pool.activePages() * pool.pageTokens();
-                record.pages_active = pool.activePages();
-                record.pages_cached = pool.cachedPages();
-                record.pages_free = pool.freePages();
-            } else {
-                record.kv_reserved = kv_in_use;
-            }
-            record.queue_depth = queue.size();
-            result.steps.push_back(std::move(record));
-        }
-
-        now += step_ms;
-        metrics.busy_ms += step_ms;
-        ++metrics.steps;
-        metrics.total_batched_seqs +=
-            static_cast<int64_t>(active.size());
-        if (paged)
-            metrics.page_step_sum += pool.activePages();
-
-        // Token accounting: every step a sequence runs advances
-        // it by one output token — the first prefill emits the
-        // first token, a recompute prefill emits the next token
-        // its preemption interrupted, and each decode emits one
-        // more. Finished sequences retire at this step's end,
-        // releasing their pages / reservation.
-        for (auto &seq : active) {
-            if (!seq.prefilled) {
-                seq.prefilled = true;
-                if (!seq.ever_prefilled) {
-                    seq.ever_prefilled = true;
-                    seq.first_token_ms = now;
-                }
-            }
-            ++seq.generated;
-            if (seq.generated == seq.req.output_len) {
-                RequestMetrics done;
-                done.id = seq.req.id;
-                done.priority = seq.req.priority;
-                done.input_len = seq.req.input_len;
-                done.output_len = seq.req.output_len;
-                done.arrival_ms = seq.req.arrival_ms;
-                done.first_token_ms = seq.first_token_ms;
-                done.finish_ms = now;
-                done.preemptions = seq.preemptions;
-                metrics.requests.push_back(done);
-                metrics.total_output_tokens += seq.req.output_len;
-                if (paged)
-                    pool.release(seq.req.id);
-                else
-                    kv_in_use -= seq.kv_reserved;
-            }
-        }
-        active.erase(
-            std::remove_if(active.begin(), active.end(),
-                           [](const ActiveSeq &seq) {
-                               return seq.generated ==
-                                      seq.req.output_len;
-                           }),
-            active.end());
-
-        if (metrics.steps >= options_.max_steps &&
-            !(active.empty() && queue.empty() &&
+        if (engine.result().metrics.steps >= options_.max_steps &&
+            !(engine.activeCount() == 0 &&
+              engine.queueDepth() == 0 &&
               next_arrival == trace.size())) {
-            result.hit_step_limit = true;
+            engine.result().hit_step_limit = true;
             break;
         }
     }
 
-    metrics.completed =
-        static_cast<int64_t>(metrics.requests.size());
-    metrics.in_flight = static_cast<int64_t>(active.size());
-    metrics.makespan_ms = now;
-    metrics.max_queue_depth = queue.maxDepth();
-    if (paged) {
-        metrics.prefix_hit_pages = pool.stats().prefix_hit_pages;
-        metrics.prefix_miss_pages =
-            pool.stats().prefix_miss_pages;
-        metrics.peak_pages_active =
-            pool.stats().peak_active_pages;
-    }
-    return result;
+    engine.finalize(now);
+    return std::move(engine.result());
 }
 
 } // namespace serving

@@ -131,6 +131,41 @@ struct SchedulerOptions
     /** Safety valve against a miscosted model wedging the event
      *  loop; a run hitting it reports hit_step_limit. */
     int64_t max_steps = 1 << 22;
+
+    /** Simulated time at which the scheduler enters drain mode;
+     *  negative = never. From the first event-loop iteration at or
+     *  after this instant, every queued request is shed as
+     *  RejectReason::Drained, later arrivals are rejected Drained
+     *  on ingest, and resident sequences run to completion.
+     *
+     *  **Interaction of drain, deadlines, and hit_step_limit.**
+     *  The three stopping mechanisms are ordered and independent:
+     *
+     *   - *Deadlines* (Request::deadline_ms) shed individual
+     *     *queued* requests whose deadline has passed — swept at
+     *     every loop iteration *before* admission, and checked at
+     *     ingest. Resident sequences are never expired; one that
+     *     finishes late counts a deadline_miss instead. Deadline
+     *     expiry keeps firing while draining (a request can be
+     *     Drained or DeadlineExpired, whichever trips first; each
+     *     is counted exactly once).
+     *
+     *   - *Drain* is a scheduler-wide admission freeze: residents
+     *     finish, nothing new is admitted, the queue empties
+     *     immediately. A drained run therefore terminates after at
+     *     most the residents' remaining steps — drain can never
+     *     wedge the loop.
+     *
+     *   - *hit_step_limit* (max_steps) is the safety valve above
+     *     both: it bounds executed steps regardless of drain or
+     *     deadlines. A run that drains cleanly ends with
+     *     hit_step_limit == false even when draining shed every
+     *     queued request; hit_step_limit == true means the cost
+     *     model or workload kept residents alive past the budget —
+     *     in_flight may then be nonzero even while draining.
+     *
+     *  Pinned by Scheduler.DrainDeadlineStepLimitInteraction. */
+    double drain_at_ms = -1.0;
 };
 
 /** Composition of one executed step (record_steps only). */
@@ -175,6 +210,11 @@ struct RejectedRequest
     int64_t id = 0;
     double arrival_ms = 0.0;
     RejectReason reason = RejectReason::QueueFull;
+
+    /** Simulated time the rejection was decided: ingest time for
+     *  TooLong/QueueFull/Drained arrivals, the expiry sweep for
+     *  DeadlineExpired, drain entry for a shed queue. */
+    double at_ms = 0.0;
 };
 
 /** Outcome of serving one trace. */

@@ -52,6 +52,7 @@ checkOptions(const TraceOptions &o)
     ST_CHECK(o.num_prefix_groups >= 0, "prefix group domain");
     ST_CHECK(o.num_prefix_groups == 0 || o.shared_prefix_len >= 1,
              "prefix groups need a shared prefix length");
+    ST_CHECK(o.deadline_slack_ms >= 0.0, "deadline slack domain");
 }
 
 Request
@@ -73,6 +74,10 @@ drawRequest(std::mt19937_64 &rng, const TraceOptions &o,
         r.prefix_len = o.shared_prefix_len;
         r.input_len += o.shared_prefix_len;
     }
+    // Deadlines consume no randomness, so enabling them leaves
+    // every drawn field identical.
+    if (o.deadline_slack_ms > 0.0)
+        r.deadline_ms = arrival_ms + o.deadline_slack_ms;
     return r;
 }
 

@@ -51,6 +51,13 @@ struct TraceOptions
     int64_t num_prefix_groups = 0;
     int64_t shared_prefix_len = 0;
 
+    /** Deadline modeling: when positive, every request gets
+     *  deadline_ms = arrival_ms + deadline_slack_ms. Deterministic
+     *  (no RNG draw), so enabling it never perturbs the other
+     *  drawn fields and the default (0 = no deadlines) leaves
+     *  traces bit-identical to older generators. */
+    double deadline_slack_ms = 0.0;
+
     /** Bursty modulation: the arrival rate alternates between a
      *  burst phase (gap / burst_factor) lasting
      *  burst_duty * burst_period_ms and a quiet phase. Used by

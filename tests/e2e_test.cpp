@@ -8,6 +8,7 @@
 #include "models/block_builder.h"
 #include "runtime/executor.h"
 #include "serving/cost_model.h"
+#include "serving/fleet.h"
 #include "serving/scheduler.h"
 #include "sim/simulator.h"
 
@@ -424,4 +425,95 @@ TEST(EndToEnd, CrossingMetricsSurfaceThroughRuntimeAndServing)
     EXPECT_GT(ms, 0.0);
     EXPECT_GT(cost.lastStepCrossings(), 0);
     EXPECT_GE(cost.crossingStallMs(), 0.0);
+}
+
+TEST(EndToEnd, GoldenFaultedFleetTrace)
+{
+    // The fault-tolerance acceptance pin: a fixed two-replica
+    // fleet served through the complete compile -> simulate ->
+    // serve stack (GPT-2 on the U55C, executor-backed step
+    // costs), under a fixed fault plan — replica 0 crashes
+    // mid-run and recovers; replica 1 rides out a window of
+    // inter-die link degradation costed by an executor compiled
+    // against an inflated link latency. Availability and tail
+    // latency under faults are golden values at 0.1% relative
+    // tolerance; the whole faulted run must replay
+    // bit-identically.
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    serving::ExecutorCostModel cost(executor);
+    hls::FpgaPlatform degraded_platform = hls::u55c();
+    degraded_platform.inter_die_latency_cycles = 256.0;
+    degraded_platform.inter_die_ii_penalty = 1.0;
+    runtime::LlmExecutor degraded_executor(models::gpt2Config(),
+                                           degraded_platform);
+    serving::ExecutorCostModel degraded_cost(degraded_executor);
+
+    serving::FleetOptions options;
+    options.num_replicas = 2;
+    options.replica.max_batch = 4;
+    options.replica.kv_budget_tokens = 512;
+    options.replica.record_steps = true;
+    options.balancer = serving::LbPolicy::LeastKvLoad;
+    options.max_retries = 3;
+    options.retry_backoff_ms = 5.0;
+    options.faults.events.push_back(
+        {60.0, 0, serving::FaultKind::Crash, 1.0});
+    options.faults.events.push_back(
+        {180.0, 0, serving::FaultKind::Recover, 1.0});
+    options.faults.events.push_back(
+        {40.0, 1, serving::FaultKind::DegradeStart, 1.0});
+    options.faults.events.push_back(
+        {160.0, 1, serving::FaultKind::DegradeEnd, 1.0});
+
+    auto run = [&]() {
+        serving::FleetScheduler fleet(options, cost,
+                                      &degraded_cost);
+        return fleet.run(goldenTrace());
+    };
+    auto result = run();
+    const auto &fm = result.metrics;
+
+    EXPECT_FALSE(result.hit_step_limit);
+    EXPECT_TRUE(result.rejected.empty());
+
+    // Every request survives the crash: the evacuated ones fail
+    // over to replica 1 and still emit their full output.
+    EXPECT_EQ(fm.completed, 6);
+    EXPECT_EQ(fm.requests_lost, 0);
+    EXPECT_EQ(fm.crashes, 1);
+    EXPECT_EQ(fm.recoveries, 1);
+    EXPECT_EQ(fm.degrades, 1);
+    EXPECT_GE(fm.failovers, 1);
+    EXPECT_EQ(fm.total_output_tokens, 32);
+    EXPECT_DOUBLE_EQ(fm.availability(), 1.0);
+
+    // Golden tail numbers under the fault plan (captured values;
+    // tolerance 0.1% relative).
+#define EXPECT_REL_NEAR(actual, expected)                         \
+    EXPECT_NEAR(actual, expected, (expected) * 1e-3 + 1e-9)
+    EXPECT_REL_NEAR(fm.makespan_ms, 344.697151181);
+    EXPECT_REL_NEAR(fm.latencyPercentileMs(99.0), 329.760211362);
+    EXPECT_REL_NEAR(fm.latencyPercentileMs(50.0), 254.238256868);
+    EXPECT_REL_NEAR(fm.uptimeFraction(), 0.825934158);
+    EXPECT_REL_NEAR(fm.servedRequestsPerSecond(), 17.406584242);
+#undef EXPECT_REL_NEAR
+
+    // Bit-identical replay of the faulted fleet, down to every
+    // step composition on both replicas.
+    auto again = run();
+    EXPECT_DOUBLE_EQ(again.metrics.makespan_ms, fm.makespan_ms);
+    EXPECT_EQ(again.metrics.failovers, fm.failovers);
+    ASSERT_EQ(again.replicas.size(), result.replicas.size());
+    for (size_t r = 0; r < result.replicas.size(); ++r) {
+        const auto &a = result.replicas[r].steps;
+        const auto &b = again.replicas[r].steps;
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_DOUBLE_EQ(a[i].start_ms, b[i].start_ms);
+            EXPECT_DOUBLE_EQ(a[i].step_ms, b[i].step_ms);
+            EXPECT_EQ(a[i].prefill_ids, b[i].prefill_ids);
+            EXPECT_EQ(a[i].decode_ids, b[i].decode_ids);
+        }
+    }
 }

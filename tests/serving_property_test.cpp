@@ -11,11 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 
 #include "models/bucketing.h"
 #include "serving/cost_model.h"
+#include "serving/fleet.h"
 #include "serving/scheduler.h"
 #include "serving/trace.h"
 
@@ -303,7 +305,9 @@ checkInvariants(const SeededRun &run)
     EXPECT_EQ(metrics.completed,
               static_cast<int64_t>(metrics.requests.size()));
     EXPECT_EQ(metrics.rejected_queue_full +
-                  metrics.rejected_too_long,
+                  metrics.rejected_too_long +
+                  metrics.expired_deadline +
+                  metrics.rejected_drained,
               static_cast<int64_t>(result.rejected.size()));
     int64_t token_sum = 0;
     int64_t preemption_sum = 0;
@@ -401,6 +405,334 @@ TEST_P(SchedulerProperty, InvariantsHoldReserve)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
                          ::testing::Range<uint64_t>(0, 100));
+
+// ---------------------------------------------------------------
+// Fleet under faults: 100 seeded (trace, fleet-config, fault-plan)
+// scenarios, each checked for conservation (every request
+// completes, is rejected, expires, or exhausts its retries —
+// exactly once), token-exactness across failovers (a completed
+// request occupies exactly output_len committed steps fleet-wide,
+// the same count the fault-free run gives it), no committed step
+// overlapping a replica's down window, metric consistency, and
+// bit-identical reruns.
+// ---------------------------------------------------------------
+
+namespace {
+
+struct FleetSeededRun
+{
+    std::vector<Request> trace;
+    serving::FleetOptions options;
+    serving::FleetResult result;
+};
+
+FleetSeededRun
+runFleetSeed(uint64_t seed, bool with_faults)
+{
+    serving::TraceOptions trace_options;
+    trace_options.seed = seed;
+    trace_options.num_requests =
+        32 + static_cast<int64_t>(seed % 33);
+    trace_options.mean_interarrival_ms =
+        1.0 + static_cast<double>(seed % 5);
+    trace_options.min_input_len = 4;
+    trace_options.max_input_len = 96;
+    trace_options.min_output_len = 1;
+    trace_options.max_output_len = 20;
+    trace_options.num_priorities = 1 + static_cast<int>(seed % 2);
+    if (seed % 3 == 0) {
+        trace_options.num_prefix_groups = 2;
+        trace_options.shared_prefix_len = 16;
+    }
+    if (seed % 5 == 0) {
+        // A fifth of the seeds carry deadlines so expiry interacts
+        // with outages (parked requests expiring mid-crash).
+        trace_options.deadline_slack_ms =
+            150.0 + 50.0 * static_cast<double>(seed % 4);
+    }
+
+    FleetSeededRun run;
+    run.trace = seed % 2 == 0
+                    ? serving::poissonTrace(trace_options)
+                    : serving::burstyTrace(trace_options);
+
+    run.options.num_replicas = 2 + static_cast<int>(seed % 3);
+    run.options.replica.max_batch =
+        2 + static_cast<int64_t>(seed % 5);
+    run.options.replica.kv_budget_tokens =
+        192 + 64 * static_cast<int64_t>(seed % 9);
+    run.options.replica.max_queue_depth =
+        seed % 4 == 0 ? 8 + static_cast<int64_t>(seed % 9) : 0;
+    run.options.replica.record_steps = true;
+    run.options.balancer =
+        static_cast<serving::LbPolicy>(seed % 3);
+    run.options.max_retries = 1 + static_cast<int64_t>(seed % 3);
+    run.options.retry_backoff_ms =
+        1.0 + static_cast<double>(seed % 4);
+
+    if (with_faults) {
+        serving::SeededFaultOptions fault_options;
+        fault_options.seed = seed * 7 + 1;
+        fault_options.num_replicas = run.options.num_replicas;
+        fault_options.horizon_ms = 400.0;
+        fault_options.crash_prob = 0.6;
+        fault_options.slow_prob = 0.5;
+        fault_options.drain_prob = 0.35;
+        run.options.faults =
+            serving::seededFaultPlan(fault_options);
+    }
+
+    serving::AnalyticCostModel cost;
+    serving::FleetScheduler fleet(run.options, cost);
+    run.result = fleet.run(run.trace);
+    return run;
+}
+
+/** Down windows per replica, replayed from the plan with the
+ *  fleet's tolerant semantics (crash on a down replica is a
+ *  no-op). */
+std::map<int, std::vector<std::pair<double, double>>>
+downWindows(const serving::FleetOptions &options)
+{
+    serving::FaultInjector injector(options.faults);
+    std::map<int, std::vector<std::pair<double, double>>> windows;
+    std::map<int, bool> up;
+    auto events = injector.drainDue(
+        std::numeric_limits<double>::infinity());
+    for (const auto &e : events) {
+        bool &is_up = up.try_emplace(e.replica, true)
+                          .first->second;
+        if (e.kind == serving::FaultKind::Crash && is_up) {
+            is_up = false;
+            windows[e.replica].push_back(
+                {e.at_ms,
+                 std::numeric_limits<double>::infinity()});
+        } else if (e.kind == serving::FaultKind::Recover &&
+                   !is_up) {
+            is_up = true;
+            windows[e.replica].back().second = e.at_ms;
+        }
+    }
+    return windows;
+}
+
+/** Committed step appearances of every request, fleet-wide. */
+std::map<int64_t, int64_t>
+fleetAppearances(const serving::FleetResult &result)
+{
+    std::map<int64_t, int64_t> count;
+    for (const auto &replica : result.replicas)
+        for (const auto &s : replica.steps)
+            for (int64_t id : stepMembers(s))
+                ++count[id];
+    return count;
+}
+
+class FleetProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+void
+checkFleetInvariants(const FleetSeededRun &run)
+{
+    const auto &result = run.result;
+    const auto &fm = result.metrics;
+    ASSERT_FALSE(result.hit_step_limit);
+    ASSERT_EQ(static_cast<int>(result.replicas.size()),
+              run.options.num_replicas);
+
+    std::map<int64_t, Request> by_id;
+    for (const auto &r : run.trace)
+        by_id[r.id] = r;
+
+    // --- Conservation: completed, rejected (any reason), or lost
+    // — exactly one terminal outcome per request.
+    std::set<int64_t> completed_ids, rejected_ids, lost_ids;
+    for (const auto &r : fm.requests)
+        EXPECT_TRUE(completed_ids.insert(r.id).second)
+            << "request completed twice: " << r.id;
+    for (const auto &r : result.rejected)
+        EXPECT_TRUE(rejected_ids.insert(r.id).second)
+            << "request rejected twice: " << r.id;
+    for (const auto &r : result.lost)
+        EXPECT_TRUE(lost_ids.insert(r.id).second)
+            << "request lost twice: " << r.id;
+    EXPECT_EQ(completed_ids.size() + rejected_ids.size() +
+                  lost_ids.size(),
+              run.trace.size());
+    for (const auto &r : run.trace) {
+        int outcomes = (completed_ids.count(r.id) ? 1 : 0) +
+                       (rejected_ids.count(r.id) ? 1 : 0) +
+                       (lost_ids.count(r.id) ? 1 : 0);
+        EXPECT_EQ(outcomes, 1)
+            << "request without exactly one outcome: " << r.id;
+    }
+
+    // --- Token exactness across failovers: a completed request
+    // occupies exactly output_len committed steps fleet-wide; an
+    // uncompleted one strictly fewer (its aborted work was never
+    // committed).
+    auto appearances = fleetAppearances(result);
+    for (int64_t id : completed_ids)
+        EXPECT_EQ(appearances[id], by_id.at(id).output_len)
+            << "token count drifted across failovers: " << id;
+    for (const auto &[id, count] : appearances)
+        if (!completed_ids.count(id))
+            EXPECT_LT(count, by_id.at(id).output_len)
+                << "uncompleted request over-ran: " << id;
+
+    // --- No committed step on a downed replica: every step
+    // record fits outside its replica's down windows (a step may
+    // *end* exactly at the crash instant).
+    auto windows = downWindows(run.options);
+    for (size_t i = 0; i < result.replicas.size(); ++i) {
+        auto it = windows.find(static_cast<int>(i));
+        if (it == windows.end())
+            continue;
+        for (const auto &s : result.replicas[i].steps) {
+            double end = s.start_ms + s.step_ms;
+            for (const auto &[down, recover] : it->second)
+                EXPECT_TRUE(end <= down + 1e-9 ||
+                            s.start_ms >= recover - 1e-9)
+                    << "replica " << i << " stepped at ["
+                    << s.start_ms << ", " << end
+                    << ") inside down window [" << down << ", "
+                    << recover << ")";
+        }
+    }
+
+    // --- Metric consistency.
+    EXPECT_EQ(fm.completed,
+              static_cast<int64_t>(fm.requests.size()));
+    EXPECT_EQ(fm.requests_lost,
+              static_cast<int64_t>(result.lost.size()));
+    EXPECT_EQ(fm.rejected_queue_full + fm.rejected_too_long +
+                  fm.expired_deadline + fm.rejected_drained,
+              static_cast<int64_t>(result.rejected.size()));
+    int64_t steps = 0;
+    for (const auto &replica : result.replicas) {
+        EXPECT_EQ(replica.metrics.in_flight, 0);
+        steps += replica.metrics.steps;
+    }
+    EXPECT_EQ(fm.steps, steps);
+    int64_t completed_failovers = 0;
+    int64_t deadline_misses = 0;
+    for (const auto &r : fm.requests) {
+        EXPECT_LE(r.failovers, run.options.max_retries);
+        EXPECT_GE(r.replica, 0);
+        EXPECT_LT(r.replica, run.options.num_replicas);
+        completed_failovers += r.failovers;
+        deadline_misses += r.missedDeadline() ? 1 : 0;
+    }
+    EXPECT_EQ(fm.deadline_misses, deadline_misses);
+    EXPECT_GE(fm.failovers, completed_failovers);
+    for (const auto &l : result.lost)
+        EXPECT_TRUE(l.attempts > run.options.max_retries ||
+                    l.attempts ==
+                        0) // stranded parked arrivals carry 0
+            << "lost with unspent retries: " << l.id;
+    EXPECT_GE(fm.availability(), 0.0);
+    EXPECT_LE(fm.availability(), 1.0);
+    EXPECT_GE(fm.uptimeFraction(), 0.0);
+    EXPECT_LE(fm.uptimeFraction(), 1.0 + 1e-12);
+    EXPECT_EQ(fm.replica_up_ms.size(),
+              static_cast<size_t>(run.options.num_replicas));
+    // Merged per-request metrics are in (finish, id) order.
+    for (size_t i = 1; i < fm.requests.size(); ++i)
+        EXPECT_TRUE(
+            fm.requests[i - 1].finish_ms <
+                fm.requests[i].finish_ms ||
+            (fm.requests[i - 1].finish_ms ==
+                 fm.requests[i].finish_ms &&
+             fm.requests[i - 1].id < fm.requests[i].id));
+}
+
+} // namespace
+
+TEST_P(FleetProperty, InvariantsHoldUnderFaults)
+{
+    FleetSeededRun run = runFleetSeed(GetParam(), true);
+    checkFleetInvariants(run);
+
+    // A completed request's fleet-wide committed step count
+    // equals its count in the fault-free run of the same
+    // scenario: crashes cost time, never tokens.
+    FleetSeededRun calm = runFleetSeed(GetParam(), false);
+    checkFleetInvariants(calm);
+    auto faulted = fleetAppearances(run.result);
+    auto baseline = fleetAppearances(calm.result);
+    for (const auto &r : run.result.metrics.requests)
+        if (baseline.count(r.id))
+            EXPECT_EQ(faulted[r.id], baseline[r.id])
+                << "faulted token count diverged: " << r.id;
+}
+
+TEST_P(FleetProperty, FaultedRunsReplayBitIdentically)
+{
+    FleetSeededRun a = runFleetSeed(GetParam(), true);
+    FleetSeededRun b = runFleetSeed(GetParam(), true);
+    ASSERT_EQ(a.result.replicas.size(), b.result.replicas.size());
+    for (size_t i = 0; i < a.result.replicas.size(); ++i) {
+        const auto &sa = a.result.replicas[i].steps;
+        const auto &sb = b.result.replicas[i].steps;
+        ASSERT_EQ(sa.size(), sb.size());
+        for (size_t j = 0; j < sa.size(); ++j) {
+            EXPECT_EQ(sa[j].prefill_ids, sb[j].prefill_ids);
+            EXPECT_EQ(sa[j].decode_ids, sb[j].decode_ids);
+            EXPECT_DOUBLE_EQ(sa[j].start_ms, sb[j].start_ms);
+            EXPECT_DOUBLE_EQ(sa[j].step_ms, sb[j].step_ms);
+        }
+    }
+    ASSERT_EQ(a.result.metrics.requests.size(),
+              b.result.metrics.requests.size());
+    for (size_t i = 0; i < a.result.metrics.requests.size(); ++i) {
+        EXPECT_EQ(a.result.metrics.requests[i].id,
+                  b.result.metrics.requests[i].id);
+        EXPECT_DOUBLE_EQ(a.result.metrics.requests[i].finish_ms,
+                         b.result.metrics.requests[i].finish_ms);
+        EXPECT_EQ(a.result.metrics.requests[i].replica,
+                  b.result.metrics.requests[i].replica);
+    }
+    EXPECT_EQ(a.result.metrics.failovers,
+              b.result.metrics.failovers);
+    EXPECT_EQ(a.result.metrics.requests_lost,
+              b.result.metrics.requests_lost);
+    ASSERT_EQ(a.result.lost.size(), b.result.lost.size());
+    for (size_t i = 0; i < a.result.lost.size(); ++i)
+        EXPECT_EQ(a.result.lost[i].id, b.result.lost[i].id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetProperty,
+                         ::testing::Range<uint64_t>(0, 100));
+
+// The seeded fault plans must collectively exercise every fault
+// machinery path, or the invariants above are vacuous.
+TEST(FleetPropertyCoverage, SeedsExerciseEveryFaultKind)
+{
+    int64_t crashes = 0, recoveries = 0, slowdowns = 0;
+    int64_t drains = 0, failovers = 0, lost = 0;
+    int64_t completed_with_failover = 0;
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        FleetSeededRun run = runFleetSeed(seed, true);
+        const auto &fm = run.result.metrics;
+        crashes += fm.crashes;
+        recoveries += fm.recoveries;
+        slowdowns += fm.slowdowns;
+        drains += fm.drains;
+        failovers += fm.failovers;
+        lost += fm.requests_lost;
+        for (const auto &r : fm.requests)
+            completed_with_failover += r.failovers > 0 ? 1 : 0;
+    }
+    EXPECT_GT(crashes, 0);
+    EXPECT_GT(recoveries, 0);
+    EXPECT_GT(slowdowns, 0);
+    EXPECT_GT(drains, 0);
+    EXPECT_GT(failovers, 0);
+    // Crash survivors that finished on another replica — the
+    // failover path end to end, not just the bookkeeping.
+    EXPECT_GT(completed_with_failover, 0);
+    (void)lost; // losses depend on retry budgets; not required
+}
 
 // The 100 seeds must actually exercise the interesting paged
 // machinery somewhere, or the invariants above are vacuous.

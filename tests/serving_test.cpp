@@ -110,6 +110,35 @@ TEST(RequestQueue, CapacityBoundRefusesPush)
     EXPECT_EQ(q.size(), 2);
 }
 
+TEST(RequestQueue, PushFrontExemptFromCapacityBound)
+{
+    // pushFront() carries preempted and failed-over work whose
+    // admission was already paid for — it must succeed even when
+    // the queue sits at capacity, and the overshoot must be
+    // attributable to front inserts: size - max_depth <=
+    // frontInserts() after every insert.
+    serving::RequestQueue q(/*max_depth=*/2);
+    EXPECT_TRUE(q.push(makeRequest(0, 0.0, 8, 1)));
+    EXPECT_TRUE(q.push(makeRequest(1, 0.0, 8, 1)));
+    EXPECT_FALSE(q.push(makeRequest(2, 0.0, 8, 1)));
+
+    q.pushFront(makeRequest(9, 0.0, 8, 1));
+    EXPECT_EQ(q.size(), 3);
+    EXPECT_EQ(q.frontInserts(), 1);
+    q.pushFront(makeRequest(8, 0.0, 8, 1));
+    EXPECT_EQ(q.size(), 4);
+    EXPECT_EQ(q.frontInserts(), 2);
+
+    // Bounded push stays refused while over capacity; the exempt
+    // entries drain ahead of the FIFO tail.
+    EXPECT_FALSE(q.push(makeRequest(3, 0.0, 8, 1)));
+    EXPECT_EQ(q.pop().id, 8);
+    EXPECT_EQ(q.pop().id, 9);
+    EXPECT_EQ(q.pop().id, 0);
+    EXPECT_EQ(q.pop().id, 1);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(RequestQueue, TracksHighWaterDepth)
 {
     serving::RequestQueue q;
@@ -235,15 +264,43 @@ TEST(Metrics, NearestRankPercentile)
     std::vector<double> v;
     for (int i = 1; i <= 100; ++i)
         v.push_back(i);
-    EXPECT_DOUBLE_EQ(serving::percentile(v, 50.0), 50.0);
-    EXPECT_DOUBLE_EQ(serving::percentile(v, 95.0), 95.0);
-    EXPECT_DOUBLE_EQ(serving::percentile(v, 99.0), 99.0);
-    EXPECT_DOUBLE_EQ(serving::percentile(v, 100.0), 100.0);
-    EXPECT_DOUBLE_EQ(serving::percentile(v, 0.0), 1.0);
-    EXPECT_DOUBLE_EQ(serving::percentile({}, 50.0), 0.0);
-    EXPECT_DOUBLE_EQ(serving::percentile({3.0, 1.0, 2.0}, 50.0),
+    EXPECT_DOUBLE_EQ(*serving::percentile(v, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(*serving::percentile(v, 95.0), 95.0);
+    EXPECT_DOUBLE_EQ(*serving::percentile(v, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(*serving::percentile(v, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(*serving::percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(*serving::percentile({3.0, 1.0, 2.0}, 50.0),
                      2.0);
     EXPECT_THROW(serving::percentile(v, 101.0), FatalError);
+}
+
+TEST(Metrics, PercentileEmptyWindowIsEmptyOptional)
+{
+    // An empty sample has no percentile — nullopt, not a silent
+    // 0.0 that reads like a measured latency.
+    EXPECT_FALSE(serving::percentile({}, 50.0).has_value());
+    EXPECT_FALSE(serving::percentile({}, 95.0).has_value());
+    EXPECT_FALSE(serving::percentile({}, 99.0).has_value());
+    EXPECT_FALSE(serving::percentile({}, 0.0).has_value());
+    EXPECT_FALSE(serving::percentile({}, 100.0).has_value());
+}
+
+TEST(Metrics, PercentileSingleSampleIsThatSample)
+{
+    // Every rank of a one-element window is the element.
+    for (double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(*serving::percentile({7.5}, p), 7.5);
+}
+
+TEST(Metrics, EmptyRunPercentileAccessorsAreNaN)
+{
+    // The ServingMetrics accessors document NaN as their explicit
+    // empty-window sentinel (satellite of the std::optional
+    // percentile change).
+    serving::ServingMetrics metrics;
+    EXPECT_TRUE(std::isnan(metrics.ttftP95Ms()));
+    EXPECT_TRUE(std::isnan(metrics.latencyPercentileMs(50.0)));
+    EXPECT_TRUE(std::isnan(metrics.latencyPercentileMs(99.0)));
 }
 
 TEST(Metrics, RequestDerivedQuantities)
@@ -840,4 +897,129 @@ TEST(Scheduler, StepLimitSplitsAccountingViews)
     options.max_steps = 1 << 20;
     serving::Scheduler drained(options, cost);
     EXPECT_EQ(drained.run(trace).metrics.in_flight, 0);
+}
+
+// ---------------------------------------------------------------
+// Preemption under a bounded queue; drain / deadline / step-limit
+// interaction (the doc contract in SchedulerOptions).
+// ---------------------------------------------------------------
+
+TEST(SchedulerReplay, PreemptionLandsWhileQueueAtCapacity)
+{
+    // Regression: the PagedPreemptionScript scenario with a
+    // max_queue_depth of 2 that two later arrivals have already
+    // filled when R1 is preempted. The preemption re-entry is a
+    // front insert exempt from the capacity bound — R1 must land
+    // back in the queue (not be dropped or trip the invariant)
+    // and nobody gets rejected.
+    serving::AnalyticCostModel cost;
+    serving::SchedulerOptions options = recordingOptions(2, 64);
+    options.max_queue_depth = 2;
+    serving::Scheduler scheduler(options, cost);
+    auto result = scheduler.run({
+        makeRequest(0, 0.0, 30, 4),
+        makeRequest(1, 0.0, 30, 4),
+        // Arrive mid-run and fill the queue to capacity before
+        // the step-4 preemption; small enough to coexist with R1
+        // afterwards.
+        makeRequest(2, 3.0, 8, 1),
+        makeRequest(3, 3.1, 8, 1),
+    });
+
+    EXPECT_TRUE(result.rejected.empty());
+    ASSERT_EQ(result.steps.size(), 6u);
+    const auto &s3 = result.steps[3];
+    EXPECT_EQ(s3.preempted_ids, (std::vector<int64_t>{1}));
+    // Queue depth at launch exceeds the bound: R2 and R3 at
+    // capacity plus the exempt preemption re-entry.
+    EXPECT_EQ(s3.queue_depth, 3);
+    // R1 re-entered at the front of its class (earlier arrival),
+    // so readmission order is R1, then R2, then R3.
+    EXPECT_EQ(result.steps[4].prefill_ids,
+              (std::vector<int64_t>{1, 2}));
+    EXPECT_EQ(result.steps[5].prefill_ids,
+              (std::vector<int64_t>{3}));
+
+    const auto &m = result.metrics;
+    EXPECT_EQ(m.completed, 4);
+    EXPECT_EQ(m.preemptions, 1);
+    EXPECT_EQ(m.total_output_tokens, 10);
+}
+
+TEST(Scheduler, DrainDeadlineStepLimitInteraction)
+{
+    // Pins the three stopping mechanisms' documented ordering
+    // (SchedulerOptions::drain_at_ms). Unit step cost: one
+    // millisecond per resident sequence, so with max_batch = 1
+    // the loop iterates at exactly t = 0, 1, 2, 3, 4.
+    serving::AnalyticCostOptions unit;
+    unit.trigger_ms = 0.0;
+    unit.per_seq_ms = 1.0;
+    unit.per_query_token_ms = 0.0;
+    unit.per_kv_token_ms = 0.0;
+    serving::AnalyticCostModel cost(unit);
+
+    serving::SchedulerOptions options = recordingOptions(1, 4096);
+    options.drain_at_ms = 2.5; // activates at the t = 3 iteration
+
+    Request r0 = makeRequest(0, 0.0, 8, 4);
+    r0.deadline_ms = 2.0; // resident: never expired, counts a miss
+    Request r1 = makeRequest(1, 0.0, 8, 2);
+    r1.deadline_ms = 1.5; // queued: expires before drain fires
+    Request r2 = makeRequest(2, 0.0, 8, 2); // queued: drained
+    Request r3 = makeRequest(3, 2.7, 8, 2); // arrives into drain
+
+    serving::Scheduler scheduler(options, cost);
+    auto result = scheduler.run({r0, r1, r2, r3});
+
+    // Drain terminated the run cleanly: no step-limit trip, no
+    // in-flight work, R0 ran its 4 steps to completion.
+    EXPECT_FALSE(result.hit_step_limit);
+    const auto &m = result.metrics;
+    EXPECT_EQ(m.steps, 4);
+    EXPECT_EQ(m.in_flight, 0);
+    EXPECT_EQ(m.completed, 1);
+    EXPECT_DOUBLE_EQ(m.makespan_ms, 4.0);
+
+    // R0 finished at t = 4 against a deadline of 2: a miss, not
+    // an expiry — residents are never evicted by the sweep.
+    EXPECT_EQ(m.deadline_misses, 1);
+    ASSERT_EQ(m.requests.size(), 1u);
+    EXPECT_TRUE(m.requests[0].missedDeadline());
+
+    // Each shed request is counted exactly once, under whichever
+    // mechanism tripped first: R1's deadline (swept at t = 2)
+    // precedes drain; R2 survives to drain entry at t = 3; R3 is
+    // refused at ingest. Rejections land in (arrival, id) order.
+    EXPECT_EQ(m.expired_deadline, 1);
+    EXPECT_EQ(m.rejected_drained, 2);
+    ASSERT_EQ(result.rejected.size(), 3u);
+    EXPECT_EQ(result.rejected[0].id, 1);
+    EXPECT_EQ(result.rejected[0].reason,
+              serving::RejectReason::DeadlineExpired);
+    EXPECT_DOUBLE_EQ(result.rejected[0].at_ms, 2.0);
+    EXPECT_EQ(result.rejected[1].id, 2);
+    EXPECT_EQ(result.rejected[1].reason,
+              serving::RejectReason::Drained);
+    EXPECT_DOUBLE_EQ(result.rejected[1].at_ms, 3.0);
+    EXPECT_EQ(result.rejected[2].id, 3);
+    EXPECT_EQ(result.rejected[2].reason,
+              serving::RejectReason::Drained);
+    EXPECT_DOUBLE_EQ(result.rejected[2].at_ms, 3.0);
+
+    // The step limit sits above both: capped at 2 steps the same
+    // run reports in-flight work even though it was draining.
+    options.max_steps = 2;
+    options.drain_at_ms = 0.5;
+    serving::Scheduler capped(options, cost);
+    auto cut = capped.run({r0, r1, r2, r3});
+    EXPECT_TRUE(cut.hit_step_limit);
+    EXPECT_EQ(cut.metrics.steps, 2);
+    EXPECT_EQ(cut.metrics.completed, 0);
+    EXPECT_EQ(cut.metrics.in_flight, 1);
+    // Drain beat both deadlines this time: the whole queue shed
+    // as Drained at the t = 1 iteration, before R1's t = 1.5
+    // deadline could expire.
+    EXPECT_EQ(cut.metrics.rejected_drained, 2);
+    EXPECT_EQ(cut.metrics.expired_deadline, 0);
 }
