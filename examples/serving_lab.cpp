@@ -17,11 +17,24 @@
  * show what a crash actually costs when failover re-prefills the
  * evacuated requests on the survivors.
  *
+ * `--scale` switches to the million-request sweep mode instead:
+ * a generator-fed Poisson trace through a four-replica fleet on
+ * the analytic cost model with streaming metrics (no per-request
+ * records) — the scale harness exercised end to end, with wall
+ * throughput, sketch percentiles, and peak RSS printed. Runs in
+ * seconds.
+ *
  *   ./build/examples/serving_lab [num_requests] [max_batch]
+ *   ./build/examples/serving_lab --scale [num_requests]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include <sys/resource.h>
 
 #include "serving/cost_model.h"
 #include "serving/fleet.h"
@@ -30,9 +43,76 @@
 
 using namespace streamtensor;
 
+namespace {
+
+/** The million-request sweep: same shape as the scale suite and
+ *  BM_ServeMillionRequestSweep, run as a printable report. */
+int
+scaleSweep(int64_t num_requests)
+{
+    serving::TraceOptions trace_options;
+    trace_options.num_requests = num_requests;
+    trace_options.seed = 42;
+    trace_options.mean_interarrival_ms = 2.5;
+    trace_options.min_input_len = 4;
+    trace_options.max_input_len = 64;
+    trace_options.min_output_len = 1;
+    trace_options.max_output_len = 16;
+
+    serving::FleetOptions options;
+    options.num_replicas = 4;
+    options.replica.max_batch = 8;
+    options.replica.kv_budget_tokens = 4096;
+    options.replica.max_steps =
+        std::numeric_limits<int64_t>::max();
+    options.replica.metrics.keep_records =
+        serving::MetricsOptions::KeepRecords::Never;
+
+    std::printf("Scale sweep: %lld Poisson requests, 4 replicas, "
+                "analytic step costs, streaming metrics\n",
+                static_cast<long long>(num_requests));
+
+    serving::TraceGenerator trace(serving::TraceShape::Poisson,
+                                  trace_options);
+    serving::AnalyticCostModel cost;
+    serving::FleetScheduler fleet(options, cost);
+    auto wall_start = std::chrono::steady_clock::now();
+    serving::FleetResult result = fleet.run(trace);
+    double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    const serving::FleetMetrics &m = result.metrics;
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage); // ru_maxrss is KiB on Linux
+    std::printf("\n  completed        %lld\n",
+                static_cast<long long>(m.completed));
+    std::printf("  wall time        %.2f s  (%.0f req/s)\n",
+                wall_s,
+                static_cast<double>(num_requests) / wall_s);
+    std::printf("  simulated rate   %.1f req/s over %.1f s\n",
+                m.servedRequestsPerSecond(), m.makespan_ms / 1e3);
+    std::printf("  latency p50/p99  %.1f / %.1f ms (sketch, "
+                "%lld retained items for %lld samples)\n",
+                m.latencyPercentileMs(50.0),
+                m.latencyPercentileMs(99.0),
+                static_cast<long long>(
+                    m.latency_sketch.retainedItems()),
+                static_cast<long long>(m.latency_sketch.count()));
+    std::printf("  peak RSS         %.1f MB\n",
+                static_cast<double>(usage.ru_maxrss) / 1024.0);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--scale") == 0)
+        return scaleSweep(argc > 2 ? std::atoll(argv[2])
+                                   : 1000000);
     int64_t num_requests = argc > 1 ? std::atoll(argv[1]) : 48;
     int64_t max_batch = argc > 2 ? std::atoll(argv[2]) : 6;
     const int64_t kv_budget = 384; // 24 pages of 16 tokens

@@ -22,6 +22,27 @@
  *   5. due retries, oldest (ready, id) first;
  *   6. step launches on every idle up replica, in id order.
  *
+ * **Event cores.** Two interchangeable implementations pick the
+ * next instant (FleetOptions::event_core); both then run the same
+ * six phases, so their results are bit-identical — pinned pairwise
+ * by the differential suite over the 100-seed fault scenarios.
+ * LegacyScan re-derives the minimum by scanning every engine, the
+ * whole retry buffer, and the arrival cursor each round: O(n) per
+ * round, fine at hundreds of requests, the bottleneck at millions.
+ * Heap (the default) keeps a min-heap of typed events —
+ * completion, fault, arrival, retry-due, retry-deadline — ordered
+ * by (time, category, replica/request id) with the category order
+ * above encoded in the comparator, and invalidates stale entries
+ * lazily (a completion event carries its launch generation; retry
+ * and deadline events are checked against the buffer): O(log n)
+ * per event. Per-round work that scans the *fleet* (completions
+ * due, launches, step totals) stays linear in num_replicas — a
+ * small fixed constant, not trace length. Queued-request deadline
+ * expiry is lazy in both cores: a queued request expires at the
+ * next round at or after its deadline (stamped at that round's
+ * instant), and its deadline alone never wakes the loop — only
+ * retry-buffer deadlines do.
+ *
  * **Failover.** A crash evacuates the replica's resident and
  * queued requests with their ResumeState (tokens already emitted
  * are kept — only KV is lost). Each evacuated request consumes one
@@ -62,6 +83,16 @@
 namespace streamtensor {
 namespace serving {
 
+/** Next-event selection strategy (see the event-cores note in the
+ *  file header). Results are bit-identical between the two;
+ *  LegacyScan survives as the differential oracle the heap core
+ *  is tested against. */
+enum class FleetEventCore
+{
+    Heap,       ///< O(log n) typed-event min-heap (default)
+    LegacyScan, ///< O(n)-per-round scans (oracle)
+};
+
 /** Fleet knobs. */
 struct FleetOptions
 {
@@ -88,6 +119,21 @@ struct FleetOptions
 
     /** The fault schedule to execute. */
     FaultPlan faults;
+
+    /** Next-event selection core. */
+    FleetEventCore event_core = FleetEventCore::Heap;
+
+    /** Worker threads for replica stepping (Heap core only;
+     *  LegacyScan stays serial as the oracle). At >= 2, step
+     *  completions due at one instant always fan out across a
+     *  support::ThreadPool, and step *launches* fan out when the
+     *  cost model (and the degraded model, if any) reports
+     *  concurrentSafe() — both touch only engine-local state
+     *  between the fleet's interaction points, and completion
+     *  events are committed serially in replica-id order after
+     *  the barrier, so results are bit-identical with 1 or N
+     *  threads (pinned by the differential suite). */
+    int64_t step_threads = 1;
 };
 
 /** A request that exhausted its retry budget (or was stranded
@@ -108,7 +154,20 @@ struct LostRequest
  *  single-fleet percentile. */
 struct FleetMetrics
 {
-    std::vector<RequestMetrics> requests; ///< merged, by finish
+    /** Merged per-request records, by (finish, id) — complete only
+     *  while records_complete; see MetricsOptions (the fleet
+     *  inherits each replica's retention policy). */
+    std::vector<RequestMetrics> requests;
+
+    /** Every replica kept all its records (so `requests` is the
+     *  full fleet history). */
+    bool records_complete = true;
+
+    /** Fleet-wide latency distribution: the replicas' streaming
+     *  sketches merged in replica-id order (deterministic), always
+     *  maintained. Percentile queries route here when records are
+     *  incomplete. */
+    QuantileSketch latency_sketch;
 
     int64_t completed = 0;
     int64_t rejected_queue_full = 0;
@@ -160,8 +219,14 @@ struct FleetMetrics
     double servedRequestsPerSecond() const;
 
     /** Fleet-wide latency percentile (nearest rank); NaN when no
-     *  request completed. */
+     *  request completed. Exact (sorted once, cached across
+     *  queries) while records_complete; a sketch estimate within
+     *  the documented rank error (quantile_sketch.h) otherwise. */
     double latencyPercentileMs(double p) const;
+
+  private:
+    mutable std::vector<double> sorted_latencies_;
+    mutable int64_t sorted_latencies_for_ = -1;
 };
 
 /** Outcome of one fleet run. */
@@ -203,7 +268,15 @@ class FleetScheduler
      *  bit-identical results. */
     FleetResult run(std::vector<Request> trace);
 
+    /** Serve a lazy trace without materializing it — bit-identical
+     *  to run(vector-of-the-same-generator) but O(1) trace memory
+     *  (the million-request sweep entry point). The generator's
+     *  stream is sorted and valid by construction (trace.h). */
+    FleetResult run(TraceGenerator &trace);
+
   private:
+    FleetResult runCursor(ArrivalCursor &arrivals);
+
     FleetOptions options_;
     StepCostModel &cost_;
     StepCostModel *degraded_cost_;

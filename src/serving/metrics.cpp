@@ -24,16 +24,64 @@ quietNan()
 std::optional<double>
 percentile(std::vector<double> values, double p)
 {
-    ST_CHECK(p >= 0.0 && p <= 100.0, "percentile domain");
-    if (values.empty())
-        return std::nullopt;
     std::sort(values.begin(), values.end());
+    return percentileOfSorted(values, p);
+}
+
+std::optional<double>
+percentileOfSorted(const std::vector<double> &sorted, double p)
+{
+    ST_CHECK(p >= 0.0 && p <= 100.0, "percentile domain");
+    if (sorted.empty())
+        return std::nullopt;
     // Nearest rank: smallest value with at least p% of the sample
     // at or below it.
-    auto n = static_cast<double>(values.size());
+    auto n = static_cast<double>(sorted.size());
     auto rank = static_cast<int64_t>(std::ceil(p / 100.0 * n));
     rank = std::max<int64_t>(rank, 1);
-    return values[static_cast<size_t>(rank - 1)];
+    return sorted[static_cast<size_t>(rank - 1)];
+}
+
+void
+ServingMetrics::recordCompletion(const RequestMetrics &done,
+                                 const MetricsOptions &options)
+{
+    ++completed;
+    total_output_tokens += done.output_len;
+    if (done.missedDeadline())
+        ++deadline_misses;
+
+    latency_sketch.add(done.latencyMs());
+    ttft_sketch.add(done.ttftMs());
+    ttft_sum_ms += done.ttftMs();
+    // The decode-window sum mirrors tbtMeanMs()'s invariant: a
+    // single-token request must have an empty window.
+    ST_ASSERT(done.output_len > 1 ||
+                  done.finish_ms == done.first_token_ms,
+              "single-token request with a decode window");
+    decode_sum_ms += done.finish_ms - done.first_token_ms;
+    decode_gaps += done.output_len - 1;
+
+    switch (options.keep_records) {
+    case MetricsOptions::KeepRecords::Always:
+        requests.push_back(done);
+        break;
+    case MetricsOptions::KeepRecords::Never:
+        records_complete = false;
+        break;
+    case MetricsOptions::KeepRecords::Auto:
+        if (completed <= options.auto_record_limit) {
+            requests.push_back(done);
+        } else if (records_complete) {
+            // Crossing the limit: drop everything, not just the
+            // overflow — a truncated vector would read as a valid
+            // (but silently biased) sample.
+            records_complete = false;
+            requests.clear();
+            requests.shrink_to_fit();
+        }
+        break;
+    }
 }
 
 double
@@ -67,6 +115,14 @@ ServingMetrics::meanBatchSize() const
 double
 ServingMetrics::ttftMeanMs() const
 {
+    // The exact record loop is kept while records are complete so
+    // results stay bit-identical to the pre-streaming accessors
+    // (same floating-point summation order); the running sum only
+    // answers when the records are gone.
+    if (!records_complete)
+        return completed > 0
+                   ? ttft_sum_ms / static_cast<double>(completed)
+                   : 0.0;
     if (requests.empty())
         return 0.0;
     double sum = 0.0;
@@ -78,11 +134,19 @@ ServingMetrics::ttftMeanMs() const
 double
 ServingMetrics::ttftP95Ms() const
 {
-    std::vector<double> ttfts;
-    ttfts.reserve(requests.size());
-    for (const auto &r : requests)
-        ttfts.push_back(r.ttftMs());
-    return percentile(std::move(ttfts), 95.0)
+    if (!records_complete)
+        return ttft_sketch.quantile(95.0).value_or(quietNan());
+    if (sorted_ttfts_for_ !=
+        static_cast<int64_t>(requests.size())) {
+        sorted_ttfts_.clear();
+        sorted_ttfts_.reserve(requests.size());
+        for (const auto &r : requests)
+            sorted_ttfts_.push_back(r.ttftMs());
+        std::sort(sorted_ttfts_.begin(), sorted_ttfts_.end());
+        sorted_ttfts_for_ =
+            static_cast<int64_t>(requests.size());
+    }
+    return percentileOfSorted(sorted_ttfts_, 95.0)
         .value_or(quietNan());
 }
 
@@ -108,6 +172,11 @@ ServingMetrics::prefixHitRate() const
 double
 ServingMetrics::tbtMeanMs() const
 {
+    if (!records_complete)
+        return decode_gaps > 0
+                   ? decode_sum_ms /
+                         static_cast<double>(decode_gaps)
+                   : 0.0;
     double decode_ms = 0.0;
     int64_t gaps = 0;
     for (const auto &r : requests) {
@@ -128,11 +197,20 @@ ServingMetrics::tbtMeanMs() const
 double
 ServingMetrics::latencyPercentileMs(double p) const
 {
-    std::vector<double> latencies;
-    latencies.reserve(requests.size());
-    for (const auto &r : requests)
-        latencies.push_back(r.latencyMs());
-    return percentile(std::move(latencies), p)
+    if (!records_complete)
+        return latency_sketch.quantile(p).value_or(quietNan());
+    if (sorted_latencies_for_ !=
+        static_cast<int64_t>(requests.size())) {
+        sorted_latencies_.clear();
+        sorted_latencies_.reserve(requests.size());
+        for (const auto &r : requests)
+            sorted_latencies_.push_back(r.latencyMs());
+        std::sort(sorted_latencies_.begin(),
+                  sorted_latencies_.end());
+        sorted_latencies_for_ =
+            static_cast<int64_t>(requests.size());
+    }
+    return percentileOfSorted(sorted_latencies_, p)
         .value_or(quietNan());
 }
 

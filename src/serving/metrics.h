@@ -8,6 +8,21 @@
  * counters. Everything derives from simulated time, so repeated
  * runs aggregate identically.
  *
+ * **Record retention.** Historically every completed request left
+ * a RequestMetrics record in `requests`, and every percentile
+ * query copied and sorted the whole vector — O(n) memory and
+ * O(n log n) per query, which is what capped sweeps at ~100k
+ * requests. Retention is now governed by MetricsOptions
+ * (SchedulerOptions::metrics): records are kept by default up to
+ * auto_record_limit completions (so every existing test and its
+ * exact percentiles are untouched) and dropped beyond it, at
+ * which point the accessors answer from streaming state instead —
+ * a deterministic QuantileSketch per latency/TTFT plus running
+ * sums — making a 10M-request run O(sketch) memory. The
+ * `records_complete` flag says which regime a result is in; exact
+ * queries on complete records now sort once into a cache instead
+ * of once per query (see percentile()).
+ *
  * **Partial-run accounting.** When a run stops at the step limit
  * (`ServingResult::hit_step_limit`), `requests` holds only the
  * sequences that *completed*, while the step-derived aggregates —
@@ -28,10 +43,35 @@
 #include <optional>
 #include <vector>
 
+#include "serving/quantile_sketch.h"
 #include "serving/request.h"
 
 namespace streamtensor {
 namespace serving {
+
+/** Per-request record retention policy (SchedulerOptions::
+ *  metrics). Streaming aggregates — counters, running sums, and
+ *  the quantile sketches — are always maintained; this only
+ *  decides whether the full RequestMetrics vector is kept
+ *  alongside them. */
+struct MetricsOptions
+{
+    enum class KeepRecords
+    {
+        /** Keep records up to auto_record_limit completions, then
+         *  drop them all and answer from the sketches — small runs
+         *  stay exact, million-request sweeps stay bounded. */
+        Auto,
+
+        Always, ///< keep every record regardless of run size
+        Never,  ///< streaming aggregates only, O(sketch) memory
+    };
+
+    KeepRecords keep_records = KeepRecords::Auto;
+
+    /** Completions beyond which Auto drops the record vector. */
+    int64_t auto_record_limit = 100000;
+};
 
 /** Lifecycle timestamps of one completed request. */
 struct RequestMetrics
@@ -91,14 +131,38 @@ struct RequestMetrics
 /** Nearest-rank percentile (p in [0, 100]) of @p values.
  *  std::nullopt on an empty sample set — an empty window is not a
  *  percentile of 0.0, and callers that want a sentinel must pick
- *  one explicitly (the ServingMetrics accessors document NaN). */
+ *  one explicitly (the ServingMetrics accessors document NaN).
+ *
+ *  Takes the sample by value and sorts it: O(n log n) per call,
+ *  deliberately — it is the one-shot convenience entry point.
+ *  Callers querying several percentiles of the same sample sort
+ *  once and use percentileOfSorted() (the ServingMetrics
+ *  accessors do, via a cached sorted view); callers with millions
+ *  of samples should not be holding them at all (QuantileSketch /
+ *  MetricsOptions). */
 std::optional<double> percentile(std::vector<double> values,
                                  double p);
+
+/** Nearest-rank percentile of an already ascending-sorted sample:
+ *  O(1), same convention and empty-set contract as
+ *  percentile(). */
+std::optional<double>
+percentileOfSorted(const std::vector<double> &sorted, double p);
 
 /** Aggregated result of one serving run. */
 struct ServingMetrics
 {
-    std::vector<RequestMetrics> requests; ///< completed, by finish
+    /** Completed requests in finish order — complete only while
+     *  records_complete (see MetricsOptions); empty or truncated
+     *  otherwise, with the streaming fields below standing in. */
+    std::vector<RequestMetrics> requests;
+
+    /** True while `requests` holds every completion. Cleared the
+     *  moment a record is dropped (KeepRecords::Never, or Auto
+     *  crossing its limit — which also discards the records
+     *  already accumulated, so the vector is never a misleading
+     *  prefix sample). */
+    bool records_complete = true;
 
     int64_t completed = 0;
     int64_t rejected_queue_full = 0;
@@ -153,6 +217,31 @@ struct ServingMetrics
     /** Σ per-step active pages (pageUtilization numerator). */
     int64_t page_step_sum = 0;
 
+    // --- Streaming per-request aggregates, maintained by
+    // recordCompletion() for every completion whether or not its
+    // record is retained. ---
+
+    /** Request-latency / TTFT distributions (deterministic
+     *  streaming sketches; quantile_sketch.h documents the rank
+     *  error). The percentile accessors fall back to these when
+     *  records_complete is false. */
+    QuantileSketch latency_sketch;
+    QuantileSketch ttft_sketch;
+
+    /** Running sums backing the mean accessors without records:
+     *  Σ ttftMs, Σ (finish − first token), Σ (output_len − 1). */
+    double ttft_sum_ms = 0.0;
+    double decode_sum_ms = 0.0;
+    int64_t decode_gaps = 0;
+
+    /** Commit one completed request: counters (completed,
+     *  total_output_tokens, deadline_misses), the running sums and
+     *  sketches above, and — policy permitting — the record
+     *  itself. The single entry point for completions, so the
+     *  streaming state can never drift from the record vector. */
+    void recordCompletion(const RequestMetrics &done,
+                          const MetricsOptions &options);
+
     double requestsPerSecond() const;
     double tokensPerSecond() const;
 
@@ -187,8 +276,22 @@ struct ServingMetrics
     double tbtMeanMs() const;
 
     /** Request latency percentile (nearest rank). NaN when no
-     *  request completed. */
+     *  request completed. Exact — O(1) after a one-time
+     *  O(n log n) sort cached across queries — while
+     *  records_complete; a sketch estimate within the documented
+     *  rank error otherwise. The cache keys on requests.size(), so
+     *  in-place mutation of `requests` that preserves its length
+     *  (nothing in the scheduler does that) would not be
+     *  noticed. */
     double latencyPercentileMs(double p) const;
+
+  private:
+    /** Sorted-sample caches behind the exact percentile path,
+     *  rebuilt whenever requests.size() changes. */
+    mutable std::vector<double> sorted_latencies_;
+    mutable std::vector<double> sorted_ttfts_;
+    mutable int64_t sorted_latencies_for_ = -1;
+    mutable int64_t sorted_ttfts_for_ = -1;
 };
 
 } // namespace serving

@@ -1,0 +1,153 @@
+#include "serving/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace streamtensor {
+namespace serving {
+
+QuantileSketch::QuantileSketch(int64_t k) : k_(k)
+{
+    ST_CHECK(k >= 8, "QuantileSketch capacity must be >= 8");
+    levels_.emplace_back();
+    levels_.front().reserve(static_cast<size_t>(k_));
+    compactions_.push_back(0);
+}
+
+void
+QuantileSketch::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    levels_.front().push_back(value);
+    // Compact cascades: promoting half of level L may overflow
+    // level L+1, which compacts in turn. Each level holds at most
+    // k_ + k_/2 items transiently (its own k_ plus one promotion).
+    for (size_t level = 0; level < levels_.size(); ++level)
+        if (static_cast<int64_t>(levels_[level].size()) >= k_)
+            compactLevel(level);
+}
+
+void
+QuantileSketch::compactLevel(size_t level)
+{
+    if (level + 1 == levels_.size()) {
+        levels_.emplace_back();
+        levels_.back().reserve(static_cast<size_t>(k_));
+        compactions_.push_back(0);
+    }
+    auto &buf = levels_[level];
+    std::sort(buf.begin(), buf.end());
+    // Deterministic stand-in for KLL's random coin: alternate the
+    // surviving parity per level so successive compactions cancel
+    // each other's rank bias instead of compounding it.
+    size_t start =
+        static_cast<size_t>(compactions_[level] & 1) ? 1 : 0;
+    ++compactions_[level];
+    auto &up = levels_[level + 1];
+    for (size_t i = start; i < buf.size(); i += 2)
+        up.push_back(buf[i]);
+    buf.clear();
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    ST_CHECK(k_ == other.k_,
+             "cannot merge sketches of different capacity");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    while (levels_.size() < other.levels_.size()) {
+        levels_.emplace_back();
+        levels_.back().reserve(static_cast<size_t>(k_));
+        compactions_.push_back(0);
+    }
+    for (size_t level = 0; level < other.levels_.size(); ++level)
+        levels_[level].insert(levels_[level].end(),
+                              other.levels_[level].begin(),
+                              other.levels_[level].end());
+    for (size_t level = 0; level < levels_.size(); ++level)
+        while (static_cast<int64_t>(levels_[level].size()) >= k_)
+            compactLevel(level);
+}
+
+double
+QuantileSketch::minValue() const
+{
+    ST_CHECK(count_ > 0, "minValue() on an empty sketch");
+    return min_;
+}
+
+double
+QuantileSketch::maxValue() const
+{
+    ST_CHECK(count_ > 0, "maxValue() on an empty sketch");
+    return max_;
+}
+
+std::optional<double>
+QuantileSketch::quantile(double p) const
+{
+    ST_CHECK(p >= 0.0 && p <= 100.0, "quantile domain");
+    if (count_ == 0)
+        return std::nullopt;
+    // The extremes are tracked exactly; compaction may have
+    // dropped the retained copies, so answer from the scalars.
+    if (p == 0.0)
+        return min_;
+    if (p == 100.0)
+        return max_;
+    // Gather the weighted summary, sort by value, and walk the
+    // cumulative weight to the nearest-rank target — the same
+    // ceil(p/100 * n) convention percentile() uses on exact
+    // records, applied to total retained weight.
+    std::vector<std::pair<double, int64_t>> items;
+    items.reserve(static_cast<size_t>(retainedItems()));
+    int64_t total_weight = 0;
+    for (size_t level = 0; level < levels_.size(); ++level) {
+        int64_t weight = int64_t{1} << level;
+        for (double v : levels_[level]) {
+            items.emplace_back(v, weight);
+            total_weight += weight;
+        }
+    }
+    std::sort(items.begin(), items.end());
+    int64_t target = static_cast<int64_t>(std::ceil(
+        p / 100.0 * static_cast<double>(total_weight)));
+    target = std::max<int64_t>(target, 1);
+    int64_t cumulative = 0;
+    for (const auto &[value, weight] : items) {
+        cumulative += weight;
+        if (cumulative >= target)
+            return std::clamp(value, min_, max_);
+    }
+    return max_;
+}
+
+int64_t
+QuantileSketch::retainedItems() const
+{
+    int64_t retained = 0;
+    for (const auto &level : levels_)
+        retained += static_cast<int64_t>(level.size());
+    return retained;
+}
+
+} // namespace serving
+} // namespace streamtensor

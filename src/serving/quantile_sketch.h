@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic streaming quantile sketch (KLL-style compactor)
+ * for million-request serving sweeps, where storing a
+ * RequestMetrics record per completed request — and copy-sorting
+ * the whole vector on every percentile query — costs gigabytes
+ * and O(n log n) per query.
+ *
+ * **Structure.** Values land in a level-0 buffer of capacity k.
+ * A full level sorts itself and promotes every other element to
+ * the next level (whose items each represent 2× the weight),
+ * alternating between the even- and odd-indexed halves on
+ * successive compactions of that level. The classic KLL sketch
+ * flips a random coin per compaction; this one flips a
+ * *deterministic* per-level parity counter instead, because the
+ * serving layer's replay contract (bit-identical reruns on every
+ * platform, no RNG outside the trace generators) outranks the
+ * randomized worst-case guarantee. The alternation cancels the
+ * systematic rank bias a fixed parity would accumulate.
+ *
+ * **Cost.** O(k log(n/k)) retained doubles for n inserts —
+ * ~50 KB at the default k=512 for a 10M-value stream — with O(1)
+ * amortized add(), and O(r log r) per quantile query over the
+ * r = retainedItems() summary. Exact min/max are tracked on the
+ * side so the tails never drift outside the observed range.
+ *
+ * **Accuracy.** With deterministic alternation the guarantee is
+ * empirical rather than probabilistic: the additive rank error of
+ * a compaction at level L is at most 2^(L-1), giving a worst-case
+ * normalized rank error around log2(n/k)/k. At k=512 the
+ * 100-seed differential suite (quantile_sketch_test.cpp) pins the
+ * observed error below 1% of n across exponential, uniform,
+ * bimodal, and adversarially sorted streams up to n=200k; the
+ * documented contract asserted there is **rank error <= 2% of
+ * n**. Callers needing exact percentiles keep per-request records
+ * instead (MetricsOptions::keep_records).
+ *
+ * **Merging.** merge() concatenates per-level summaries and
+ * re-compacts overflow, so per-replica sketches combine into one
+ * fleet-wide sketch (FleetMetrics) with the same error contract
+ * in the merged stream size. Merge order is fixed (replica id) by
+ * the fleet, keeping merged estimates bit-identical across runs.
+ */
+
+#ifndef STREAMTENSOR_SERVING_QUANTILE_SKETCH_H
+#define STREAMTENSOR_SERVING_QUANTILE_SKETCH_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace streamtensor {
+namespace serving {
+
+class QuantileSketch
+{
+  public:
+    /** @p k is the per-level buffer capacity (>= 8); the default
+     *  is the serving layer's documented 512 (see the accuracy
+     *  note above). */
+    explicit QuantileSketch(int64_t k = 512);
+
+    /** Insert one value. O(1) amortized; triggers at most a
+     *  cascade of level compactions. */
+    void add(double value);
+
+    /** Fold @p other into this sketch (order-sensitive only in
+     *  bit-exactness, not in the error contract — callers merge
+     *  in a fixed order to stay deterministic). */
+    void merge(const QuantileSketch &other);
+
+    /** Values inserted (exact, unweighted). */
+    int64_t count() const { return count_; }
+
+    bool empty() const { return count_ == 0; }
+
+    /** Exact extremes of the inserted stream. Sketch must be
+     *  non-empty. */
+    double minValue() const;
+    double maxValue() const;
+
+    /** Nearest-rank quantile estimate for p in [0, 100] over the
+     *  weighted summary (the same convention as percentile():
+     *  smallest retained value whose cumulative weight covers
+     *  ceil(p/100 * W)). p = 0 and p = 100 answer from the
+     *  exactly tracked extremes (compaction may have dropped the
+     *  retained copies). std::nullopt on an empty sketch,
+     *  mirroring percentile()'s empty-window contract. */
+    std::optional<double> quantile(double p) const;
+
+    /** Doubles currently retained across all levels (memory /
+     *  test introspection). */
+    int64_t retainedItems() const;
+
+  private:
+    void compactLevel(size_t level);
+
+    int64_t k_;
+    int64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+
+    /** levels_[L] holds items of weight 2^L, unsorted at level 0
+     *  between compactions. */
+    std::vector<std::vector<double>> levels_;
+
+    /** Per-level compaction parity: even count keeps even-indexed
+     *  survivors, odd keeps odd-indexed. */
+    std::vector<int64_t> compactions_;
+};
+
+} // namespace serving
+} // namespace streamtensor
+
+#endif // STREAMTENSOR_SERVING_QUANTILE_SKETCH_H

@@ -23,6 +23,9 @@ RequestQueue::push(const Request &request)
         return false;
     classes_[request.priority].push_back(request);
     ++size_;
+    queued_input_tokens_ += request.input_len;
+    if (request.deadline_ms > 0.0)
+        ++deadlined_;
     max_depth_seen_ = std::max(max_depth_seen_, size_);
     // A bounded push can never be the insert that exceeds
     // capacity.
@@ -38,18 +41,11 @@ RequestQueue::pushFront(const Request &request)
     classes_[request.priority].push_front(request);
     ++size_;
     ++front_inserts_;
+    queued_input_tokens_ += request.input_len;
+    if (request.deadline_ms > 0.0)
+        ++deadlined_;
     max_depth_seen_ = std::max(max_depth_seen_, size_);
     assertCapacityInvariant();
-}
-
-int64_t
-RequestQueue::queuedInputTokens() const
-{
-    int64_t tokens = 0;
-    for (const auto &[cls, fifo] : classes_)
-        for (const auto &r : fifo)
-            tokens += r.input_len;
-    return tokens;
 }
 
 const Request &
@@ -69,6 +65,9 @@ RequestQueue::pop()
     if (it->second.empty())
         classes_.erase(it);
     --size_;
+    queued_input_tokens_ -= r.input_len;
+    if (r.deadline_ms > 0.0)
+        --deadlined_;
     return r;
 }
 
@@ -76,11 +75,17 @@ std::vector<Request>
 RequestQueue::expireBefore(double now_ms)
 {
     std::vector<Request> expired;
+    // Sweeps run every event-loop round; skip the walk entirely
+    // unless something queued can actually expire.
+    if (deadlined_ == 0)
+        return expired;
     for (auto it = classes_.begin(); it != classes_.end();) {
         auto &fifo = it->second;
         for (auto r = fifo.begin(); r != fifo.end();) {
             if (r->deadline_ms > 0.0 && r->deadline_ms <= now_ms) {
                 expired.push_back(*r);
+                queued_input_tokens_ -= r->input_len;
+                --deadlined_;
                 r = fifo.erase(r);
                 --size_;
             } else {

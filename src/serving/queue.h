@@ -67,8 +67,14 @@ class RequestQueue
      *  waiting in this queue. Load-balancing signal — resident KV
      *  alone is blind to backlog, so a replica whose batch happens
      *  to hold small contexts would otherwise attract every
-     *  arrival while its queue grows without bound. */
-    int64_t queuedInputTokens() const;
+     *  arrival while its queue grows without bound. Maintained
+     *  incrementally (O(1)): the fleet balancer reads it on every
+     *  pick, which at sweep scale used to be an O(queue) walk per
+     *  arrival. */
+    int64_t queuedInputTokens() const
+    {
+        return queued_input_tokens_;
+    }
 
     /** Cumulative pushFront() calls — the only inserts allowed to
      *  exceed a nonzero capacity (see the invariant above). */
@@ -84,7 +90,9 @@ class RequestQueue
     /** Remove every queued request whose deadline has passed
      *  (deadline_ms in (0, now]) and return them in pop order
      *  (priority class, then FIFO) — the overload-shedding sweep.
-     *  Requests without a deadline are untouched. */
+     *  Requests without a deadline are untouched. O(1) when no
+     *  queued request carries a deadline (the common sweep, run
+     *  every event-loop round); O(queue) otherwise. */
     std::vector<Request> expireBefore(double now_ms);
 
     /** Dequeue everything in pop order (crash evacuation, drain
@@ -100,6 +108,11 @@ class RequestQueue
     int64_t size_ = 0;
     int64_t max_depth_seen_ = 0;
     int64_t front_inserts_ = 0;
+    int64_t queued_input_tokens_ = 0;
+
+    /** Queued requests with a nonzero deadline — the
+     *  expireBefore() early-out. */
+    int64_t deadlined_ = 0;
 
     /** Per-class FIFO; map order = class priority order. */
     std::map<int, std::deque<Request>> classes_;

@@ -64,6 +64,8 @@ validateSchedulerOptions(const SchedulerOptions &options)
     ST_CHECK(options.kv_budget_tokens >= 1, "need a KV budget");
     ST_CHECK(options.max_queue_depth >= 0, "queue depth domain");
     ST_CHECK(options.max_steps >= 1, "step limit domain");
+    ST_CHECK(options.metrics.auto_record_limit >= 0,
+             "record limit domain");
     if (options.admission == KvAdmission::Paged) {
         ST_CHECK(options.page_tokens >= 1, "page size domain");
         ST_CHECK(options.kv_budget_tokens >= options.page_tokens,
@@ -435,10 +437,7 @@ ReplicaEngine::completeStep()
             done.failovers = seq.failovers;
             done.replica = replica_id_;
             done.deadline_ms = seq.req.deadline_ms;
-            if (done.missedDeadline())
-                ++metrics.deadline_misses;
-            metrics.requests.push_back(done);
-            metrics.total_output_tokens += seq.req.output_len;
+            metrics.recordCompletion(done, options_.metrics);
             if (paged_)
                 pool_.release(seq.req.id);
             else
@@ -516,9 +515,10 @@ ReplicaEngine::evacuateQueue()
 void
 ReplicaEngine::finalize(double makespan_ms)
 {
+    // completed is maintained incrementally by recordCompletion()
+    // — it must not be re-derived from requests.size(), which
+    // undercounts whenever record retention is off.
     ServingMetrics &metrics = result_.metrics;
-    metrics.completed =
-        static_cast<int64_t>(metrics.requests.size());
     metrics.in_flight = static_cast<int64_t>(active_.size());
     metrics.makespan_ms = makespan_ms;
     metrics.max_queue_depth = queue_.maxDepth();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "serving/replica.h"
+#include "serving/trace.h"
 #include "support/error.h"
 
 namespace streamtensor {
@@ -18,14 +19,28 @@ ServingResult
 Scheduler::run(std::vector<Request> trace)
 {
     sortAndValidateTrace(trace);
+    ArrivalCursor arrivals(trace);
+    return runCursor(arrivals);
+}
 
+ServingResult
+Scheduler::run(TraceGenerator &trace)
+{
+    // The generator's stream is already in (arrival, id) order
+    // and domain-valid by construction — see trace.h.
+    ArrivalCursor arrivals(trace);
+    return runCursor(arrivals);
+}
+
+ServingResult
+Scheduler::runCursor(ArrivalCursor &arrivals)
+{
     // The event loop proper lives in ReplicaEngine; this driver
     // owns only the clock, the arrival cursor, and the drain
     // trigger. Loop order (drain check, ingest, deadline sweep,
     // idle-jump, step) is pinned by the replay and golden suites.
     ReplicaEngine engine(options_, cost_);
     double now = 0.0;
-    size_t next_arrival = 0;
 
     while (true) {
         // Drain activates at the first iteration at or after
@@ -38,18 +53,18 @@ Scheduler::run(std::vector<Request> trace)
         }
 
         // Ingest everything that has arrived by now.
-        while (next_arrival < trace.size() &&
-               trace[next_arrival].arrival_ms <= now)
-            engine.offer(trace[next_arrival++], now);
+        while (!arrivals.exhausted() &&
+               arrivals.nextArrivalMs() <= now)
+            engine.offer(arrivals.take(), now);
 
         // Shed queued requests whose deadline has passed before
         // any admission decision sees them.
         engine.expireDeadlines(now);
 
         if (!engine.hasWork()) {
-            if (next_arrival == trace.size())
+            if (arrivals.exhausted())
                 break; // drained
-            now = trace[next_arrival].arrival_ms;
+            now = arrivals.nextArrivalMs();
             continue; // idle-jump to the next arrival
         }
 
@@ -62,7 +77,7 @@ Scheduler::run(std::vector<Request> trace)
         if (engine.result().metrics.steps >= options_.max_steps &&
             !(engine.activeCount() == 0 &&
               engine.queueDepth() == 0 &&
-              next_arrival == trace.size())) {
+              arrivals.exhausted())) {
             engine.result().hit_step_limit = true;
             break;
         }

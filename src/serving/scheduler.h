@@ -71,6 +71,9 @@
 namespace streamtensor {
 namespace serving {
 
+class ArrivalCursor;
+class TraceGenerator;
+
 /** Cost oracle for one engine step. Implementations must be
  *  deterministic pure functions of the shape groups (the replay
  *  suite depends on it) and must return a strictly positive
@@ -84,6 +87,16 @@ class StepCostModel
      *  shape groups. */
     virtual double
     stepMs(const std::vector<runtime::StepGroup> &groups) = 0;
+
+    /** True when concurrent stepMs() calls are safe AND
+     *  order-independent — a pure function of the groups, with no
+     *  mutable state whose update order could leak into results.
+     *  Gates the fleet's parallel step launching
+     *  (FleetOptions::step_threads): a model accumulating
+     *  floating-point state (e.g. ExecutorCostModel's crossing
+     *  stall sum) must keep the default false, or reordered
+     *  accumulation would break bit-identical replay. */
+    virtual bool concurrentSafe() const { return false; }
 };
 
 /** How the scheduler charges requests against the KV budget. */
@@ -127,6 +140,11 @@ struct SchedulerOptions
 
     /** Record per-step composition (replay tests, debugging). */
     bool record_steps = false;
+
+    /** Per-request record retention (metrics.h): full records by
+     *  default up to MetricsOptions::auto_record_limit
+     *  completions, streaming sketches beyond. */
+    MetricsOptions metrics;
 
     /** Safety valve against a miscosted model wedging the event
      *  loop; a run hitting it reports hit_step_limit. */
@@ -239,7 +257,15 @@ class Scheduler
      *  order. */
     ServingResult run(std::vector<Request> trace);
 
+    /** Serve a lazy trace without materializing it — bit-identical
+     *  to run(vector-of-the-same-generator) but O(1) trace memory.
+     *  The generator's stream is sorted and valid by construction
+     *  (trace.h), so no sort/validate pass runs. */
+    ServingResult run(TraceGenerator &trace);
+
   private:
+    ServingResult runCursor(ArrivalCursor &arrivals);
+
     SchedulerOptions options_;
     StepCostModel &cost_;
 };

@@ -81,48 +81,84 @@ drawRequest(std::mt19937_64 &rng, const TraceOptions &o,
     return r;
 }
 
+/** Materialize a whole generator — the vector builders are
+ *  take-all loops over the lazy form, so the two can never drift
+ *  apart. */
+std::vector<Request>
+takeAll(TraceGenerator generator)
+{
+    std::vector<Request> trace;
+    trace.reserve(
+        static_cast<size_t>(generator.options().num_requests));
+    while (!generator.exhausted())
+        trace.push_back(generator.next());
+    return trace;
+}
+
 } // namespace
+
+TraceGenerator::TraceGenerator(TraceShape shape,
+                               const TraceOptions &options)
+    : shape_(shape), options_(options), rng_(options.seed)
+{
+    checkOptions(options_);
+    if (shape_ == TraceShape::Bursty)
+        ST_CHECK(options_.burst_period_ms > 0.0 &&
+                     options_.burst_duty > 0.0 &&
+                     options_.burst_duty < 1.0 &&
+                     options_.burst_factor >= 1.0,
+                 "malformed burst shape");
+}
+
+void
+TraceGenerator::stage()
+{
+    ST_ASSERT(emitted_ < options_.num_requests,
+              "TraceGenerator drawn past its trace");
+    double mean = options_.mean_interarrival_ms;
+    if (shape_ == TraceShape::Bursty) {
+        double burst_end =
+            options_.burst_period_ms * options_.burst_duty;
+        double phase = std::fmod(now_, options_.burst_period_ms);
+        if (phase < burst_end)
+            mean /= options_.burst_factor;
+    }
+    now_ += exponential(rng_, mean);
+    staged_request_ =
+        drawRequest(rng_, options_, emitted_, now_);
+    ++emitted_;
+    staged_ = true;
+}
+
+const Request &
+TraceGenerator::peek()
+{
+    ST_CHECK(!exhausted(), "peek() on an exhausted generator");
+    if (!staged_)
+        stage();
+    return staged_request_;
+}
+
+Request
+TraceGenerator::next()
+{
+    ST_CHECK(!exhausted(), "next() on an exhausted generator");
+    if (!staged_)
+        stage();
+    staged_ = false;
+    return staged_request_;
+}
 
 std::vector<Request>
 poissonTrace(const TraceOptions &options)
 {
-    checkOptions(options);
-    std::mt19937_64 rng(options.seed);
-    std::vector<Request> trace;
-    trace.reserve(options.num_requests);
-    double now = 0.0;
-    for (int64_t i = 0; i < options.num_requests; ++i) {
-        now += exponential(rng, options.mean_interarrival_ms);
-        trace.push_back(drawRequest(rng, options, i, now));
-    }
-    return trace;
+    return takeAll(TraceGenerator(TraceShape::Poisson, options));
 }
 
 std::vector<Request>
 burstyTrace(const TraceOptions &options)
 {
-    checkOptions(options);
-    ST_CHECK(options.burst_period_ms > 0.0 &&
-                 options.burst_duty > 0.0 &&
-                 options.burst_duty < 1.0 &&
-                 options.burst_factor >= 1.0,
-             "malformed burst shape");
-    std::mt19937_64 rng(options.seed);
-    std::vector<Request> trace;
-    trace.reserve(options.num_requests);
-    double burst_end =
-        options.burst_period_ms * options.burst_duty;
-    double now = 0.0;
-    for (int64_t i = 0; i < options.num_requests; ++i) {
-        double phase = std::fmod(now, options.burst_period_ms);
-        double mean = phase < burst_end
-                          ? options.mean_interarrival_ms /
-                                options.burst_factor
-                          : options.mean_interarrival_ms;
-        now += exponential(rng, mean);
-        trace.push_back(drawRequest(rng, options, i, now));
-    }
-    return trace;
+    return takeAll(TraceGenerator(TraceShape::Bursty, options));
 }
 
 } // namespace serving

@@ -11,12 +11,25 @@
  * implementation-defined), so every platform generates the
  * identical trace for a given seed — a precondition for the
  * deterministic replay suite.
+ *
+ * **Generator determinism.** TraceGenerator is the pull-iterator
+ * form of the same processes: poissonTrace()/burstyTrace() are
+ * now literally take-all loops over it, so for a given
+ * (shape, options) the generator's request stream is bit-identical
+ * to the materialized vector, element for element — pinned by the
+ * differential suite. Million-request sweeps feed the scheduler
+ * from the generator directly and never hold the trace in memory;
+ * both forms draw from one seeded mt19937_64 in one fixed order,
+ * so mixing them (e.g. validating a generator run against a
+ * vector run) compares identical streams.
  */
 
 #ifndef STREAMTENSOR_SERVING_TRACE_H
 #define STREAMTENSOR_SERVING_TRACE_H
 
+#include <cstddef>
 #include <cstdint>
+#include <random>
 #include <vector>
 
 #include "serving/request.h"
@@ -76,6 +89,106 @@ std::vector<Request> poissonTrace(const TraceOptions &options);
  *  burst_factor inside periodic burst windows. Stresses queue
  *  growth and tail latency. */
 std::vector<Request> burstyTrace(const TraceOptions &options);
+
+/** The arrival process behind a TraceGenerator. */
+enum class TraceShape
+{
+    Poisson,
+    Bursty,
+};
+
+/** Lazy pull-iterator over a seeded arrival process. Yields the
+ *  exact request stream of poissonTrace()/burstyTrace() for the
+ *  same options (see the generator-determinism note above) one
+ *  request at a time — O(1) memory however long the trace, which
+ *  is what lets a 10M-request sweep run without materializing a
+ *  10M-element vector.
+ *
+ *  The stream is sorted and valid by construction: arrivals are
+ *  non-decreasing (gaps are >= 0), ids are 0..n-1 in arrival
+ *  order, and the options were domain-checked at construction —
+ *  the properties sortAndValidateTrace() establishes for caller-
+ *  supplied vectors, which is why the scheduler's generator
+ *  overloads skip that O(n log n) pass. */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(TraceShape shape, const TraceOptions &options);
+
+    const TraceOptions &options() const { return options_; }
+
+    /** All num_requests requests have been consumed. */
+    bool exhausted() const
+    {
+        return emitted_ >= options_.num_requests && !staged_;
+    }
+
+    /** Requests handed out by next() so far. */
+    int64_t emitted() const
+    {
+        return emitted_ - (staged_ ? 1 : 0);
+    }
+
+    /** The request next() will return, without consuming it (the
+     *  draw happens here; peeking never perturbs the stream).
+     *  !exhausted() only. */
+    const Request &peek();
+
+    /** Consume and return the next request. !exhausted() only. */
+    Request next();
+
+  private:
+    void stage();
+
+    TraceShape shape_;
+    TraceOptions options_;
+    std::mt19937_64 rng_;
+    double now_ = 0.0;
+    int64_t emitted_ = 0; ///< requests drawn (staged included)
+    bool staged_ = false;
+    Request staged_request_;
+};
+
+/** Uniform arrival source for the scheduler event loops: either a
+ *  (sorted, validated) materialized trace or a TraceGenerator,
+ *  consumed strictly in (arrival, id) order. The referenced trace
+ *  or generator must outlive the cursor. */
+class ArrivalCursor
+{
+  public:
+    /** @p trace must already be in (arrival, id) order. */
+    explicit ArrivalCursor(const std::vector<Request> &trace)
+        : trace_(&trace)
+    {}
+
+    explicit ArrivalCursor(TraceGenerator &generator)
+        : generator_(&generator)
+    {}
+
+    bool exhausted() const
+    {
+        return trace_ ? index_ >= trace_->size()
+                      : generator_->exhausted();
+    }
+
+    /** Arrival instant of the next request. !exhausted() only. */
+    double nextArrivalMs()
+    {
+        return trace_ ? (*trace_)[index_].arrival_ms
+                      : generator_->peek().arrival_ms;
+    }
+
+    /** Consume the next request. !exhausted() only. */
+    Request take()
+    {
+        return trace_ ? (*trace_)[index_++] : generator_->next();
+    }
+
+  private:
+    const std::vector<Request> *trace_ = nullptr;
+    size_t index_ = 0;
+    TraceGenerator *generator_ = nullptr;
+};
 
 } // namespace serving
 } // namespace streamtensor
