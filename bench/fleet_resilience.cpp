@@ -75,7 +75,12 @@ serveFleet(benchmark::State &state, serving::FleetOptions options)
         serving::FleetScheduler fleet(options, cost);
         auto result = fleet.run(trace);
         metrics = std::move(result.metrics);
-        benchmark::DoNotOptimize(metrics.makespan_ms);
+        // A local copy: DoNotOptimize's read-write asm operand
+        // clobbers the field itself at -O2 when handed the member
+        // lvalue directly, corrupting the counters read after the
+        // loop.
+        double makespan = metrics.makespan_ms;
+        benchmark::DoNotOptimize(makespan);
     }
     state.counters["availability"] = metrics.availability();
     state.counters["uptime_fraction"] = metrics.uptimeFraction();

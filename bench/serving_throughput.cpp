@@ -60,7 +60,12 @@ serveTrace(benchmark::State &state,
         serving::Scheduler scheduler(options, cost);
         auto result = scheduler.run(trace);
         metrics = std::move(result.metrics);
-        benchmark::DoNotOptimize(metrics.makespan_ms);
+        // A local copy: DoNotOptimize's read-write asm operand
+        // clobbers the field itself at -O2 when handed the member
+        // lvalue directly, corrupting the counters read after the
+        // loop.
+        double makespan = metrics.makespan_ms;
+        benchmark::DoNotOptimize(makespan);
     }
     state.counters["served_req_per_s"] =
         metrics.requestsPerSecond();

@@ -24,8 +24,16 @@
  * throughput, sketch percentiles, and peak RSS printed. Runs in
  * seconds.
  *
+ * `--coldstart` switches to the weight-streaming sweep: the same
+ * traffic served from a cold replica whose weights stream in from
+ * each storage tier, with and without compute/stream overlap, and
+ * a fleet whose crash recovery is charged each tier's full
+ * re-stream. The per-tier rows show what the storage bill does to
+ * first-token latency and to availability after a crash.
+ *
  *   ./build/examples/serving_lab [num_requests] [max_batch]
  *   ./build/examples/serving_lab --scale [num_requests]
+ *   ./build/examples/serving_lab --coldstart [num_requests]
  */
 
 #include <chrono>
@@ -40,6 +48,7 @@
 #include "serving/fleet.h"
 #include "serving/scheduler.h"
 #include "serving/trace.h"
+#include "serving/weights.h"
 
 using namespace streamtensor;
 
@@ -105,6 +114,105 @@ scaleSweep(int64_t num_requests)
     return 0;
 }
 
+/** The weight-streaming sweep: cold starts and crash recovery
+ *  priced per storage tier, same shape as bench/weight_streaming
+ *  but as a printable report. */
+int
+coldStartSweep(int64_t num_requests)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto artifact =
+        serving::ModelArtifact::fromConfig(executor.config());
+
+    serving::TraceOptions trace_options;
+    trace_options.num_requests = num_requests;
+    trace_options.seed = 23;
+    trace_options.mean_interarrival_ms = 8.0;
+    trace_options.min_input_len = 8;
+    trace_options.max_input_len = 128;
+    trace_options.min_output_len = 4;
+    trace_options.max_output_len = 24;
+    auto trace = serving::poissonTrace(trace_options);
+
+    std::printf("Cold-start sweep: GPT-2 (%.1f MiB packed), "
+                "%lld requests, 8 stream readers, 2 MiB chunks\n\n",
+                static_cast<double>(artifact.total_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<long long>(trace.size()));
+
+    auto serveCold = [&](const serving::WeightStreamPlan &plan,
+                         bool overlap) {
+        serving::SchedulerOptions options;
+        options.max_batch = 8;
+        options.kv_budget_tokens = 2048;
+        if (!plan.empty()) {
+            options.cold_start.plan = plan;
+            options.cold_start.overlap = overlap;
+        }
+        serving::ExecutorCostModel cost(executor);
+        serving::Scheduler scheduler(options, cost);
+        return scheduler.run(trace).metrics;
+    };
+    auto warm = serveCold({}, false);
+
+    std::printf("%-6s %9s | %9s | %10s %10s | %9s %8s\n", "tier",
+                "stream", "warm ttft", "cold ttft", "cold ttft",
+                "stall", "overlap");
+    std::printf("%-6s %9s | %9s | %10s %10s | %9s %8s\n", "",
+                "ms", "ms", "off ms", "on ms", "on ms", "hidden");
+    for (const auto &tier : serving::allTiers()) {
+        serving::WeightStreamOptions stream_options;
+        stream_options.tier = tier;
+        auto plan = serving::WeightStreamer(stream_options)
+                        .plan(artifact);
+        auto off = serveCold(plan, false);
+        auto on = serveCold(plan, true);
+        std::printf("%-6s %9.1f | %9.1f | %10.1f %10.1f | "
+                    "%9.1f %7.0f%%\n",
+                    tier.name.c_str(), plan.streamMs(),
+                    warm.ttftMeanMs(), off.ttftMeanMs(),
+                    on.ttftMeanMs(), on.weight_stall_ms,
+                    100.0 * on.weightOverlapFraction());
+    }
+
+    // ---- Crash recovery priced per tier ------------------------
+    std::printf("\nCrash recovery: 2 replicas, replica 0 down at "
+                "t=120 ms, recovery re-streams the artifact\n\n");
+    std::printf("%-6s %10s %10s %13s %9s\n", "tier", "reload ms",
+                "makespan", "availability", "uptime");
+    for (const auto &tier : serving::allTiers()) {
+        serving::WeightStreamOptions stream_options;
+        stream_options.tier = tier;
+        double reload_ms =
+            serving::WeightStreamer(stream_options)
+                .plan(artifact)
+                .streamMs();
+        serving::FleetOptions options;
+        options.num_replicas = 2;
+        options.replica.max_batch = 8;
+        options.replica.kv_budget_tokens = 2048;
+        options.max_retries = 3;
+        options.retry_backoff_ms = 5.0;
+        options.recovery_reload_ms = reload_ms;
+        options.faults.events.push_back(
+            {120.0, 0, serving::FaultKind::Crash, 1.0});
+        options.faults.events.push_back(
+            {240.0, 0, serving::FaultKind::Recover, 1.0});
+        serving::ExecutorCostModel cost(executor);
+        serving::FleetScheduler fleet(options, cost);
+        auto m = fleet.run(trace).metrics;
+        std::printf("%-6s %10.1f %10.1f %12.1f%% %8.1f%%\n",
+                    tier.name.c_str(), reload_ms, m.makespan_ms,
+                    100.0 * m.availability(),
+                    100.0 * m.uptimeFraction());
+    }
+    std::printf("\nRecovery is not free: the replica rejoins only "
+                "after its tier re-delivers every weight byte, so "
+                "the storage bill shows up as fleet downtime.\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -113,6 +221,8 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "--scale") == 0)
         return scaleSweep(argc > 2 ? std::atoll(argv[2])
                                    : 1000000);
+    if (argc > 1 && std::strcmp(argv[1], "--coldstart") == 0)
+        return coldStartSweep(argc > 2 ? std::atoll(argv[2]) : 48);
     int64_t num_requests = argc > 1 ? std::atoll(argv[1]) : 48;
     int64_t max_batch = argc > 2 ? std::atoll(argv[2]) : 6;
     const int64_t kv_budget = 384; // 24 pages of 16 tokens

@@ -79,31 +79,73 @@ const CompiledBlock &
 LlmExecutor::block(const models::BlockShapes &shapes)
 {
     {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        auto it = cache_.find(shapes);
-        if (it != cache_.end())
-            return *it->second;
+        std::unique_lock<std::mutex> lock(cache_mutex_);
+        while (true) {
+            auto it = cache_.find(shapes);
+            if (it != cache_.end())
+                return *it->second;
+            // Someone else is already compiling these shapes:
+            // wait for their insert rather than compiling a
+            // duplicate (the loser's work — a full compile +
+            // simulation — used to be discarded, and
+            // compileCount() double-counted the shape).
+            if (compiling_.count(shapes) == 0)
+                break;
+            compile_done_.wait(lock);
+        }
+        compiling_.insert(shapes);
     }
 
-    // Compile + simulate outside the lock so concurrent shapes
-    // overlap (run() warms prefill and decode together).
+    // Compile + simulate outside the lock so concurrent *distinct*
+    // shapes overlap (run() warms prefill and decode together).
     ++compile_count_;
     auto compiled = std::make_unique<CompiledBlock>();
-    linalg::Graph graph =
-        models::buildTransformerBlock(config_, shapes);
-    compiled->compile =
-        compiler::compile(std::move(graph), platform_, options_);
-    compiled->sims =
-        sim::simulateAll(compiled->compile.design.components);
+    try {
+        linalg::Graph graph =
+            models::buildTransformerBlock(config_, shapes);
+        compiled->compile = compiler::compile(std::move(graph),
+                                              platform_, options_);
+        compiled->sims = sim::simulateAll(
+            compiled->compile.design.components);
+    } catch (...) {
+        // Unblock waiters before propagating; they will retry the
+        // compile themselves.
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        compiling_.erase(shapes);
+        compile_done_.notify_all();
+        throw;
+    }
 
-    // Two threads may race on the same shapes; compilation is
-    // deterministic, so the first insert wins and the loser's
-    // result is discarded.
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto [pos, inserted] =
         cache_.emplace(shapes, std::move(compiled));
-    (void)inserted;
+    ST_ASSERT(inserted,
+              "a duplicate compile slipped past the in-flight "
+              "guard");
+    compiling_.erase(shapes);
+    compile_done_.notify_all();
     return *pos->second;
+}
+
+double
+LlmExecutor::gatedPrefillEndMs(
+    int64_t input_len, const std::vector<double> &layer_ready_ms,
+    double start_ms)
+{
+    ST_CHECK(input_len >= 1, "request lengths must be positive");
+    ST_CHECK(static_cast<int64_t>(layer_ready_ms.size()) ==
+                 config_.layers,
+             "residency watermark must cover every layer");
+    const CompiledBlock &prefill =
+        block(models::prefillShapes(input_len));
+    double freq_hz = platform_.freq_mhz * 1e6;
+    double per_layer_ms =
+        prefill.totalCycles() / freq_hz * 1e3 +
+        invocationOverheadMs(platform_, 1);
+    double t = start_ms;
+    for (double ready : layer_ready_ms)
+        t = std::max(t, ready) + per_layer_ms;
+    return t;
 }
 
 LlmRunResult

@@ -15,10 +15,12 @@
 #define STREAMTENSOR_RUNTIME_EXECUTOR_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "compiler/compiler.h"
@@ -126,11 +128,30 @@ class LlmExecutor
     /** Compile (or fetch) the block at the given shapes.
      *  Thread-safe: run() warms the prefill and decode entries
      *  concurrently on the pool shared with the simulator
-     *  (support::ThreadPool::shared()). */
+     *  (support::ThreadPool::shared()). Concurrent calls for the
+     *  *same* shapes dedupe against an in-flight set: the first
+     *  caller compiles, later callers block until the entry lands,
+     *  so compileCount() counts unique shapes even under a
+     *  threaded warm race (pinned by the runtime suite). */
     const CompiledBlock &block(const models::BlockShapes &shapes);
 
     /** Run one request end to end. */
     LlmRunResult run(int64_t input_len, int64_t output_len);
+
+    /** First-token instant of a cold-start prefill gated on weight
+     *  residency: layer i's trigger fires at max(end of layer
+     *  i-1, @p layer_ready_ms[i]) and runs for one per-layer
+     *  prefill slice, so compute overlaps the weight stream and
+     *  only layers that outrun their weights stall.
+     *  @p layer_ready_ms must have config().layers entries
+     *  (serving's WeightStreamPlan::layer_ready_ms, passed as
+     *  plain simulated instants so the runtime stays independent
+     *  of the serving layer). With all-zero watermarks this equals
+     *  start + run().ttft_ms up to summation order. */
+    double gatedPrefillEndMs(
+        int64_t input_len,
+        const std::vector<double> &layer_ready_ms,
+        double start_ms = 0.0);
 
     /** One serving step: execute every shape group's batch through
      *  all layers. Per layer, each group is one accelerator
@@ -151,6 +172,12 @@ class LlmExecutor
     hls::FpgaPlatform platform_;
     compiler::CompileOptions options_;
     std::mutex cache_mutex_;
+    std::condition_variable compile_done_;
+
+    /** Shapes some thread is currently compiling (cache_mutex_).
+     *  block() waits on these instead of compiling again. */
+    std::set<models::BlockShapes> compiling_;
+
     std::map<models::BlockShapes, std::unique_ptr<CompiledBlock>>
         cache_;
     std::atomic<int64_t> compile_count_{0};

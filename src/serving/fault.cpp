@@ -47,6 +47,8 @@ faultKindName(FaultKind kind)
         return "drain_start";
     case FaultKind::DrainEnd:
         return "drain_end";
+    case FaultKind::Swap:
+        return "swap";
     }
     ST_PANIC("unknown fault kind");
 }

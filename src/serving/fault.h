@@ -73,6 +73,16 @@ enum class FaultKind
 
     /** Leave drain mode and accept work again. */
     DrainEnd,
+
+    /** Hot model swap: the replica's resident and queued requests
+     *  are handed back to the fleet gracefully (no retry attempt
+     *  consumed, no backoff — operator-initiated, nothing was
+     *  lost), its KV dies with the old weights, and it leaves
+     *  service for FleetOptions swap_reload_ms while the new
+     *  artifact re-streams from storage. It rejoins automatically
+     *  when the reload window elapses — no Recover event needed.
+     *  No-op on a replica that is down (or mid-reload). */
+    Swap,
 };
 
 /** Stable lower-case name (logs, bench labels, test messages). */

@@ -48,10 +48,11 @@ struct PendingRequest
 enum EventCat : int
 {
     EvCompletion = 0,
-    EvFault = 1,
-    EvArrival = 2,
-    EvDeadline = 3,
-    EvRetry = 4,
+    EvReload = 1, ///< weight-reload window elapsed
+    EvFault = 2,
+    EvArrival = 3,
+    EvDeadline = 4,
+    EvRetry = 5,
 };
 
 /** One wake-up instant for the heap core. Events are invalidated
@@ -97,6 +98,12 @@ struct FleetRun
     std::vector<ReplicaEngine> engines;
     std::vector<bool> up;
     std::vector<double> up_since;
+
+    /** Instant each replica's in-flight weight reload completes
+     *  (+infinity = none pending). A replica mid-reload is down:
+     *  up[] stays false until the window elapses, so it takes no
+     *  launches and the balancer skips it. */
+    std::vector<double> reload_ready;
     std::unique_ptr<LoadBalancer> lb;
     FaultInjector injector;
     FleetResult result;
@@ -139,8 +146,46 @@ struct FleetRun
             engines.emplace_back(options.replica, cost, i);
         up.assign(static_cast<size_t>(n), true);
         up_since.assign(static_cast<size_t>(n), 0.0);
+        reload_ready.assign(static_cast<size_t>(n), inf);
         result.metrics.replica_up_ms.assign(
             static_cast<size_t>(n), 0.0);
+    }
+
+    double swapReloadMs() const
+    {
+        return options.swap_reload_ms >= 0.0
+                   ? options.swap_reload_ms
+                   : options.recovery_reload_ms;
+    }
+
+    /** Take @p idx out of service for @p window ms of weight
+     *  re-streaming; it rejoins via completeReloads(). Counted
+     *  and staged for the heap core here so both call sites
+     *  (recover, swap) stay in lockstep. */
+    void startReload(size_t idx, double window)
+    {
+        FleetMetrics &fm = result.metrics;
+        reload_ready[idx] = now + window;
+        ++fm.reloads;
+        fm.reload_ms_total += window;
+        events.push({reload_ready[idx], EvReload,
+                     static_cast<int64_t>(idx), 0});
+    }
+
+    /** Bring every replica whose reload window has elapsed back
+     *  into service (id order). Runs at the top of the faults
+     *  phase — a reload completing exactly at a fault instant
+     *  precedes that instant's events — and again after them, so
+     *  a zero-window reload rejoins within its own round. */
+    void completeReloads()
+    {
+        for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+            if (up[i] || reload_ready[i] > now)
+                continue;
+            up[i] = true;
+            up_since[i] = now;
+            reload_ready[i] = inf;
+        }
     }
 
     std::vector<ReplicaStatus> statuses()
@@ -310,11 +355,20 @@ struct FleetRun
             break;
         }
         case FaultKind::Recover:
-            if (up[idx])
+            // Tolerant no-op when up — or mid-reload: a second
+            // Recover must not restart (or shortcut) the window.
+            if (up[idx] || reload_ready[idx] < inf)
                 break;
-            up[idx] = true;
-            up_since[idx] = now;
             ++fm.recoveries;
+            if (options.recovery_reload_ms > 0.0) {
+                // The replica spends the reload window
+                // re-streaming weights from storage before it is
+                // eligible again; completeReloads() rejoins it.
+                startReload(idx, options.recovery_reload_ms);
+            } else {
+                up[idx] = true;
+                up_since[idx] = now;
+            }
             break;
         case FaultKind::SlowStart:
             // Takes effect at the next launch; an in-flight step
@@ -349,13 +403,37 @@ struct FleetRun
         case FaultKind::DrainEnd:
             eng.setDraining(false);
             break;
+        case FaultKind::Swap: {
+            if (!up[idx])
+                break; // down or mid-reload: tolerant no-op
+            up[idx] = false;
+            fm.replica_up_ms[idx] += now - up_since[idx];
+            ++fm.swaps;
+            if (eng.busy())
+                ++fm.aborted_steps;
+            eng.setDraining(false);
+            // Graceful evacuation: operator-initiated, so no
+            // retry attempt is consumed and no backoff applies —
+            // but KV dies with the old weights, so resumed
+            // requests recompute their prefix elsewhere.
+            for (auto &ev : eng.crash())
+                parkPending(now, {ev.req, ev.state,
+                                  ev.state.failovers});
+            startReload(idx, swapReloadMs());
+            break;
+        }
         }
     }
 
     void faultsPhase()
     {
+        // Reloads elapsing exactly at a fault instant complete
+        // before that instant's events; the trailing pass lets a
+        // zero-window reload (instant swap) rejoin immediately.
+        completeReloads();
         for (const auto &e : injector.drainDue(now))
             applyFault(e);
+        completeReloads();
     }
 
     void arrivalsPhase()
@@ -419,6 +497,7 @@ struct FleetRun
             fm.deadline_misses += m.deadline_misses;
             fm.preemptions += m.preemptions;
             fm.total_output_tokens += m.total_output_tokens;
+            fm.weight_stall_ms += m.weight_stall_ms;
             fm.steps += m.steps;
             result.rejected.insert(result.rejected.end(),
                                    eng.result().rejected.begin(),
@@ -440,6 +519,7 @@ struct FleetRun
                                     (a.at_ms == b.at_ms &&
                                      a.id < b.id);
                          });
+        ++fm.record_revision;
         fm.makespan_ms = now;
     }
 
@@ -511,6 +591,11 @@ struct FleetRun
             for (auto &eng : engines)
                 if (eng.busy())
                     next_t = std::min(next_t, eng.stepEndMs());
+            for (int i = 0; i < n; ++i)
+                if (reload_ready[static_cast<size_t>(i)] > now)
+                    next_t = std::min(
+                        next_t,
+                        reload_ready[static_cast<size_t>(i)]);
             if (!arrivals.exhausted())
                 next_t =
                     std::min(next_t, arrivals.nextArrivalMs());
@@ -553,6 +638,11 @@ struct FleetRun
                 auto idx = static_cast<size_t>(e.a);
                 valid = engines[idx].busy() &&
                         launch_gen[idx] == e.b;
+                break;
+            }
+            case EvReload: {
+                auto idx = static_cast<size_t>(e.a);
+                valid = !up[idx] && reload_ready[idx] == e.t;
                 break;
             }
             case EvFault:
@@ -748,16 +838,16 @@ FleetMetrics::latencyPercentileMs(double p) const
 {
     if (!records_complete)
         return latency_sketch.quantile(p).value_or(quietNan());
-    if (sorted_latencies_for_ !=
-        static_cast<int64_t>(requests.size())) {
+    std::pair<int64_t, int64_t> key{
+        record_revision, static_cast<int64_t>(requests.size())};
+    if (sorted_latencies_key_ != key) {
         sorted_latencies_.clear();
         sorted_latencies_.reserve(requests.size());
         for (const auto &r : requests)
             sorted_latencies_.push_back(r.latencyMs());
         std::sort(sorted_latencies_.begin(),
                   sorted_latencies_.end());
-        sorted_latencies_for_ =
-            static_cast<int64_t>(requests.size());
+        sorted_latencies_key_ = key;
     }
     return percentileOfSorted(sorted_latencies_, p)
         .value_or(quietNan());
@@ -777,6 +867,8 @@ FleetScheduler::FleetScheduler(FleetOptions options,
              "retry backoff factor domain");
     ST_CHECK(options_.step_threads >= 1,
              "step thread count domain");
+    ST_CHECK(options_.recovery_reload_ms >= 0.0,
+             "recovery reload domain");
     validateSchedulerOptions(options_.replica);
     for (const auto &e : options_.faults.events)
         ST_CHECK(e.replica >= 0 &&

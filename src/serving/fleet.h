@@ -73,6 +73,7 @@
 #define STREAMTENSOR_SERVING_FLEET_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "serving/fault.h"
@@ -119,6 +120,20 @@ struct FleetOptions
 
     /** The fault schedule to execute. */
     FaultPlan faults;
+
+    /** Simulated weight-reload window charged to crash recovery:
+     *  a Recover event starts the replica re-streaming its
+     *  weights from storage, and it takes work again only this
+     *  many ms later (derive it from a storage tier via
+     *  WeightStreamPlan::streamMs(), or pin any constant). 0
+     *  keeps the pre-streaming instant recovery, bit-identically.
+     *  Reload time counts as down time (uptimeFraction) and is
+     *  tallied in FleetMetrics::reload_ms_total. */
+    double recovery_reload_ms = 0.0;
+
+    /** Reload window charged by FaultKind::Swap (hot model swap).
+     *  Negative = use recovery_reload_ms. */
+    double swap_reload_ms = -1.0;
 
     /** Next-event selection core. */
     FleetEventCore event_core = FleetEventCore::Heap;
@@ -188,6 +203,20 @@ struct FleetMetrics
     int64_t drains = 0;
     int64_t degrades = 0;
 
+    /** Hot model swaps applied (FaultKind::Swap on an up
+     *  replica). */
+    int64_t swaps = 0;
+
+    /** Weight-reload windows charged (recoveries with a nonzero
+     *  reload window, plus every swap), and their summed
+     *  simulated duration. */
+    int64_t reloads = 0;
+    double reload_ms_total = 0.0;
+
+    /** Σ per-replica cold-start weight stall
+     *  (ServingMetrics::weight_stall_ms) across the fleet. */
+    double weight_stall_ms = 0.0;
+
     /** SlowStart windows applied (every SlowStart event on any
      *  replica, up or down). */
     int64_t slowdowns = 0;
@@ -218,15 +247,26 @@ struct FleetMetrics
 
     double servedRequestsPerSecond() const;
 
+    /** Monotone mutation counter for `requests`: the fleet bumps
+     *  it whenever it appends or reorders records (the
+     *  finalize-time merge); code mutating `requests` from
+     *  outside should too. Half of the percentile-cache key —
+     *  see latencyPercentileMs(). */
+    int64_t record_revision = 0;
+
     /** Fleet-wide latency percentile (nearest rank); NaN when no
      *  request completed. Exact (sorted once, cached across
      *  queries) while records_complete; a sketch estimate within
-     *  the documented rank error (quantile_sketch.h) otherwise. */
+     *  the documented rank error (quantile_sketch.h) otherwise.
+     *  The cache keys on (record_revision, requests.size()), so a
+     *  query before a later merge — the fleet merge path — always
+     *  re-answers from the updated window. */
     double latencyPercentileMs(double p) const;
 
   private:
     mutable std::vector<double> sorted_latencies_;
-    mutable int64_t sorted_latencies_for_ = -1;
+    mutable std::pair<int64_t, int64_t> sorted_latencies_key_{-1,
+                                                              -1};
 };
 
 /** Outcome of one fleet run. */

@@ -46,6 +46,7 @@ void
 ServingMetrics::recordCompletion(const RequestMetrics &done,
                                  const MetricsOptions &options)
 {
+    ++record_revision_; // every completion invalidates the caches
     ++completed;
     total_output_tokens += done.output_len;
     if (done.missedDeadline())
@@ -136,15 +137,15 @@ ServingMetrics::ttftP95Ms() const
 {
     if (!records_complete)
         return ttft_sketch.quantile(95.0).value_or(quietNan());
-    if (sorted_ttfts_for_ !=
-        static_cast<int64_t>(requests.size())) {
+    std::pair<int64_t, int64_t> key{
+        record_revision_, static_cast<int64_t>(requests.size())};
+    if (sorted_ttfts_key_ != key) {
         sorted_ttfts_.clear();
         sorted_ttfts_.reserve(requests.size());
         for (const auto &r : requests)
             sorted_ttfts_.push_back(r.ttftMs());
         std::sort(sorted_ttfts_.begin(), sorted_ttfts_.end());
-        sorted_ttfts_for_ =
-            static_cast<int64_t>(requests.size());
+        sorted_ttfts_key_ = key;
     }
     return percentileOfSorted(sorted_ttfts_, 95.0)
         .value_or(quietNan());
@@ -199,19 +200,28 @@ ServingMetrics::latencyPercentileMs(double p) const
 {
     if (!records_complete)
         return latency_sketch.quantile(p).value_or(quietNan());
-    if (sorted_latencies_for_ !=
-        static_cast<int64_t>(requests.size())) {
+    std::pair<int64_t, int64_t> key{
+        record_revision_, static_cast<int64_t>(requests.size())};
+    if (sorted_latencies_key_ != key) {
         sorted_latencies_.clear();
         sorted_latencies_.reserve(requests.size());
         for (const auto &r : requests)
             sorted_latencies_.push_back(r.latencyMs());
         std::sort(sorted_latencies_.begin(),
                   sorted_latencies_.end());
-        sorted_latencies_for_ =
-            static_cast<int64_t>(requests.size());
+        sorted_latencies_key_ = key;
     }
     return percentileOfSorted(sorted_latencies_, p)
         .value_or(quietNan());
+}
+
+double
+ServingMetrics::weightOverlapFraction() const
+{
+    if (weight_stream_ms <= 0.0)
+        return 1.0;
+    return std::clamp(1.0 - weight_stall_ms / weight_stream_ms,
+                      0.0, 1.0);
 }
 
 } // namespace serving

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "serving/quantile_sketch.h"
@@ -234,6 +235,25 @@ struct ServingMetrics
     double decode_sum_ms = 0.0;
     int64_t decode_gaps = 0;
 
+    // --- Cold-start weight streaming (weights.h). All zero on a
+    // warm run; stamped when the scheduler ran with a cold-start
+    // plan (SchedulerOptions::cold_start). ---
+
+    /** Simulated storage→HBM window of the cold-start stream. */
+    double weight_stream_ms = 0.0;
+
+    /** Artifact bytes the stream moved. */
+    int64_t weight_bytes_streamed = 0;
+
+    /** Σ step time added waiting on weight residency (the part of
+     *  the stream the compute overlap could not hide). */
+    double weight_stall_ms = 0.0;
+
+    /** Fraction of the stream window hidden under compute:
+     *  1 − weight_stall_ms / weight_stream_ms, clamped to [0, 1].
+     *  1.0 when nothing was streamed. */
+    double weightOverlapFraction() const;
+
     /** Commit one completed request: counters (completed,
      *  total_output_tokens, deadline_misses), the running sums and
      *  sketches above, and — policy permitting — the record
@@ -279,19 +299,26 @@ struct ServingMetrics
      *  request completed. Exact — O(1) after a one-time
      *  O(n log n) sort cached across queries — while
      *  records_complete; a sketch estimate within the documented
-     *  rank error otherwise. The cache keys on requests.size(), so
-     *  in-place mutation of `requests` that preserves its length
-     *  (nothing in the scheduler does that) would not be
-     *  noticed. */
+     *  rank error otherwise. The cache keys on
+     *  (record revision, requests.size()): recordCompletion bumps
+     *  the revision on every completion, so a query followed by
+     *  more completions always re-answers from the updated window
+     *  — keying on size alone would miss any size-preserving
+     *  mutation (regression-tested query-record-query). */
     double latencyPercentileMs(double p) const;
 
   private:
+    /** Monotone mutation counter bumped by every
+     *  recordCompletion(); half of the percentile-cache key. */
+    int64_t record_revision_ = 0;
+
     /** Sorted-sample caches behind the exact percentile path,
-     *  rebuilt whenever requests.size() changes. */
+     *  rebuilt whenever the (revision, size) key moves. */
     mutable std::vector<double> sorted_latencies_;
     mutable std::vector<double> sorted_ttfts_;
-    mutable int64_t sorted_latencies_for_ = -1;
-    mutable int64_t sorted_ttfts_for_ = -1;
+    mutable std::pair<int64_t, int64_t> sorted_latencies_key_{-1,
+                                                              -1};
+    mutable std::pair<int64_t, int64_t> sorted_ttfts_key_{-1, -1};
 };
 
 } // namespace serving

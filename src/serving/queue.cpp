@@ -107,5 +107,15 @@ RequestQueue::drainAll()
     return all;
 }
 
+std::vector<Request>
+RequestQueue::snapshot() const
+{
+    std::vector<Request> all;
+    all.reserve(static_cast<size_t>(size_));
+    for (const auto &[priority, fifo] : classes_)
+        all.insert(all.end(), fifo.begin(), fifo.end());
+    return all;
+}
+
 } // namespace serving
 } // namespace streamtensor

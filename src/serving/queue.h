@@ -99,6 +99,12 @@ class RequestQueue
      *  flush). Leaves the queue empty. */
     std::vector<Request> drainAll();
 
+    /** Copy of every queued request in pop order, without
+     *  mutating the queue. O(queue) — test/diagnostic hook; the
+     *  property suite recomputes queuedInputTokens() from it to
+     *  pin the O(1) counter against every mutation path. */
+    std::vector<Request> snapshot() const;
+
   private:
     /** Panic unless any occupancy beyond capacity is covered by
      *  cumulative readmissions. */

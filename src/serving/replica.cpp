@@ -362,12 +362,29 @@ ReplicaEngine::launchStep(double now)
              "cost model must advance simulated time");
     step_ms *= slow_factor_;
 
+    // Cold start: a step launched while the weight stream is in
+    // flight is gated on residency (overlapped per layer or held
+    // to the stream's end — scheduler.h). The wait is charged to
+    // the step itself, so completion timing, metrics, and records
+    // all see it.
+    double weights_wait_ms = 0.0;
+    const WeightStreamPlan &stream = options_.cold_start.plan;
+    if (!stream.empty() && now < stream.end_ms) {
+        double gated_end = stream.gatedComputeEndMs(
+            now, step_ms, options_.cold_start.overlap);
+        weights_wait_ms =
+            std::max(0.0, gated_end - (now + step_ms));
+        step_ms += weights_wait_ms;
+        result_.metrics.weight_stall_ms += weights_wait_ms;
+    }
+
     pending_batch_ = static_cast<int64_t>(active_.size());
     pending_pages_active_ = paged_ ? pool_.activePages() : 0;
     if (options_.record_steps) {
         StepRecord record;
         record.start_ms = now;
         record.step_ms = step_ms;
+        record.weights_wait_ms = weights_wait_ms;
         for (const auto &seq : active_)
             (seq.prefilled ? record.decode_ids
                            : record.prefill_ids)
@@ -522,6 +539,12 @@ ReplicaEngine::finalize(double makespan_ms)
     metrics.in_flight = static_cast<int64_t>(active_.size());
     metrics.makespan_ms = makespan_ms;
     metrics.max_queue_depth = queue_.maxDepth();
+    if (!options_.cold_start.plan.empty()) {
+        metrics.weight_stream_ms =
+            options_.cold_start.plan.streamMs();
+        metrics.weight_bytes_streamed =
+            options_.cold_start.plan.bytes_total;
+    }
     if (paged_) {
         metrics.prefix_hit_pages =
             pool_stats_base_.prefix_hit_pages +

@@ -67,6 +67,7 @@
 #include "serving/metrics.h"
 #include "serving/queue.h"
 #include "serving/request.h"
+#include "serving/weights.h"
 
 namespace streamtensor {
 namespace serving {
@@ -109,6 +110,29 @@ enum class KvAdmission
     /** Conservative full reservation of the final bucketed
      *  context; never preempts (the PR-4 baseline). */
     Reserve,
+};
+
+/** Cold-start weight streaming (weights.h). With a non-empty
+ *  plan, the engine's weights are still in flight from storage
+ *  when serving begins: every step launched before the plan's
+ *  end_ms is gated on residency —
+ *
+ *   - overlap (default): the step's compute is spread across the
+ *     plan's layers and each layer fires at
+ *     max(previous layer's end, its ready watermark), so first
+ *     prefills overlap the stream and only layers that outrun
+ *     their weights stall (WeightStreamPlan::gatedComputeEndMs);
+ *   - !overlap: the whole step waits for end_ms — the
+ *     load-then-serve baseline the bench compares against.
+ *
+ *  The added wait lands in StepRecord::weights_wait_ms and
+ *  accumulates into ServingMetrics::weight_stall_ms; steps
+ *  launched after end_ms are untouched, so a warm run and an
+ *  empty plan are bit-identical. */
+struct ColdStartOptions
+{
+    WeightStreamPlan plan; ///< empty = warm start
+    bool overlap = true;
 };
 
 /** Scheduler knobs. */
@@ -184,6 +208,9 @@ struct SchedulerOptions
      *
      *  Pinned by Scheduler.DrainDeadlineStepLimitInteraction. */
     double drain_at_ms = -1.0;
+
+    /** Cold-start weight streaming (empty plan = warm start). */
+    ColdStartOptions cold_start;
 };
 
 /** Composition of one executed step (record_steps only). */
@@ -191,6 +218,11 @@ struct StepRecord
 {
     double start_ms = 0.0;
     double step_ms = 0.0;
+
+    /** Time this step spent waiting on weight residency during a
+     *  cold start (already included in step_ms; 0 once the stream
+     *  has finished, and on every warm run). */
+    double weights_wait_ms = 0.0;
 
     /** Requests that ran a prefill-shaped pass in this step, in
      *  admission order: first-time prefills and recompute

@@ -10,6 +10,7 @@
 #include "serving/cost_model.h"
 #include "serving/fleet.h"
 #include "serving/scheduler.h"
+#include "serving/weights.h"
 #include "sim/simulator.h"
 
 using namespace streamtensor;
@@ -516,4 +517,162 @@ TEST(EndToEnd, GoldenFaultedFleetTrace)
             EXPECT_EQ(a[i].decode_ids, b[i].decode_ids);
         }
     }
+}
+
+TEST(EndToEnd, GoldenColdStartTrace)
+{
+    // Cold-start acceptance pin: the golden trace through the
+    // full compile -> stream -> serve stack. Weights stream from
+    // the GP3 tier while the executor-costed scheduler serves;
+    // with overlap on, early steps gate on the per-layer
+    // watermark instead of the whole artifact. TTFT and stream
+    // window are golden values at 0.1% relative tolerance, and
+    // the cold run must replay bit-identically.
+    auto artifact = serving::ModelArtifact::fromConfig(
+        models::gpt2Config());
+    serving::WeightStreamOptions stream_options;
+    stream_options.tier = serving::gp3Tier();
+    auto plan =
+        serving::WeightStreamer(stream_options).plan(artifact);
+
+    auto run = [&](bool cold, bool overlap) {
+        runtime::LlmExecutor executor(models::gpt2Config(),
+                                      hls::u55c());
+        serving::ExecutorCostModel cost(executor);
+        serving::SchedulerOptions options;
+        options.max_batch = 4;
+        options.kv_budget_tokens = 512;
+        options.record_steps = true;
+        if (cold) {
+            options.cold_start.plan = plan;
+            options.cold_start.overlap = overlap;
+        }
+        serving::Scheduler scheduler(options, cost);
+        return scheduler.run(goldenTrace());
+    };
+
+    auto warm = run(false, false);
+    auto on = run(true, true);
+    auto off = run(true, false);
+
+#define EXPECT_REL_NEAR(actual, expected)                         \
+    EXPECT_NEAR(actual, expected, (expected) * 1e-3 + 1e-9)
+    // The stream window is pure storage arithmetic: the GP3 plan
+    // for the GPT-2 artifact at 8 readers / 2 MiB chunks.
+    EXPECT_REL_NEAR(plan.streamMs(), 154.5234375);
+    EXPECT_EQ(on.metrics.weight_bytes_streamed,
+              artifact.total_bytes);
+    EXPECT_REL_NEAR(on.metrics.weight_stream_ms,
+                    plan.streamMs());
+
+    // All three modes serve the full trace.
+    EXPECT_EQ(warm.metrics.completed, 6);
+    EXPECT_EQ(on.metrics.completed, 6);
+    EXPECT_EQ(off.metrics.completed, 6);
+
+    // Golden cold-start numbers (captured values).
+    EXPECT_REL_NEAR(on.metrics.ttftMeanMs(), 244.638534326);
+    EXPECT_REL_NEAR(on.metrics.makespan_ms, 468.402912579);
+    EXPECT_REL_NEAR(on.metrics.weight_stall_ms, 83.419093571);
+    EXPECT_REL_NEAR(off.metrics.ttftMeanMs(), 315.742878255);
+    EXPECT_REL_NEAR(off.metrics.weight_stall_ms, 154.5234375);
+
+    // Overlap strictly beats wait-for-everything, and neither
+    // beats warm.
+    EXPECT_LT(on.metrics.ttftMeanMs(), off.metrics.ttftMeanMs());
+    EXPECT_LT(on.metrics.weight_stall_ms,
+              off.metrics.weight_stall_ms);
+    EXPECT_LE(on.metrics.makespan_ms, off.metrics.makespan_ms);
+    EXPECT_GT(on.metrics.ttftMeanMs(),
+              warm.metrics.ttftMeanMs());
+    EXPECT_GT(on.metrics.weightOverlapFraction(),
+              off.metrics.weightOverlapFraction());
+#undef EXPECT_REL_NEAR
+
+    // Bit-identical replay, step by step.
+    auto again = run(true, true);
+    EXPECT_DOUBLE_EQ(again.metrics.makespan_ms,
+                     on.metrics.makespan_ms);
+    ASSERT_EQ(again.steps.size(), on.steps.size());
+    for (size_t i = 0; i < on.steps.size(); ++i) {
+        EXPECT_DOUBLE_EQ(again.steps[i].start_ms,
+                         on.steps[i].start_ms);
+        EXPECT_DOUBLE_EQ(again.steps[i].step_ms,
+                         on.steps[i].step_ms);
+        EXPECT_DOUBLE_EQ(again.steps[i].weights_wait_ms,
+                         on.steps[i].weights_wait_ms);
+        EXPECT_EQ(again.steps[i].prefill_ids,
+                  on.steps[i].prefill_ids);
+        EXPECT_EQ(again.steps[i].decode_ids,
+                  on.steps[i].decode_ids);
+    }
+}
+
+TEST(EndToEnd, GoldenFleetRecoveryReload)
+{
+    // Crash-recovery reload through the full stack: replica 0's
+    // recovery is charged the GP3 re-stream window, so the fleet
+    // runs longer on one replica than the instant-recovery
+    // baseline. Availability arithmetic is asserted exactly from
+    // its definition; timing goldens at 0.1% relative tolerance.
+    auto artifact = serving::ModelArtifact::fromConfig(
+        models::gpt2Config());
+    double reload_ms =
+        serving::WeightStreamer().plan(artifact).streamMs();
+
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    serving::ExecutorCostModel cost(executor);
+    serving::FleetOptions options;
+    options.num_replicas = 2;
+    options.replica.max_batch = 4;
+    options.replica.kv_budget_tokens = 512;
+    options.replica.record_steps = true;
+    options.max_retries = 3;
+    options.retry_backoff_ms = 5.0;
+    options.recovery_reload_ms = reload_ms;
+    options.faults.events.push_back(
+        {60.0, 0, serving::FaultKind::Crash, 1.0});
+    options.faults.events.push_back(
+        {120.0, 0, serving::FaultKind::Recover, 1.0});
+
+    serving::FleetScheduler fleet(options, cost);
+    auto result = fleet.run(goldenTrace());
+    const auto &fm = result.metrics;
+
+    EXPECT_EQ(fm.crashes, 1);
+    EXPECT_EQ(fm.recoveries, 1);
+    EXPECT_EQ(fm.reloads, 1);
+    EXPECT_DOUBLE_EQ(fm.reload_ms_total, reload_ms);
+    EXPECT_EQ(fm.completed, 6);
+    EXPECT_EQ(fm.requests_lost, 0);
+
+    // Availability is exactly its documented arithmetic.
+    EXPECT_DOUBLE_EQ(
+        fm.availability(),
+        static_cast<double>(fm.completed) /
+            static_cast<double>(fm.completed + fm.requests_lost +
+                                fm.expired_deadline));
+    EXPECT_DOUBLE_EQ(fm.availability(), 1.0);
+
+    // Replica 0 takes no step inside [60, 120 + reload).
+    for (const auto &s : result.replicas[0].steps)
+        EXPECT_TRUE(s.start_ms < 60.0 ||
+                    s.start_ms >= 120.0 + reload_ms)
+            << s.start_ms;
+
+#define EXPECT_REL_NEAR(actual, expected)                         \
+    EXPECT_NEAR(actual, expected, (expected) * 1e-3 + 1e-9)
+    EXPECT_REL_NEAR(fm.makespan_ms, 380.063247645);
+    EXPECT_REL_NEAR(fm.uptimeFraction(), 0.717779292);
+#undef EXPECT_REL_NEAR
+
+    // Bit-identical replay.
+    runtime::LlmExecutor executor2(models::gpt2Config(),
+                                   hls::u55c());
+    serving::ExecutorCostModel cost2(executor2);
+    serving::FleetScheduler fleet2(options, cost2);
+    auto again = fleet2.run(goldenTrace());
+    EXPECT_DOUBLE_EQ(again.metrics.makespan_ms, fm.makespan_ms);
+    EXPECT_EQ(again.metrics.steps, fm.steps);
 }

@@ -85,6 +85,17 @@ makeScenario(uint64_t seed, bool with_faults)
         fault_options.slow_prob = 0.5;
         fault_options.drain_prob = 0.35;
         s.fleet.faults = serving::seededFaultPlan(fault_options);
+        // A quarter of the seeds charge recoveries a weight
+        // reload; a sixth also hot-swap a replica mid-run, so the
+        // cores are compared across the reload event type too.
+        if (seed % 4 == 1)
+            s.fleet.recovery_reload_ms =
+                20.0 + 10.0 * static_cast<double>(seed % 5);
+        if (seed % 6 == 2)
+            s.fleet.faults.events.push_back(
+                {150.0, static_cast<int>(seed) %
+                            s.fleet.num_replicas,
+                 serving::FaultKind::Swap, 1.0});
     }
     return s;
 }
@@ -145,6 +156,10 @@ expectSameResult(const serving::FleetResult &a,
     EXPECT_EQ(ma.recoveries, mb.recoveries);
     EXPECT_EQ(ma.drains, mb.drains);
     EXPECT_EQ(ma.degrades, mb.degrades);
+    EXPECT_EQ(ma.swaps, mb.swaps);
+    EXPECT_EQ(ma.reloads, mb.reloads);
+    EXPECT_EQ(ma.reload_ms_total, mb.reload_ms_total);
+    EXPECT_EQ(ma.weight_stall_ms, mb.weight_stall_ms);
     EXPECT_EQ(ma.slowdowns, mb.slowdowns);
     EXPECT_EQ(ma.aborted_steps, mb.aborted_steps);
     EXPECT_EQ(ma.preemptions, mb.preemptions);

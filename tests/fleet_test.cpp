@@ -18,6 +18,7 @@
 #include "serving/fault.h"
 #include "serving/fleet.h"
 #include "serving/load_balancer.h"
+#include "serving/weights.h"
 #include "support/error.h"
 
 using namespace streamtensor;
@@ -529,3 +530,212 @@ TEST(Fleet, RejectsFaultPlanNamingUnknownReplica)
 }
 
 } // namespace
+
+TEST(Fleet, RecoveryReloadDefersEligibility)
+{
+    // Replica 0 crashes at t=4 and recovers at t=10 with a 20 ms
+    // weight-reload window: it must take no step before t=30,
+    // and the window counts as down time.
+    serving::AnalyticCostModel cost(unitCost());
+    auto options = fleetOptions(2);
+    options.recovery_reload_ms = 20.0;
+    options.faults.events.push_back(
+        {4.0, 0, FaultKind::Crash, 1.0});
+    options.faults.events.push_back(
+        {10.0, 0, FaultKind::Recover, 1.0});
+
+    // Arrivals keep coming through the outage and past the
+    // reload end, so the rejoined replica has work to attract.
+    std::vector<Request> trace;
+    for (int64_t i = 0; i < 24; ++i)
+        trace.push_back(
+            makeRequest(i, 4.0 * static_cast<double>(i), 4, 40));
+
+    serving::FleetScheduler fleet(options, cost);
+    auto result = fleet.run(trace);
+    const auto &fm = result.metrics;
+
+    EXPECT_EQ(fm.crashes, 1);
+    EXPECT_EQ(fm.recoveries, 1);
+    EXPECT_EQ(fm.reloads, 1);
+    EXPECT_DOUBLE_EQ(fm.reload_ms_total, 20.0);
+    EXPECT_EQ(fm.completed, 24);
+
+    // No step on replica 0 starts inside [4, 30).
+    for (const auto &s : result.replicas[0].steps)
+        EXPECT_TRUE(s.start_ms < 4.0 || s.start_ms >= 30.0)
+            << s.start_ms;
+    // It does rejoin: work launches at (or after) reload end.
+    bool stepped_after = false;
+    for (const auto &s : result.replicas[0].steps)
+        stepped_after = stepped_after || s.start_ms >= 30.0;
+    EXPECT_TRUE(stepped_after);
+
+    // Down time spans crash -> reload end, not crash -> recover.
+    EXPECT_LE(fm.replica_up_ms[0], fm.makespan_ms - 26.0);
+
+    // A zero-window fleet (the default) recovers at t=10 exactly
+    // as before the reload feature existed — strictly more up
+    // time, no reloads charged.
+    auto instant = options;
+    instant.recovery_reload_ms = 0.0;
+    serving::AnalyticCostModel cost2(unitCost());
+    serving::FleetScheduler fleet2(instant, cost2);
+    auto result2 = fleet2.run(trace);
+    EXPECT_EQ(result2.metrics.reloads, 0);
+    EXPECT_DOUBLE_EQ(result2.metrics.reload_ms_total, 0.0);
+    bool stepped_in_window = false;
+    for (const auto &s : result2.replicas[0].steps)
+        stepped_in_window =
+            stepped_in_window ||
+            (s.start_ms >= 10.0 && s.start_ms < 30.0);
+    EXPECT_TRUE(stepped_in_window);
+}
+
+TEST(Fleet, RecoveryReloadScalesWithStorageTier)
+{
+    // The reload window is derived from a real artifact stream:
+    // slower tiers keep the recovering replica out longer, which
+    // shows up directly in fleet up-time.
+    auto artifact = serving::ModelArtifact::fromConfig(
+        models::gpt2Config());
+    auto runWithTier =
+        [&](const serving::StorageTierProfile &tier) {
+            serving::WeightStreamOptions so;
+            so.tier = tier;
+            double reload_ms = serving::WeightStreamer(so)
+                                   .plan(artifact)
+                                   .streamMs();
+            serving::AnalyticCostModel cost(unitCost());
+            auto options = fleetOptions(2);
+            options.recovery_reload_ms = reload_ms;
+            options.faults.events.push_back(
+                {4.0, 0, FaultKind::Crash, 1.0});
+            options.faults.events.push_back(
+                {8.0, 0, FaultKind::Recover, 1.0});
+            std::vector<Request> trace;
+            for (int64_t i = 0; i < 16; ++i)
+                trace.push_back(makeRequest(i, 0.0, 4, 200));
+            serving::FleetScheduler fleet(options, cost);
+            return fleet.run(trace);
+        };
+    auto gp3 = runWithTier(serving::gp3Tier());
+    auto io2 = runWithTier(serving::io2Tier());
+    auto s3 = runWithTier(serving::s3Tier());
+
+    EXPECT_GT(gp3.metrics.reload_ms_total,
+              io2.metrics.reload_ms_total);
+    EXPECT_GT(s3.metrics.reload_ms_total,
+              gp3.metrics.reload_ms_total);
+    EXPECT_GT(io2.metrics.replica_up_ms[0],
+              gp3.metrics.replica_up_ms[0]);
+}
+
+TEST(Fleet, HotSwapReStreamsUnderLiveTraffic)
+{
+    // Scripted hot swap: replica 0 is gracefully evacuated at
+    // t=10, charged the swap reload window, and rejoins
+    // automatically — no Recover event, no retry attempts
+    // consumed, and the fleet keeps serving on replica 1
+    // throughout.
+    serving::AnalyticCostModel cost(unitCost());
+    auto options = fleetOptions(2);
+    options.swap_reload_ms = 25.0;
+    options.faults.events.push_back(
+        {10.0, 0, FaultKind::Swap, 1.0});
+
+    // Live traffic before, during, and after the swap window.
+    std::vector<Request> trace;
+    for (int64_t i = 0; i < 24; ++i)
+        trace.push_back(
+            makeRequest(i, 3.0 * static_cast<double>(i), 4, 30));
+
+    auto run = [&]() {
+        serving::AnalyticCostModel c(unitCost());
+        serving::FleetScheduler fleet(options, c);
+        return fleet.run(trace);
+    };
+    auto result = run();
+    const auto &fm = result.metrics;
+
+    EXPECT_EQ(fm.swaps, 1);
+    EXPECT_EQ(fm.crashes, 0);
+    EXPECT_EQ(fm.recoveries, 0);
+    EXPECT_EQ(fm.reloads, 1);
+    EXPECT_DOUBLE_EQ(fm.reload_ms_total, 25.0);
+
+    // Graceful: evacuated requests consume no retry attempt and
+    // nothing is lost — every request completes in full.
+    EXPECT_EQ(fm.failovers, 0);
+    EXPECT_EQ(fm.requests_lost, 0);
+    EXPECT_EQ(fm.completed, 24);
+    EXPECT_DOUBLE_EQ(fm.availability(), 1.0);
+    for (const auto &r : fm.requests)
+        EXPECT_EQ(r.failovers, 0);
+
+    // No step on replica 0 inside the swap window [10, 35); it
+    // rejoins after, with no Recover event in the plan.
+    for (const auto &s : result.replicas[0].steps)
+        EXPECT_TRUE(s.start_ms < 10.0 || s.start_ms >= 35.0)
+            << s.start_ms;
+    bool rejoined = false;
+    for (const auto &s : result.replicas[0].steps)
+        rejoined = rejoined || s.start_ms >= 35.0;
+    EXPECT_TRUE(rejoined);
+    // Replica 1 served straight through the swap window.
+    bool served_during = false;
+    for (const auto &s : result.replicas[1].steps)
+        served_during = served_during ||
+                        (s.start_ms >= 10.0 && s.start_ms < 35.0);
+    EXPECT_TRUE(served_during);
+
+    // Swapping a down replica is a tolerant no-op.
+    auto down_first = options;
+    down_first.faults.events.clear();
+    down_first.faults.events.push_back(
+        {8.0, 0, FaultKind::Crash, 1.0});
+    down_first.faults.events.push_back(
+        {10.0, 0, FaultKind::Swap, 1.0});
+    serving::AnalyticCostModel c3(unitCost());
+    serving::FleetScheduler fleet3(down_first, c3);
+    auto result3 = fleet3.run(trace);
+    EXPECT_EQ(result3.metrics.swaps, 0);
+    EXPECT_EQ(result3.metrics.reloads, 0);
+
+    // The swap scenario replays bit-identically.
+    auto again = run();
+    EXPECT_DOUBLE_EQ(again.metrics.makespan_ms, fm.makespan_ms);
+    ASSERT_EQ(again.replicas.size(), result.replicas.size());
+    for (size_t r = 0; r < result.replicas.size(); ++r) {
+        const auto &a = result.replicas[r].steps;
+        const auto &b = again.replicas[r].steps;
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_DOUBLE_EQ(a[i].start_ms, b[i].start_ms);
+            EXPECT_DOUBLE_EQ(a[i].step_ms, b[i].step_ms);
+            EXPECT_EQ(a[i].prefill_ids, b[i].prefill_ids);
+            EXPECT_EQ(a[i].decode_ids, b[i].decode_ids);
+        }
+    }
+}
+
+TEST(Fleet, SwapReloadDefaultsToRecoveryWindow)
+{
+    // swap_reload_ms < 0 falls back to recovery_reload_ms.
+    serving::AnalyticCostModel cost(unitCost());
+    auto options = fleetOptions(2);
+    options.recovery_reload_ms = 12.0;
+    options.faults.events.push_back(
+        {5.0, 0, FaultKind::Swap, 1.0});
+    std::vector<Request> trace = {makeRequest(0, 0.0, 4, 40),
+                                  makeRequest(1, 0.0, 4, 40)};
+    serving::FleetScheduler fleet(options, cost);
+    auto result = fleet.run(trace);
+    EXPECT_EQ(result.metrics.swaps, 1);
+    EXPECT_DOUBLE_EQ(result.metrics.reload_ms_total, 12.0);
+
+    serving::FleetOptions bad = fleetOptions(1);
+    bad.recovery_reload_ms = -1.0;
+    serving::AnalyticCostModel c2(unitCost());
+    EXPECT_THROW(serving::FleetScheduler(bad, c2), FatalError);
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "support/error.h"
 
 #include "models/bucketing.h"
@@ -232,4 +234,68 @@ TEST(CompiledBlock, AggregatesGroupCycles)
     EXPECT_EQ(blk.sims.size(),
               static_cast<size_t>(
                   blk.compile.design.components.numGroups()));
+}
+
+TEST(Executor, WarmRaceCompilesOnce)
+{
+    // Two threads warming the same bucketed shape concurrently
+    // must produce exactly one compile: the second caller blocks
+    // on the in-flight entry instead of compiling a duplicate
+    // (the dedupe documented on block()).
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto shapes = models::decodeShapes(64);
+    const runtime::CompiledBlock *a = nullptr;
+    const runtime::CompiledBlock *b = nullptr;
+    std::thread t1([&] { a = &executor.block(shapes); });
+    std::thread t2([&] { b = &executor.block(shapes); });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(executor.compileCount(), 1);
+    // Both callers see the same cached entry.
+    EXPECT_EQ(a, b);
+    // A third call is a pure cache hit.
+    executor.block(shapes);
+    EXPECT_EQ(executor.compileCount(), 1);
+}
+
+TEST(Executor, GatedPrefillMatchesUngatedWhenWeightsResident)
+{
+    // All-zero watermarks (weights resident before the run) gate
+    // nothing: the chained per-layer sum equals run().ttft_ms up
+    // to summation order.
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto run = executor.run(32, 1);
+    std::vector<double> warm(
+        static_cast<size_t>(executor.config().layers), 0.0);
+    double end = executor.gatedPrefillEndMs(32, warm, 0.0);
+    EXPECT_NEAR(end, run.ttft_ms, 1e-6 * run.ttft_ms);
+}
+
+TEST(Executor, GatedPrefillStallsOnLateWeights)
+{
+    runtime::LlmExecutor executor(models::gpt2Config(),
+                                  hls::u55c());
+    auto layers = static_cast<size_t>(executor.config().layers);
+
+    // A far-future uniform watermark pins the result: only layer
+    // 0 waits (its successors' weights landed long before their
+    // turn), so the pass degenerates to ready + one full prefill.
+    std::vector<double> warm(layers, 0.0);
+    double warm_end = executor.gatedPrefillEndMs(32, warm, 0.0);
+    std::vector<double> late(layers, 1e6);
+    double late_end = executor.gatedPrefillEndMs(32, late, 0.0);
+    EXPECT_NEAR(late_end, 1e6 + warm_end, 1e-6 * late_end);
+
+    // Gating is monotone in the watermark and never beats warm.
+    std::vector<double> partial(layers, 0.0);
+    partial.back() = warm_end; // only the last layer streams late
+    double partial_end =
+        executor.gatedPrefillEndMs(32, partial, 0.0);
+    EXPECT_GE(partial_end, warm_end);
+    EXPECT_LE(partial_end, late_end);
+
+    EXPECT_THROW(executor.gatedPrefillEndMs(32, {}, 0.0),
+                 FatalError);
 }

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <random>
 #include <set>
 
 #include "models/bucketing.h"
@@ -748,4 +749,74 @@ TEST(SchedulerPropertyCoverage, SeedsExercisePreemptionAndSharing)
     }
     EXPECT_GT(preemptions, 0);
     EXPECT_GT(prefix_hits, 0);
+}
+
+// ---- RequestQueue queued-input-token counter: the O(1) running
+// ---- sum the fleet balancer reads on every pick must equal the
+// ---- recomputed sum over queue contents after ANY operation mix
+// ---- (push / pushFront / pop / expireBefore / drainAll). ----
+
+TEST(QueueProperty, QueuedInputTokensMatchesContentsAcrossOps)
+{
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        std::mt19937_64 rng(seed);
+        serving::RequestQueue q(
+            seed % 3 == 0 ? 0 : 8 + static_cast<int64_t>(seed % 9));
+        double now = 0.0;
+        int64_t next_id = 0;
+
+        auto recompute = [&] {
+            int64_t sum = 0;
+            for (const auto &r : q.snapshot())
+                sum += r.input_len;
+            return sum;
+        };
+
+        for (int round = 0; round < 200; ++round) {
+            now += static_cast<double>(rng() % 5);
+            switch (rng() % 6) {
+            case 0:
+            case 1: { // push (sometimes refused at capacity)
+                Request r;
+                r.id = next_id++;
+                r.input_len =
+                    1 + static_cast<int64_t>(rng() % 96);
+                r.priority = static_cast<int>(rng() % 3);
+                if (rng() % 2)
+                    r.deadline_ms =
+                        now + static_cast<double>(rng() % 10);
+                q.push(r);
+                break;
+            }
+            case 2: { // readmission path (capacity-exempt)
+                Request r;
+                r.id = next_id++;
+                r.input_len =
+                    1 + static_cast<int64_t>(rng() % 96);
+                r.priority = static_cast<int>(rng() % 3);
+                q.pushFront(r);
+                break;
+            }
+            case 3:
+                if (!q.empty())
+                    q.pop();
+                break;
+            case 4:
+                q.expireBefore(now);
+                break;
+            case 5: // fleet evacuation path
+                if (round % 17 == 0)
+                    q.drainAll();
+                break;
+            }
+            ASSERT_EQ(q.queuedInputTokens(), recompute())
+                << "seed " << seed << " round " << round;
+            ASSERT_EQ(q.size(),
+                      static_cast<int64_t>(q.snapshot().size()))
+                << "seed " << seed << " round " << round;
+        }
+        // Fully drained queues return to exactly zero demand.
+        q.drainAll();
+        EXPECT_EQ(q.queuedInputTokens(), 0) << "seed " << seed;
+    }
 }

@@ -11,6 +11,7 @@
 
 #include "models/bucketing.h"
 #include "serving/cost_model.h"
+#include "serving/fleet.h"
 #include "serving/metrics.h"
 #include "serving/queue.h"
 #include "serving/scheduler.h"
@@ -1022,4 +1023,178 @@ TEST(Scheduler, DrainDeadlineStepLimitInteraction)
     // deadline could expire.
     EXPECT_EQ(cut.metrics.rejected_drained, 2);
     EXPECT_EQ(cut.metrics.expired_deadline, 0);
+}
+
+// ---- Percentile-cache invalidation (metrics.h): the sorted
+// ---- caches key on (record revision, window size), so a query
+// ---- between completions — or between fleet merges — must never
+// ---- serve a stale distribution. ----
+
+namespace {
+
+serving::RequestMetrics
+completedRecord(int64_t id, double arrival_ms,
+                double first_token_ms, double finish_ms,
+                int64_t output_len)
+{
+    serving::RequestMetrics r;
+    r.id = id;
+    r.input_len = 8;
+    r.output_len = output_len;
+    r.arrival_ms = arrival_ms;
+    r.first_token_ms = first_token_ms;
+    r.finish_ms = finish_ms;
+    return r;
+}
+
+} // namespace
+
+TEST(ServingMetricsTest, PercentileCacheSeesLaterCompletions)
+{
+    serving::ServingMetrics m;
+    serving::MetricsOptions keep; // Always
+    keep.keep_records = serving::MetricsOptions::KeepRecords::Always;
+
+    m.recordCompletion(completedRecord(0, 0.0, 10.0, 10.0, 1),
+                       keep);
+    m.recordCompletion(completedRecord(1, 0.0, 20.0, 20.0, 1),
+                       keep);
+    // Prime both sorted caches.
+    EXPECT_DOUBLE_EQ(m.latencyPercentileMs(100.0), 20.0);
+    EXPECT_DOUBLE_EQ(m.ttftP95Ms(), 20.0);
+
+    // A later completion with a worse tail must surface on the
+    // very next query (query-record-query regression).
+    m.recordCompletion(completedRecord(2, 0.0, 90.0, 90.0, 1),
+                       keep);
+    EXPECT_DOUBLE_EQ(m.latencyPercentileMs(100.0), 90.0);
+    EXPECT_DOUBLE_EQ(m.ttftP95Ms(), 90.0);
+    EXPECT_DOUBLE_EQ(m.latencyPercentileMs(50.0), 20.0);
+}
+
+TEST(FleetMetricsTest, PercentileCacheKeysOnRevisionNotJustSize)
+{
+    // The fleet merge path mutates `requests` wholesale; the
+    // documented contract is that any such mutation bumps
+    // record_revision. A same-size content change must re-answer
+    // from the updated window — a size-keyed cache would serve
+    // the stale sort.
+    serving::FleetMetrics fm;
+    fm.requests.push_back(
+        completedRecord(0, 0.0, 10.0, 10.0, 1));
+    fm.requests.push_back(
+        completedRecord(1, 0.0, 30.0, 30.0, 1));
+    ++fm.record_revision;
+    EXPECT_DOUBLE_EQ(fm.latencyPercentileMs(100.0), 30.0);
+
+    fm.requests[1].finish_ms = 500.0; // same size, new content
+    fm.requests[1].first_token_ms = 500.0;
+    ++fm.record_revision;
+    EXPECT_DOUBLE_EQ(fm.latencyPercentileMs(100.0), 500.0);
+    EXPECT_DOUBLE_EQ(fm.latencyPercentileMs(0.0), 10.0);
+}
+
+// ---- Cold-start weight gating (scheduler.h ColdStartOptions):
+// ---- steps launched before the stream finishes stretch by the
+// ---- exact residency wait; once it lands, steps match warm
+// ---- bit-for-bit. ----
+
+TEST(ServingSchedulerTest, ColdStartGatingExactAgainstWarm)
+{
+    serving::AnalyticCostModel cost;
+    auto base = [] {
+        serving::SchedulerOptions o;
+        o.max_batch = 2;
+        o.kv_budget_tokens = 256;
+        o.record_steps = true;
+        return o;
+    };
+    std::vector<Request> trace = {makeRequest(0, 0.0, 8, 3),
+                                  makeRequest(1, 0.0, 8, 3)};
+
+    serving::Scheduler warm(base(), cost);
+    auto warm_result = warm.run(trace);
+    ASSERT_FALSE(warm_result.steps.empty());
+    EXPECT_DOUBLE_EQ(warm_result.metrics.weight_stream_ms, 0.0);
+    EXPECT_DOUBLE_EQ(warm_result.metrics.weight_stall_ms, 0.0);
+    EXPECT_DOUBLE_EQ(
+        warm_result.metrics.weightOverlapFraction(), 1.0);
+    for (const auto &s : warm_result.steps)
+        EXPECT_DOUBLE_EQ(s.weights_wait_ms, 0.0);
+
+    // A handcrafted two-layer plan finishing at t=20: layer 0
+    // lands at 10, layer 1 at 20.
+    serving::WeightStreamPlan plan;
+    plan.model = "handcrafted";
+    plan.tier = "test";
+    plan.layer_ready_ms = {10.0, 20.0};
+    plan.end_ms = 20.0;
+    plan.bytes_total = 4096;
+    plan.chunks = 2;
+    plan.readers = 1;
+
+    auto runCold = [&](bool overlap) {
+        auto o = base();
+        o.cold_start.plan = plan;
+        o.cold_start.overlap = overlap;
+        serving::Scheduler cold(o, cost);
+        return cold.run(trace);
+    };
+    auto off = runCold(false);
+    auto on = runCold(true);
+
+    // Every step's wait is exactly what the plan's gate derives
+    // from the warm step's start and duration — replayed here
+    // with the same double arithmetic.
+    auto checkWaits = [&](const serving::ServingResult &cold,
+                          bool overlap) {
+        ASSERT_EQ(cold.steps.size(), warm_result.steps.size());
+        double drift = 0.0; // cold start so far delays launches
+        double stall = 0.0;
+        for (size_t i = 0; i < cold.steps.size(); ++i) {
+            const auto &w = warm_result.steps[i];
+            const auto &c = cold.steps[i];
+            double start = w.start_ms + drift;
+            EXPECT_DOUBLE_EQ(c.start_ms, start);
+            double wait = 0.0;
+            if (start < plan.end_ms) {
+                double gated = plan.gatedComputeEndMs(
+                    start, w.step_ms, overlap);
+                wait = std::max(0.0,
+                                gated - (start + w.step_ms));
+            }
+            EXPECT_DOUBLE_EQ(c.weights_wait_ms, wait);
+            EXPECT_DOUBLE_EQ(c.step_ms, w.step_ms + wait);
+            drift += wait;
+            stall += wait;
+        }
+        EXPECT_DOUBLE_EQ(cold.metrics.weight_stall_ms, stall);
+        EXPECT_DOUBLE_EQ(cold.metrics.weight_stream_ms, 20.0);
+        EXPECT_EQ(cold.metrics.weight_bytes_streamed, 4096);
+    };
+    checkWaits(off, false);
+    checkWaits(on, true);
+
+    // Overlap hides part of the stream: strictly less stall and
+    // an earlier makespan than overlap-off, never better than
+    // warm.
+    EXPECT_LT(on.metrics.weight_stall_ms,
+              off.metrics.weight_stall_ms);
+    EXPECT_LT(on.metrics.makespan_ms, off.metrics.makespan_ms);
+    EXPECT_GT(on.metrics.makespan_ms,
+              warm_result.metrics.makespan_ms);
+    EXPECT_GT(on.metrics.weightOverlapFraction(),
+              off.metrics.weightOverlapFraction());
+
+    // Cold-start runs replay bit-identically.
+    auto again = runCold(true);
+    ASSERT_EQ(again.steps.size(), on.steps.size());
+    for (size_t i = 0; i < on.steps.size(); ++i) {
+        EXPECT_DOUBLE_EQ(again.steps[i].start_ms,
+                         on.steps[i].start_ms);
+        EXPECT_DOUBLE_EQ(again.steps[i].step_ms,
+                         on.steps[i].step_ms);
+        EXPECT_DOUBLE_EQ(again.steps[i].weights_wait_ms,
+                         on.steps[i].weights_wait_ms);
+    }
 }
